@@ -1,0 +1,203 @@
+//! The Franaszek–Robinson random-graph model of concurrency limits
+//! (ACM TODS 1985, "Limitations of Concurrency in Transaction
+//! Processing" — cited by the paper's related-work survey as another
+//! analytical route that "also reveals thrashing behaviour").
+//!
+//! The model: `n` concurrent transactions, each accessing `k` of `D`
+//! items, form a random *conflict graph* in which two transactions are
+//! adjacent iff their access sets intersect. For uniform access,
+//!
+//! ```text
+//! p = P[two transactions conflict] ≈ 1 − (1 − k/D)^k ≈ k²/D
+//! ```
+//!
+//! Only a conflict-free set of transactions can make progress together,
+//! so the *useful concurrency* of an optimistic, restart-based executor
+//! is the number of transactions with no conflict partner at all:
+//!
+//! ```text
+//! u(n) = n·(1 − p)^(n−1)
+//! ```
+//!
+//! `u(n)` is unimodal with its maximum at `n* = −1/ln(1 − p) ≈ D/k²`,
+//! after which adding transactions *reduces* useful work — the
+//! random-graph route to Figure 1's thrashing curve, independent of any
+//! queueing assumptions. The position `n* ≈ D/k²` also ties neatly to
+//! Tay's `k²n/D < 1.5` criterion: both place the cliff at `k²n/D = Θ(1)`.
+
+/// Workload parameters of the random-graph conflict model.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FrModel {
+    /// Items accessed per transaction (`k`).
+    pub k: u32,
+    /// Database size (`D`).
+    pub db_size: u64,
+}
+
+impl FrModel {
+    /// Creates a model; panics on degenerate parameters.
+    pub fn new(k: u32, db_size: u64) -> Self {
+        assert!(k > 0 && db_size > 0);
+        assert!(
+            u64::from(k) <= db_size,
+            "transactions cannot access more items than exist"
+        );
+        FrModel { k, db_size }
+    }
+
+    /// Probability that two transactions' access sets intersect:
+    /// `1 − (1 − k/D)^k` (exact under independent uniform draws with
+    /// replacement across transactions).
+    pub fn conflict_probability(&self) -> f64 {
+        let k = f64::from(self.k);
+        let d = self.db_size as f64;
+        1.0 - (1.0 - k / d).powf(k)
+    }
+
+    /// Expected number of conflict partners of one transaction among
+    /// `n − 1` others — the mean degree of the conflict graph.
+    pub fn mean_degree(&self, n: f64) -> f64 {
+        (n - 1.0).max(0.0) * self.conflict_probability()
+    }
+
+    /// Useful concurrency `u(n) = n·(1 − p)^(n−1)`: the expected number
+    /// of transactions free of conflict partners.
+    pub fn useful_concurrency(&self, n: f64) -> f64 {
+        if n <= 0.0 {
+            return 0.0;
+        }
+        let p = self.conflict_probability();
+        n * (1.0 - p).powf(n - 1.0)
+    }
+
+    /// The MPL maximizing useful concurrency: `n* = −1/ln(1 − p)`,
+    /// which for small `p` is ≈ `D/k²`. At least 1.
+    pub fn optimal_mpl(&self) -> f64 {
+        let p = self.conflict_probability();
+        if p >= 1.0 {
+            return 1.0;
+        }
+        (-1.0 / (1.0 - p).ln()).max(1.0)
+    }
+
+    /// Useful concurrency at the optimum — the model's concurrency
+    /// *limit*: `u(n*) = n*·(1 − p)^(n*−1) ≈ n*/e`.
+    pub fn concurrency_limit(&self) -> f64 {
+        self.useful_concurrency(self.optimal_mpl())
+    }
+
+    /// The whole `u(n)` curve for `n = 1..=n_max`, for plotting against
+    /// the simulator's measured throughput shape.
+    pub fn curve(&self, n_max: u32) -> Vec<(u32, f64)> {
+        (1..=n_max)
+            .map(|n| (n, self.useful_concurrency(f64::from(n))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_probability_approximates_k_squared_over_d() {
+        let m = FrModel::new(8, 2000);
+        let p = m.conflict_probability();
+        let approx = 64.0 / 2000.0;
+        assert!(
+            (p - approx).abs() / approx < 0.1,
+            "p = {p}, k²/D = {approx}"
+        );
+    }
+
+    #[test]
+    fn useful_concurrency_is_unimodal() {
+        let m = FrModel::new(8, 2000);
+        let curve = m.curve(400);
+        let peak_idx = curve
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+            .map(|(i, _)| i)
+            .unwrap();
+        // Strictly rising before the peak, strictly falling after (modulo
+        // the flat-ish neighbourhood, checked with a margin of one step).
+        for w in curve[..peak_idx].windows(2) {
+            assert!(w[1].1 >= w[0].1, "not rising before peak at {:?}", w[0].0);
+        }
+        for w in curve[peak_idx + 1..].windows(2) {
+            assert!(w[1].1 <= w[0].1, "not falling after peak at {:?}", w[0].0);
+        }
+    }
+
+    #[test]
+    fn optimum_lands_near_d_over_k_squared() {
+        let m = FrModel::new(8, 2000);
+        let n_opt = m.optimal_mpl();
+        let rough = 2000.0 / 64.0; // 31.25
+        assert!(
+            (n_opt - rough).abs() / rough < 0.15,
+            "n* = {n_opt}, D/k² = {rough}"
+        );
+        // And the discrete curve peaks at the same place.
+        let curve = m.curve(200);
+        let peak_n = curve
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|&(n, _)| n)
+            .unwrap();
+        assert!(
+            (f64::from(peak_n) - n_opt).abs() <= 1.5,
+            "curve peak {peak_n} vs analytic {n_opt}"
+        );
+    }
+
+    #[test]
+    fn concurrency_limit_is_n_opt_over_e() {
+        let m = FrModel::new(4, 4000);
+        let limit = m.concurrency_limit();
+        let expected = m.optimal_mpl() / std::f64::consts::E;
+        assert!(
+            (limit - expected).abs() / expected < 0.01,
+            "limit {limit} vs n*/e {expected}"
+        );
+    }
+
+    #[test]
+    fn more_contention_means_lower_limit() {
+        let light = FrModel::new(4, 4000);
+        let heavy = FrModel::new(16, 4000);
+        assert!(light.optimal_mpl() > 10.0 * heavy.optimal_mpl());
+        assert!(light.concurrency_limit() > 10.0 * heavy.concurrency_limit());
+    }
+
+    #[test]
+    fn agrees_with_tay_on_the_cliff_location() {
+        // Both models put the thrashing cliff at k²n/D = Θ(1): the FR
+        // optimum times k²/D is a constant (= 1 in the small-p limit).
+        for (k, d) in [(4u32, 2000u64), (8, 2000), (8, 8000), (16, 20_000)] {
+            let m = FrModel::new(k, d);
+            let alpha_at_opt = f64::from(k) * f64::from(k) * m.optimal_mpl() / d as f64;
+            assert!(
+                (0.8..=1.2).contains(&alpha_at_opt),
+                "k={k}, D={d}: k²n*/D = {alpha_at_opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_full_conflict() {
+        // k = D: every pair conflicts, the optimum is serial execution.
+        let m = FrModel::new(10, 10);
+        assert!((m.conflict_probability() - 1.0).abs() < 1e-12);
+        assert_eq!(m.optimal_mpl(), 1.0);
+    }
+
+    #[test]
+    fn zero_and_negative_n_are_safe() {
+        let m = FrModel::new(8, 2000);
+        assert_eq!(m.useful_concurrency(0.0), 0.0);
+        assert_eq!(m.useful_concurrency(-3.0), 0.0);
+        assert_eq!(m.mean_degree(0.5), 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! The principal branch of the Lambert W function, `W₀`.
+//!
+//! Needed by the self-limiting OCC conflict model: with certification,
+//! only *committed* writers invalidate others, so the conflict exposure
+//! per run solves the fixed point `λ = c·n·e^{−λ}`, i.e. `λ = W₀(c·n)`.
+
+/// `W₀(x)` for `x ≥ 0`: the unique `w ≥ 0` with `w·e^w = x`.
+///
+/// Newton iteration from a log-based initial guess; converges to machine
+/// precision in a handful of steps over the whole non-negative range.
+pub fn lambert_w0(x: f64) -> f64 {
+    assert!(x >= 0.0 && x.is_finite(), "W0 needs finite x >= 0, got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    // ln(1+x) is an excellent starting point for x >= 0.
+    let mut w = x.ln_1p();
+    if w > 1.0 {
+        // Asymptotic refinement for large arguments.
+        let l1 = x.ln();
+        let l2 = l1.ln();
+        w = l1 - l2 + l2 / l1;
+    }
+    for _ in 0..50 {
+        let ew = w.exp();
+        let f = w * ew - x;
+        // Halley's method: faster and more robust than plain Newton here.
+        let denom = ew * (w + 1.0) - (w + 2.0) * f / (2.0 * w + 2.0);
+        let dw = f / denom;
+        w -= dw;
+        if dw.abs() < 1e-14 * w.abs().max(1e-14) {
+            break;
+        }
+    }
+    w.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(lambert_w0(0.0), 0.0);
+        // W(1) = Ω ≈ 0.5671432904097838
+        assert!((lambert_w0(1.0) - 0.567_143_290_409_783_8).abs() < 1e-12);
+        // W(e) = 1
+        assert!((lambert_w0(std::f64::consts::E) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn defining_identity_holds() {
+        for &x in &[1e-6, 0.01, 0.5, 1.0, 2.0, 5.0, 20.0, 1e3, 1e8] {
+            let w = lambert_w0(x);
+            let back = w * w.exp();
+            assert!(
+                (back - x).abs() <= 1e-9 * x.max(1.0),
+                "W({x}) = {w}, w·e^w = {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_increasing() {
+        let mut last = -1.0;
+        for i in 0..1000 {
+            let w = lambert_w0(f64::from(i) * 0.05);
+            assert!(w >= last);
+            last = w;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        lambert_w0(f64::NAN);
+    }
+}

@@ -1,0 +1,140 @@
+//! M/M/m queueing formulas (Erlang-C).
+//!
+//! The paper's physical model is a homogeneous multiprocessor serving one
+//! shared queue — in steady state, an M/M/m station. These closed forms
+//! anchor the simulator's resource side: the integration tests compare the
+//! simulated CPU waiting time against Erlang-C at moderate utilization.
+
+/// An M/M/m service station: `m` identical servers, one FIFO queue,
+/// Poisson arrivals at rate `lambda`, exponential service at rate `mu`
+/// per server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MMm {
+    /// Arrival rate (jobs per unit time).
+    pub lambda: f64,
+    /// Per-server service rate.
+    pub mu: f64,
+    /// Number of servers.
+    pub m: u32,
+}
+
+impl MMm {
+    /// Creates a station, panicking on non-positive rates or zero servers.
+    pub fn new(lambda: f64, mu: f64, m: u32) -> Self {
+        assert!(lambda > 0.0 && mu > 0.0 && m > 0);
+        MMm { lambda, mu, m }
+    }
+
+    /// Offered load `a = λ/μ` in Erlangs.
+    pub fn offered_load(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Per-server utilization `ρ = λ/(mμ)`.
+    pub fn utilization(&self) -> f64 {
+        self.offered_load() / f64::from(self.m)
+    }
+
+    /// True if the queue is stable (`ρ < 1`).
+    pub fn is_stable(&self) -> bool {
+        self.utilization() < 1.0
+    }
+
+    /// Erlang-C: the probability an arriving job must wait.
+    ///
+    /// Computed with the numerically stable recurrence on the Erlang-B
+    /// blocking probability `B(m, a)`:
+    /// `B(0) = 1`, `B(j) = a·B(j−1) / (j + a·B(j−1))`,
+    /// `C = m·B / (m − a·(1 − B))`.
+    pub fn erlang_c(&self) -> f64 {
+        assert!(self.is_stable(), "Erlang-C undefined for unstable queue");
+        let a = self.offered_load();
+        let mut b = 1.0;
+        for j in 1..=self.m {
+            b = a * b / (f64::from(j) + a * b);
+        }
+        let m = f64::from(self.m);
+        m * b / (m - a * (1.0 - b))
+    }
+
+    /// Mean waiting time in queue `Wq = C / (mμ − λ)`.
+    pub fn mean_wait(&self) -> f64 {
+        self.erlang_c() / (f64::from(self.m) * self.mu - self.lambda)
+    }
+
+    /// Mean response time (wait + service).
+    pub fn mean_response(&self) -> f64 {
+        self.mean_wait() + 1.0 / self.mu
+    }
+
+    /// Mean number of jobs in queue (`Lq = λ·Wq`, Little's law).
+    pub fn mean_queue_len(&self) -> f64 {
+        self.lambda * self.mean_wait()
+    }
+
+    /// Mean number of jobs in the station (`L = λ·W`).
+    pub fn mean_in_system(&self) -> f64 {
+        self.lambda * self.mean_response()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_reduces_to_mm1() {
+        // M/M/1: C = rho, Wq = rho / (mu - lambda)
+        let q = MMm::new(0.5, 1.0, 1);
+        assert!((q.erlang_c() - 0.5).abs() < 1e-12);
+        assert!((q.mean_wait() - 1.0).abs() < 1e-12);
+        assert!((q.mean_response() - 2.0).abs() < 1e-12);
+        assert!((q.mean_in_system() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_c_known_value() {
+        // Classic table value: m=2, a=1 (rho=0.5) -> C = 1/3.
+        let q = MMm::new(1.0, 1.0, 2);
+        assert!((q.erlang_c() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_and_stability() {
+        let q = MMm::new(3.0, 1.0, 4);
+        assert!((q.utilization() - 0.75).abs() < 1e-12);
+        assert!(q.is_stable());
+        let u = MMm::new(5.0, 1.0, 4);
+        assert!(!u.is_stable());
+    }
+
+    #[test]
+    fn waiting_grows_with_load() {
+        let w1 = MMm::new(1.0, 1.0, 4).mean_wait();
+        let w2 = MMm::new(3.0, 1.0, 4).mean_wait();
+        let w3 = MMm::new(3.9, 1.0, 4).mean_wait();
+        assert!(w1 < w2 && w2 < w3);
+    }
+
+    #[test]
+    fn more_servers_less_waiting() {
+        let w4 = MMm::new(3.0, 1.0, 4).mean_wait();
+        let w8 = MMm::new(3.0, 1.0, 8).mean_wait();
+        assert!(w8 < w4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn erlang_c_rejects_unstable() {
+        MMm::new(4.0, 1.0, 4).erlang_c();
+    }
+
+    #[test]
+    fn littles_law_consistency() {
+        let q = MMm::new(2.0, 1.0, 3);
+        let l = q.mean_in_system();
+        let lq = q.mean_queue_len();
+        // L = Lq + a
+        assert!((l - (lq + q.offered_load())).abs() < 1e-12);
+    }
+}

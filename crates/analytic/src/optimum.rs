@@ -1,0 +1,90 @@
+//! Scalar maximization helpers.
+//!
+//! The controllers search for the optimum online; the *evaluation* needs
+//! the true optimum as a reference (the broken line `n_opt` in Figures 13
+//! and 14). For unimodal curves golden-section search is exact enough; a
+//! grid scan backs it up for curves with plateaus.
+
+/// Result of a maximization: location and value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Maximum {
+    /// Argmax.
+    pub x: f64,
+    /// Max value.
+    pub value: f64,
+}
+
+/// Golden-section search for the maximum of a unimodal function on
+/// `[lo, hi]`, to within `tol` on the argument.
+pub fn golden_section_max(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, tol: f64) -> Maximum {
+    assert!(hi > lo && tol > 0.0);
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - (b - a) * INV_PHI;
+    let mut d = a + (b - a) * INV_PHI;
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a).abs() > tol {
+        if fc >= fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - (b - a) * INV_PHI;
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + (b - a) * INV_PHI;
+            fd = f(d);
+        }
+    }
+    let x = (a + b) / 2.0;
+    Maximum { x, value: f(x) }
+}
+
+/// Exhaustive integer grid scan for the maximum over `lo..=hi`. Ties are
+/// resolved toward the smallest argument, which is what an MPL bound
+/// should prefer (less admitted load for equal performance).
+pub fn grid_max_u32(mut f: impl FnMut(u32) -> f64, lo: u32, hi: u32) -> (u32, f64) {
+    assert!(hi >= lo);
+    let mut best = (lo, f(lo));
+    for n in (lo + 1)..=hi {
+        let v = f(n);
+        if v > best.1 {
+            best = (n, v);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_finds_parabola_vertex() {
+        let m = golden_section_max(|x| -(x - 3.7) * (x - 3.7) + 2.0, 0.0, 10.0, 1e-6);
+        assert!((m.x - 3.7).abs() < 1e-5);
+        assert!((m.value - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn golden_handles_edge_maximum() {
+        let m = golden_section_max(|x| x, 0.0, 1.0, 1e-6);
+        assert!(m.x > 0.999);
+    }
+
+    #[test]
+    fn grid_max_finds_peak_and_prefers_smaller_tie() {
+        let (n, v) = grid_max_u32(|n| if n == 5 || n == 7 { 10.0 } else { 0.0 }, 1, 10);
+        assert_eq!(n, 5);
+        assert_eq!(v, 10.0);
+    }
+
+    #[test]
+    fn grid_max_single_point() {
+        let (n, v) = grid_max_u32(f64::from, 4, 4);
+        assert_eq!((n, v), (4, 4.0));
+    }
+}

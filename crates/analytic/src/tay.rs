@@ -1,0 +1,191 @@
+//! The Tay–Goodman–Suri locking model (ACM TODS 10(4), 1985).
+//!
+//! A closed mean-value model of a database with two-phase locking: `n`
+//! transactions, each acquiring `k` locks one at a time out of `D` lockable
+//! granules. Its headline results, as used by the paper:
+//!
+//! * the mean number of *blocked* transactions `b(n)` grows quadratically
+//!   in `n`, so past the point where `db/dn > 1` adding a transaction
+//!   *reduces* the number of active ones — thrashing (§1);
+//! * thrashing begins near workload factor `α = k²·n/D ≈ 1.5`, giving the
+//!   rule of thumb `k²n/D < 1.5` that the Tay baseline controller enforces.
+//!
+//! The model here is the standard "no-waiting approximation" variant: each
+//! lock request conflicts with probability proportional to the locks held
+//! by others, a blocked transaction waits roughly half a transaction
+//! lifetime, and restarts are ignored below saturation. It reproduces the
+//! qualitative curve exactly as the paper needs it — a unimodal throughput
+//! function whose peak sits near `α ≈ 1.5`.
+
+/// Workload parameters of the locking model.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TayModel {
+    /// Locks acquired per transaction (`k`).
+    pub k: u32,
+    /// Number of lockable data granules (`D`).
+    pub db_size: u64,
+    /// Mean lock-hold "think" time between acquiring successive locks, in
+    /// arbitrary time units; only scales throughput, not the shape.
+    pub step_time: f64,
+}
+
+impl TayModel {
+    /// Creates a model; panics on degenerate parameters.
+    pub fn new(k: u32, db_size: u64, step_time: f64) -> Self {
+        assert!(k > 0 && db_size > 0 && step_time > 0.0);
+        assert!(
+            u64::from(k) <= db_size,
+            "transactions cannot lock more granules than exist"
+        );
+        TayModel { k, db_size, step_time }
+    }
+
+    /// The workload factor `α = k²·n / D`. Tay's thrashing criterion is
+    /// `α < 1.5`.
+    pub fn workload_factor(&self, n: f64) -> f64 {
+        let k = f64::from(self.k);
+        k * k * n / self.db_size as f64
+    }
+
+    /// The largest MPL satisfying the `k²n/D < 1.5` rule of thumb.
+    pub fn rule_of_thumb_mpl(&self) -> u32 {
+        let k = f64::from(self.k);
+        let n = 1.5 * self.db_size as f64 / (k * k);
+        n.floor().max(1.0) as u32
+    }
+
+    /// Probability that one lock request conflicts when `n` transactions
+    /// each hold `k/2` locks on average.
+    pub fn conflict_probability(&self, n: f64) -> f64 {
+        if n <= 1.0 {
+            return 0.0;
+        }
+        let held_by_others = (n - 1.0) * f64::from(self.k) / 2.0;
+        (held_by_others / self.db_size as f64).min(1.0)
+    }
+
+    /// Mean number of blocked transactions — the quadratic form
+    /// `b(n) ≈ n·k·p_conflict·w`, with `w` the fraction of a lifetime spent
+    /// waiting per block (≈ 1/2 in the standard approximation). For small
+    /// conflict probabilities this is `b(n) ≈ k²·n·(n−1)/(4D)`: quadratic
+    /// in `n`, exactly the statement quoted in the paper's introduction.
+    pub fn blocked(&self, n: f64) -> f64 {
+        let p = self.conflict_probability(n);
+        let b = n * f64::from(self.k) * p * 0.5;
+        b.min(n) // cannot block more transactions than exist
+    }
+
+    /// Mean number of *active* (not blocked) transactions `a(n) = n − b(n)`.
+    pub fn active(&self, n: f64) -> f64 {
+        (n - self.blocked(n)).max(0.0)
+    }
+
+    /// Throughput: active transactions each complete `k` steps of duration
+    /// `step_time`, so `T(n) = a(n) / (k·step_time)`.
+    pub fn throughput(&self, n: f64) -> f64 {
+        self.active(n) / (f64::from(self.k) * self.step_time)
+    }
+
+    /// The derivative `db/dn`, used to locate the thrashing onset
+    /// (`db/dn > 1` means adding one transaction blocks more than one).
+    pub fn blocked_derivative(&self, n: f64) -> f64 {
+        let h = 1e-4;
+        (self.blocked(n + h) - self.blocked(n - h)) / (2.0 * h)
+    }
+
+    /// The MPL where `db/dn` first exceeds 1 (the analytic thrashing point),
+    /// searched over `[1, n_max]`.
+    pub fn thrashing_onset(&self, n_max: u32) -> Option<u32> {
+        (1..=n_max).find(|&n| self.blocked_derivative(f64::from(n)) > 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TayModel {
+        TayModel::new(8, 4000, 10.0)
+    }
+
+    #[test]
+    fn workload_factor_formula() {
+        let m = model();
+        assert!((m.workload_factor(100.0) - 64.0 * 100.0 / 4000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rule_of_thumb_matches_inversion() {
+        let m = model();
+        // 1.5 * 4000 / 64 = 93.75 -> 93
+        assert_eq!(m.rule_of_thumb_mpl(), 93);
+        // And the factor at that MPL is below 1.5 while n+1 exceeds it.
+        assert!(m.workload_factor(93.0) < 1.5);
+        assert!(m.workload_factor(94.0) >= 1.5);
+    }
+
+    #[test]
+    fn blocked_is_quadratic_for_small_n() {
+        let m = model();
+        // b(n) ≈ k^2 n(n-1) / (4D); check the ratio b(2n)/b(n) ≈ 4 for small n.
+        let b10 = m.blocked(10.0);
+        let b20 = m.blocked(20.0);
+        let ratio = b20 / b10;
+        assert!(
+            (ratio - 20.0 * 19.0 / (10.0 * 9.0)).abs() < 1e-9,
+            "ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn no_blocking_with_single_transaction() {
+        let m = model();
+        assert_eq!(m.blocked(1.0), 0.0);
+        assert_eq!(m.conflict_probability(1.0), 0.0);
+        assert_eq!(m.active(1.0), 1.0);
+    }
+
+    #[test]
+    fn throughput_is_unimodal() {
+        let m = model();
+        let curve: Vec<f64> = (1..=600).map(|n| m.throughput(f64::from(n))).collect();
+        let peak_idx = curve
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        // Rises before the peak, falls after it.
+        assert!(peak_idx > 10 && peak_idx < 590, "peak at {peak_idx}");
+        assert!(curve[peak_idx / 2] < curve[peak_idx]);
+        assert!(curve[curve.len() - 1] < curve[peak_idx] * 0.8);
+    }
+
+    #[test]
+    fn thrashing_onset_near_rule_of_thumb() {
+        let m = model();
+        let onset = m.thrashing_onset(2000).expect("onset must exist");
+        let rot = m.rule_of_thumb_mpl();
+        // The db/dn > 1 point and the alpha = 1.5 point agree within a
+        // small factor (they are two renderings of the same criterion).
+        let ratio = f64::from(onset) / f64::from(rot);
+        assert!(
+            (0.5..=3.0).contains(&ratio),
+            "onset {onset} vs rule-of-thumb {rot}"
+        );
+    }
+
+    #[test]
+    fn blocked_never_exceeds_population() {
+        let m = TayModel::new(32, 100, 1.0);
+        for n in 1..=50 {
+            assert!(m.blocked(f64::from(n)) <= f64::from(n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot lock more granules")]
+    fn rejects_k_larger_than_db() {
+        TayModel::new(10, 5, 1.0);
+    }
+}

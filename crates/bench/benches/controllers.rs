@@ -1,0 +1,98 @@
+//! Per-update cost of each load controller — the control loop runs once
+//! per measurement interval, so these must be (and are) microseconds-cheap
+//! compared to the interval.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use alc_core::controller::{
+    Hybrid, HybridParams, IncrementalSteps, IsParams, IyerRule, IyerRuleParams, LoadController,
+    OuterParams, PaOuterParams, PaParams, ParabolaApproximation, SelfTuningIs, SelfTuningPa,
+};
+use alc_core::measure::Measurement;
+
+fn measurement(i: u64) -> Measurement {
+    let n = 100.0 + (i % 40) as f64;
+    Measurement {
+        departures: 200,
+        aborts: 10,
+        conflicts_per_txn: 0.4,
+        mean_response_ms: 250.0,
+        ..Measurement::basic(i as f64 * 2000.0, 2000.0, 130.0 + (i % 7) as f64, n)
+    }
+}
+
+fn bench_controllers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("controller_update");
+
+    g.bench_function("incremental_steps", |b| {
+        let mut ctrl = IncrementalSteps::new(IsParams::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(ctrl.update(&measurement(i)))
+        });
+    });
+
+    g.bench_function("parabola_approximation", |b| {
+        let mut ctrl = ParabolaApproximation::new(PaParams::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(ctrl.update(&measurement(i)))
+        });
+    });
+
+    g.bench_function("iyer_rule", |b| {
+        let mut ctrl = IyerRule::new(IyerRuleParams::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(ctrl.update(&measurement(i)))
+        });
+    });
+
+    g.bench_function("self_tuning_is", |b| {
+        let mut ctrl = SelfTuningIs::new(IsParams::default(), OuterParams::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(ctrl.update(&measurement(i)))
+        });
+    });
+
+    g.bench_function("self_tuning_pa", |b| {
+        let mut ctrl = SelfTuningPa::new(PaParams::default(), PaOuterParams::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(ctrl.update(&measurement(i)))
+        });
+    });
+
+    g.bench_function("hybrid_is_pa", |b| {
+        let mut ctrl = Hybrid::new(HybridParams::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(ctrl.update(&measurement(i)))
+        });
+    });
+
+    g.finish();
+}
+
+fn bench_rls(c: &mut Criterion) {
+    use alc_core::estimator::Rls;
+    c.bench_function("rls3_update", |b| {
+        let mut rls = Rls::<3>::new(0.95, 1e4);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let x = (i % 100) as f64 / 100.0;
+            black_box(rls.update(&[1.0, x, x * x], 100.0 + x))
+        });
+    });
+}
+
+criterion_group!(benches, bench_controllers, bench_rls);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! One bench per paper artifact: regenerates each figure at Quick scale
+//! so the full pipeline (simulate → measure → control → report) is
+//! exercised and timed by `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use alc_bench::{figures, Scale};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure_regeneration_quick");
+    g.sample_size(10);
+
+    g.bench_function("fig01_thrashing_curve", |b| {
+        b.iter(|| figures::fig01(Scale::Quick))
+    });
+    g.bench_function("fig02_surface", |b| b.iter(|| figures::fig02(Scale::Quick)));
+    g.bench_function("fig03_is_trajectory", |b| {
+        b.iter(|| figures::fig03(Scale::Quick, None))
+    });
+    g.bench_function("fig04_pa_fit", |b| b.iter(|| figures::fig04(Scale::Quick)));
+    g.bench_function("fig06_memory_shapes", |b| {
+        b.iter(|| figures::fig06(Scale::Quick))
+    });
+    g.bench_function("fig07_flat_hump", |b| {
+        b.iter(|| figures::fig07(Scale::Quick, None))
+    });
+    g.bench_function("fig08_abrupt_change", |b| {
+        b.iter(|| figures::fig08(Scale::Quick, None))
+    });
+    g.bench_function("sec6_indicators", |b| b.iter(|| figures::sec6(Scale::Quick)));
+    g.bench_function("fig12_with_without_control", |b| {
+        b.iter(|| figures::fig12(Scale::Quick))
+    });
+    g.bench_function("fig13_is_jump", |b| {
+        b.iter(|| figures::fig13(Scale::Quick, None))
+    });
+    g.bench_function("fig14_pa_jump", |b| {
+        b.iter(|| figures::fig14(Scale::Quick, None))
+    });
+    g.bench_function("sinus_tracking", |b| {
+        b.iter(|| figures::sinus(Scale::Quick, None))
+    });
+    g.bench_function("abl_victim_policies", |b| {
+        b.iter(|| figures::abl_victim(Scale::Quick))
+    });
+    g.bench_function("abl_hybrid_showdown", |b| {
+        b.iter(|| figures::abl_hybrid(Scale::Quick))
+    });
+    g.bench_function("abl_open_arrivals", |b| {
+        b.iter(|| figures::abl_open(Scale::Quick))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! AdaptiveGate acquire/release cost, uncontended and contended — the
+//! gate sits on every transaction's admission path.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use alc_core::gate::AdaptiveGate;
+
+fn bench_gate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gate");
+
+    g.bench_function("try_acquire_release_uncontended", |b| {
+        let gate = AdaptiveGate::new(64);
+        b.iter(|| {
+            let p = gate.try_acquire().expect("free slot");
+            black_box(&p);
+        });
+    });
+
+    g.bench_function("acquire_release_uncontended", |b| {
+        let gate = AdaptiveGate::new(64);
+        b.iter(|| {
+            let p = gate.acquire();
+            black_box(&p);
+        });
+    });
+
+    g.bench_function("set_limit", |b| {
+        let gate = AdaptiveGate::new(64);
+        let mut v = 64u32;
+        b.iter(|| {
+            v = if v == 64 { 65 } else { 64 };
+            gate.set_limit(black_box(v));
+        });
+    });
+
+    g.bench_function("acquire_release_4_threads", |b| {
+        b.iter_custom(|iters| {
+            let gate = Arc::new(AdaptiveGate::new(8));
+            let per_thread = iters / 4 + 1;
+            let start = std::time::Instant::now();
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let gate = Arc::clone(&gate);
+                    std::thread::spawn(move || {
+                        for _ in 0..per_thread {
+                            let p = gate.acquire_owned();
+                            black_box(&p);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            start.elapsed()
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_gate);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! End-to-end simulator throughput (simulated transactions per wall
+//! second) — bounds how long the paper-scale experiments take.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use alc_bench::figures::quick_system;
+use alc_tpsim::config::{CcKind, ControlConfig};
+use alc_tpsim::engine::Simulator;
+use alc_tpsim::workload::WorkloadConfig;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+
+    for cc in [
+        CcKind::Certification,
+        CcKind::TwoPhaseLocking,
+        CcKind::TimestampOrdering,
+    ] {
+        g.bench_function(format!("run_10s_sim_{cc:?}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = Simulator::new(
+                        quick_system(40, 7),
+                        WorkloadConfig::default(),
+                        cc,
+                        ControlConfig {
+                            initial_bound: u32::MAX,
+                            warmup_ms: 0.0,
+                            ..ControlConfig::default()
+                        },
+                        None,
+                    );
+                    sim.set_record_optimum(false);
+                    sim
+                },
+                |mut sim| sim.run_until(10_000.0),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! `repro` — regenerates every figure of Heiss & Wagner (VLDB 1991).
+//!
+//! ```text
+//! repro [--quick] [--out DIR] all
+//! repro [--quick] [--out DIR] fig01 fig12 abl-rules …
+//! repro list
+//! ```
+//!
+//! Tables print to stdout; per-figure CSVs (and trajectory CSVs for the
+//! dynamic experiments) land in `--out` (default `results/`).
+
+use std::path::PathBuf;
+
+use alc_bench::figures;
+use alc_bench::report::Report;
+use alc_bench::Scale;
+
+type Runner = fn(Scale, Option<&std::path::Path>) -> Report;
+
+fn catalog() -> Vec<(&'static str, &'static str, Runner)> {
+    vec![
+        ("fig01", "load–throughput function with thrashing", |s, _| {
+            figures::fig01(s)
+        }),
+        ("fig02", "performance surface P(n,t) under sinusoidal k", |s, _| {
+            figures::fig02(s)
+        }),
+        ("fig03", "IS zig-zag trajectory (stationary)", figures::fig03),
+        ("fig04", "PA parabola fit vs true curve", |s, _| figures::fig04(s)),
+        ("fig06", "estimator memory shapes", |s, _| figures::fig06(s)),
+        ("fig07", "flat-hump pathology + fallbacks", figures::fig07),
+        ("fig08", "abrupt shape change + covariance reset", figures::fig08),
+        ("sec6", "overload indicator comparison", |s, _| figures::sec6(s)),
+        ("fig12", "throughput with vs without control", |s, _| {
+            figures::fig12(s)
+        }),
+        ("fig13", "IS trajectory under optimum jump", figures::fig13),
+        ("fig14", "PA trajectory under optimum jump", figures::fig14),
+        ("sinus", "sinusoidal workload tracking", figures::sinus),
+        ("abl-dither", "PA dither amplitude ablation", |s, _| {
+            figures::abl_dither(s)
+        }),
+        ("abl-alpha", "Δt vs α trade-off ablation", |s, _| {
+            figures::abl_alpha(s)
+        }),
+        ("abl-displacement", "admission-only vs displacement", |s, _| {
+            figures::abl_displacement(s)
+        }),
+        ("abl-restart", "restart resampling ablation", |s, _| {
+            figures::abl_restart(s)
+        }),
+        ("abl-rules", "feedback vs rules of thumb", |s, _| {
+            figures::abl_rules(s)
+        }),
+        ("abl-is-failure", "IS growing-height failure (§5.1)", |s, _| {
+            figures::abl_is_failure(s)
+        }),
+        ("abl-hotspot", "Zipf hot-spot extension", |s, _| {
+            figures::abl_hotspot(s)
+        }),
+        ("abl-cc", "thrashing across CC protocols", |s, _| {
+            figures::abl_cc(s)
+        }),
+        ("abl-victim", "displacement victim policies (§4.3)", |s, _| {
+            figures::abl_victim(s)
+        }),
+        ("abl-hybrid", "IS/PA/outer-loops/hybrid showdown", |s, _| {
+            figures::abl_hybrid(s)
+        }),
+        ("abl-interval", "§5 interval sizing + CI coverage", |s, _| {
+            figures::abl_interval(s)
+        }),
+        ("abl-open", "open arrivals: goodput/loss vs offered load", |s, _| {
+            figures::abl_open(s)
+        }),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut out_dir = PathBuf::from("results");
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--out" => {
+                out_dir = PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "list" => {
+                for (id, title, _) in catalog() {
+                    println!("{id:<18} {title}");
+                }
+                return;
+            }
+            "all" => selected.extend(catalog().iter().map(|(id, _, _)| id.to_string())),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => selected.push(other.to_string()),
+        }
+    }
+    if selected.is_empty() {
+        eprintln!("usage: repro [--quick] [--out DIR] <all | list | fig01 fig12 ...>");
+        eprintln!("run `repro list` for the experiment catalog");
+        std::process::exit(2);
+    }
+
+    let catalog = catalog();
+    for want in &selected {
+        let Some((id, _, run)) = catalog.iter().find(|(id, _, _)| id == want) else {
+            eprintln!("unknown experiment `{want}` — try `repro list`");
+            std::process::exit(2);
+        };
+        let start = std::time::Instant::now();
+        let report = run(scale, Some(out_dir.as_path()));
+        let csv = report.write_csv(&out_dir).expect("write csv");
+        println!("{}", report.render());
+        println!(
+            "  [{} in {:.1}s, table → {}]\n",
+            id,
+            start.elapsed().as_secs_f64(),
+            csv.display()
+        );
+    }
+}

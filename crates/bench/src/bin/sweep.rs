@@ -1,0 +1,104 @@
+//! `sweep` — ad-hoc stationary bound sweeps for calibration and
+//! exploration.
+//!
+//! ```text
+//! sweep [--k K] [--write-frac W] [--query-frac Q] [--terminals N]
+//!       [--db D] [--cc cert|2pl|to] [--horizon-s S] [--bounds a,b,c,...]
+//! ```
+
+use alc_analytic::surface::Schedule;
+use alc_bench::figures::paper_system;
+use alc_bench::table::{num, render};
+use alc_tpsim::config::{CcKind, ControlConfig};
+use alc_tpsim::experiment::sweep_bounds;
+use alc_tpsim::workload::WorkloadConfig;
+
+fn main() {
+    let mut k = 8.0;
+    let mut write_frac = 0.25;
+    let mut query_frac = 0.2;
+    let mut terminals = 800u32;
+    let mut db = 2000u64;
+    let mut cc = CcKind::Certification;
+    let mut horizon_s = 140.0;
+    let mut bounds: Vec<u32> = vec![10, 25, 50, 75, 100, 125, 150, 200, 300, 400, 600, 800];
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().expect("flag needs a value");
+        match a.as_str() {
+            "--k" => k = val().parse().expect("k"),
+            "--write-frac" => write_frac = val().parse().expect("write-frac"),
+            "--query-frac" => query_frac = val().parse().expect("query-frac"),
+            "--terminals" => terminals = val().parse().expect("terminals"),
+            "--db" => db = val().parse().expect("db"),
+            "--horizon-s" => horizon_s = val().parse().expect("horizon-s"),
+            "--cc" => {
+                cc = match val().as_str() {
+                    "cert" => CcKind::Certification,
+                    "2pl" => CcKind::TwoPhaseLocking,
+                    "to" => CcKind::TimestampOrdering,
+                    other => panic!("unknown cc {other}"),
+                }
+            }
+            "--bounds" => {
+                bounds = val()
+                    .split(',')
+                    .map(|s| s.parse().expect("bound"))
+                    .collect();
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut sys = paper_system(terminals, 0x5EEE);
+    sys.db_size = db;
+    let workload = WorkloadConfig {
+        k: Schedule::Constant(k),
+        query_frac: Schedule::Constant(query_frac),
+        write_frac: Schedule::Constant(write_frac),
+        ..WorkloadConfig::default()
+    };
+    let ctl = ControlConfig::default();
+    let pts = sweep_bounds(&sys, &workload, cc, &bounds, &ctl, horizon_s * 1000.0);
+
+    let model = workload.occ_model_at(0.0, &sys);
+    let curve = model.curve(bounds.iter().copied().max().unwrap_or(800).max(2));
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.x.to_string(),
+                num(p.stats.throughput_per_sec),
+                num(curve.throughput(f64::from(p.x)) * 1000.0),
+                num(p.stats.abort_ratio),
+                num(p.stats.mean_response_ms),
+                num(p.stats.cpu_utilization),
+                num(p.stats.conflicts_per_commit),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "bound",
+                "T_sim/s",
+                "T_mva/s",
+                "abort_ratio",
+                "resp_ms",
+                "cpu",
+                "confl/commit"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "analytic optimum: {}  (k={k}, q={query_frac}, w={write_frac}, D={db})",
+        curve.optimal_mpl()
+    );
+}

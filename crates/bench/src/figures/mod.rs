@@ -1,0 +1,102 @@
+//! One runner per paper artifact. See DESIGN.md §3 for the experiment
+//! index mapping each `figXX` id to the paper's figure and EXPERIMENTS.md
+//! for recorded paper-vs-measured outcomes.
+
+mod ablation;
+mod dynamic;
+mod stationary;
+
+pub use ablation::{
+    abl_alpha, abl_cc, abl_displacement, abl_dither, abl_hotspot, abl_hybrid, abl_interval,
+    abl_is_failure, abl_open, abl_restart, abl_rules, abl_victim,
+};
+pub use dynamic::{fig03, fig07, fig08, fig13, fig14, sinus};
+pub use stationary::{fig01, fig02, fig04, fig06, fig12, sec6};
+
+use alc_core::controller::{IsParams, PaParams};
+use alc_tpsim::config::{ControlConfig, SystemConfig};
+
+use crate::Scale;
+
+/// The paper-scale physical configuration (calibration documented in
+/// DESIGN.md: Yu-et-al. trace parameters are not public, so values are
+/// chosen to land the optimum MPL in the low hundreds with a load axis to
+/// 800, matching the figures' axes).
+pub fn paper_system(terminals: u32, seed: u64) -> SystemConfig {
+    SystemConfig {
+        terminals,
+        seed,
+        ..SystemConfig::default()
+    }
+}
+
+/// A CI-scale configuration: same shape, ~10× smaller and faster.
+pub fn quick_system(terminals: u32, seed: u64) -> SystemConfig {
+    SystemConfig {
+        terminals,
+        cpus: 4,
+        db_size: 300,
+        think: alc_des::dist::Dist::exponential(300.0),
+        disk_access: alc_des::dist::Dist::constant(3.0),
+        disk_init_commit: alc_des::dist::Dist::constant(40.0),
+        seed,
+        ..SystemConfig::default()
+    }
+}
+
+/// System for the given scale.
+pub fn system(scale: Scale, terminals_full: u32, seed: u64) -> SystemConfig {
+    match scale {
+        Scale::Full => paper_system(terminals_full, seed),
+        Scale::Quick => quick_system(terminals_full.min(40), seed),
+    }
+}
+
+/// Measurement/control configuration for the given scale.
+pub fn control(scale: Scale) -> ControlConfig {
+    ControlConfig {
+        sample_interval_ms: scale.pick_ms(2000.0, 500.0),
+        warmup_ms: scale.pick_ms(20_000.0, 2_000.0),
+        ..ControlConfig::default()
+    }
+}
+
+/// The paper-scale bound range.
+pub fn max_bound(scale: Scale) -> u32 {
+    scale.pick(800, 60)
+}
+
+/// Baseline IS tuning used across experiments.
+pub fn is_params(scale: Scale) -> IsParams {
+    IsParams {
+        initial_bound: scale.pick(50, 5),
+        min_bound: 1,
+        max_bound: max_bound(scale),
+        beta: 1.0,
+        gamma: 4.0,
+        delta: 16.0,
+        min_step: 2.0,
+        max_step: 48.0,
+        smoothing: 1.0,
+    }
+}
+
+/// Baseline PA tuning used across experiments.
+pub fn pa_params(scale: Scale) -> PaParams {
+    PaParams {
+        initial_bound: scale.pick(50, 5),
+        min_bound: 1,
+        max_bound: max_bound(scale),
+        alpha: 0.95,
+        dither_amplitude: scale.pick_ms(8.0, 2.0),
+        max_step: 48.0,
+        warmup_samples: 8,
+        warmup_step: scale.pick_ms(8.0, 2.0),
+        ..PaParams::default()
+    }
+}
+
+/// Simulation horizon for stationary sweeps.
+pub fn sweep_horizon(scale: Scale) -> f64 {
+    scale.pick_ms(140_000.0, 8_000.0)
+}

@@ -1,0 +1,105 @@
+//! Experiment reports: a table, free-form notes, and optional CSV output.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::table;
+
+/// The result of one experiment run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id (`fig12`, `abl-dither`, …).
+    pub id: String,
+    /// One-line description (what the paper artifact shows).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Preformatted charts rendered verbatim between table and notes
+    /// (ASCII trajectory plots for the figure experiments).
+    pub charts: Vec<String>,
+    /// Headline findings appended under the table — these are the
+    /// paper-vs-measured statements EXPERIMENTS.md quotes.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            charts: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row of already-formatted cells.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Appends a preformatted chart (rendered verbatim after the table).
+    pub fn chart(&mut self, s: impl Into<String>) {
+        self.charts.push(s.into());
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders the report as text.
+    pub fn render(&self) -> String {
+        let headers: Vec<&str> = self.headers.iter().map(|s| s.as_str()).collect();
+        let mut out = format!("== {} — {}\n\n", self.id, self.title);
+        out.push_str(&table::render(&headers, &self.rows));
+        for c in &self.charts {
+            out.push('\n');
+            out.push_str(c);
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str(&format!("  * {n}\n"));
+            }
+        }
+        out
+    }
+
+    /// Writes the table as `<dir>/<id>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        f.flush()?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_render_and_csv() {
+        let mut r = Report::new("figX", "demo", &["a", "b"]);
+        r.push_row(vec!["1".into(), "2".into()]);
+        r.note("note line");
+        let text = r.render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("note line"));
+
+        let dir = std::env::temp_dir().join("alc_bench_test_csv");
+        let path = r.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+    }
+}

@@ -1,0 +1,93 @@
+//! Plain-text table rendering for experiment output.
+
+/// Renders rows as an aligned text table with a header line.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            // Right-align numbers, left-align text.
+            if cell.parse::<f64>().is_ok() {
+                line.push_str(&format!("{cell:>w$}"));
+            } else {
+                line.push_str(&format!("{cell:<w$}"));
+            }
+        }
+        line
+    };
+    let headers_owned: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&headers_owned, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with a sensible number of digits for tables.
+pub fn num(v: f64) -> String {
+    if !v.is_finite() {
+        return "-".to_string();
+    }
+    let a = v.abs();
+    if a >= 1000.0 || (a - a.round()).abs() < 1e-9 && a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else if a >= 0.1 {
+        format!("{v:.2}")
+    } else if a == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = render(
+            &["name", "value"],
+            &[
+                vec!["alpha".into(), "1.5".into()],
+                vec!["b".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("alpha"));
+    }
+
+    #[test]
+    fn num_formatting() {
+        // {:.0} rounds half-to-even.
+        assert_eq!(num(1234.5), "1234");
+        assert_eq!(num(1235.5), "1236");
+        assert_eq!(num(12.34), "12.3");
+        assert_eq!(num(1.234), "1.23");
+        assert_eq!(num(0.01234), "0.0123");
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(f64::NAN), "-");
+    }
+}

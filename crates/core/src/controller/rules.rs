@@ -1,0 +1,301 @@
+//! The "theoretically derived rules of thumb" of §1, as controllers.
+//!
+//! The paper's position: "Tay et al. claim that k²n/D should be less than
+//! 1.5 … Iyer suggests that the mean number of conflicts per transaction
+//! should not exceed 0.75. … the question is whether these bounds actually
+//! apply to all possible load situations. As long as no detailed
+//! examinations of these rules are available, they have to be considered
+//! with caution." Implementing them makes that caution measurable — the
+//! ablation experiments race them against the feedback controllers.
+//!
+//! * [`TayRule`] needs to *know* the workload (`k`, `D`): it is an open-
+//!   loop rule. When the workload shifts, somebody must tell it (in the
+//!   experiments the harness does, simulating a perfectly informed
+//!   operator — the strongest possible version of the rule).
+//! * [`IyerRule`] is closed-loop: it watches the measured conflicts per
+//!   transaction and steers the bound multiplicatively toward the 0.75
+//!   target, with an additive-increase exploration term when conflicts sit
+//!   below target.
+
+use super::{clamp_bound, LoadController};
+use crate::measure::Measurement;
+
+/// Tay's `k²n/D < 1.5` rule as an (open-loop) controller.
+#[derive(Debug, Clone)]
+pub struct TayRule {
+    k: f64,
+    db_size: f64,
+    threshold: f64,
+    min_bound: u32,
+    max_bound: u32,
+    bound: u32,
+}
+
+impl TayRule {
+    /// Creates the rule for a workload with `k` accesses per transaction
+    /// on a database of `db_size` items, with the canonical 1.5 threshold.
+    pub fn new(k: u32, db_size: u64, min_bound: u32, max_bound: u32) -> Self {
+        Self::with_threshold(k, db_size, 1.5, min_bound, max_bound)
+    }
+
+    /// Creates the rule with a custom threshold on `k²n/D`.
+    pub fn with_threshold(
+        k: u32,
+        db_size: u64,
+        threshold: f64,
+        min_bound: u32,
+        max_bound: u32,
+    ) -> Self {
+        assert!(k > 0 && db_size > 0 && threshold > 0.0);
+        assert!(min_bound >= 1 && min_bound <= max_bound);
+        let mut rule = TayRule {
+            k: f64::from(k),
+            db_size: db_size as f64,
+            threshold,
+            min_bound,
+            max_bound,
+            bound: min_bound,
+        };
+        rule.recompute();
+        rule
+    }
+
+    /// Informs the rule that the workload changed (the open-loop part:
+    /// in reality an operator or catalog statistics would supply this).
+    pub fn set_workload(&mut self, k: u32, db_size: u64) {
+        assert!(k > 0 && db_size > 0);
+        self.k = f64::from(k);
+        self.db_size = db_size as f64;
+        self.recompute();
+    }
+
+    fn recompute(&mut self) {
+        let n = self.threshold * self.db_size / (self.k * self.k);
+        self.bound = clamp_bound(n.floor(), self.min_bound, self.max_bound);
+    }
+}
+
+impl LoadController for TayRule {
+    fn name(&self) -> &'static str {
+        "tay-rule"
+    }
+
+    fn update(&mut self, _m: &Measurement) -> u32 {
+        self.bound
+    }
+
+    fn current_bound(&self) -> u32 {
+        self.bound
+    }
+
+    fn reset(&mut self) {
+        self.recompute();
+    }
+}
+
+/// Parameters of the Iyer-rule feedback controller.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct IyerRuleParams {
+    /// Target mean conflicts per transaction (Iyer: 0.75).
+    pub target: f64,
+    /// Additive bound increase per interval while conflicts are below
+    /// target (exploration).
+    pub increase: f64,
+    /// Bound in force before the first measurement.
+    pub initial_bound: u32,
+    /// Static lower bound.
+    pub min_bound: u32,
+    /// Static upper bound.
+    pub max_bound: u32,
+}
+
+impl Default for IyerRuleParams {
+    fn default() -> Self {
+        IyerRuleParams {
+            target: 0.75,
+            increase: 4.0,
+            initial_bound: 10,
+            min_bound: 1,
+            max_bound: 1000,
+        }
+    }
+}
+
+/// Iyer's conflicts-per-transaction rule as a feedback controller:
+/// multiplicative decrease when over target, additive increase when under.
+#[derive(Debug, Clone)]
+pub struct IyerRule {
+    params: IyerRuleParams,
+    bound: f64,
+}
+
+impl IyerRule {
+    /// Creates the controller.
+    pub fn new(params: IyerRuleParams) -> Self {
+        assert!(params.target > 0.0);
+        assert!(params.min_bound >= 1 && params.min_bound <= params.max_bound);
+        assert!((params.min_bound..=params.max_bound).contains(&params.initial_bound));
+        IyerRule {
+            params,
+            bound: f64::from(params.initial_bound),
+        }
+    }
+}
+
+impl LoadController for IyerRule {
+    fn name(&self) -> &'static str {
+        "iyer-rule"
+    }
+
+    fn update(&mut self, m: &Measurement) -> u32 {
+        let p = self.params;
+        let c = m.conflicts_per_txn;
+        if c > p.target {
+            // Conflicts scale ~linearly with MPL, so scaling the bound by
+            // target/c aims straight at the target.
+            let basis = if m.observed_mpl > 1.0 {
+                m.observed_mpl
+            } else {
+                self.bound
+            };
+            self.bound = (basis * p.target / c).max(1.0);
+        } else {
+            self.bound += p.increase;
+        }
+        self.bound = self
+            .bound
+            .clamp(f64::from(p.min_bound), f64::from(p.max_bound));
+        clamp_bound(self.bound, p.min_bound, p.max_bound)
+    }
+
+    fn current_bound(&self) -> u32 {
+        clamp_bound(self.bound, self.params.min_bound, self.params.max_bound)
+    }
+
+    fn reset(&mut self) {
+        self.bound = f64::from(self.params.initial_bound);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tay_rule_computes_the_formula() {
+        // n = 1.5 * 4000 / 64 = 93.75 -> 93
+        let rule = TayRule::new(8, 4000, 1, 1000);
+        assert_eq!(rule.current_bound(), 93);
+    }
+
+    #[test]
+    fn tay_rule_tracks_workload_updates() {
+        let mut rule = TayRule::new(8, 4000, 1, 1000);
+        rule.set_workload(16, 4000);
+        // 1.5 * 4000 / 256 = 23.4 -> 23
+        assert_eq!(rule.current_bound(), 23);
+    }
+
+    #[test]
+    fn tay_rule_clamps() {
+        let rule = TayRule::new(2, 1_000_000, 1, 200);
+        assert_eq!(rule.current_bound(), 200);
+        let rule = TayRule::new(100, 100, 5, 200);
+        assert_eq!(rule.current_bound(), 5);
+    }
+
+    #[test]
+    fn tay_rule_update_ignores_measurements() {
+        let mut rule = TayRule::new(8, 4000, 1, 1000);
+        let m = Measurement {
+            conflicts_per_txn: 50.0,
+            ..Measurement::basic(0.0, 1.0, 0.0, 500.0)
+        };
+        assert_eq!(rule.update(&m), 93);
+    }
+
+    #[test]
+    fn iyer_rule_decreases_over_target() {
+        let mut rule = IyerRule::new(IyerRuleParams {
+            initial_bound: 100,
+            ..IyerRuleParams::default()
+        });
+        let m = Measurement {
+            conflicts_per_txn: 1.5,
+            ..Measurement::basic(0.0, 1.0, 0.0, 100.0)
+        };
+        // 100 * 0.75/1.5 = 50
+        assert_eq!(rule.update(&m), 50);
+    }
+
+    #[test]
+    fn iyer_rule_increases_under_target() {
+        let mut rule = IyerRule::new(IyerRuleParams {
+            initial_bound: 100,
+            increase: 5.0,
+            ..IyerRuleParams::default()
+        });
+        let m = Measurement {
+            conflicts_per_txn: 0.1,
+            ..Measurement::basic(0.0, 1.0, 0.0, 100.0)
+        };
+        assert_eq!(rule.update(&m), 105);
+    }
+
+    #[test]
+    fn iyer_rule_converges_on_linear_conflict_model() {
+        // conflicts = 0.01 * n: the fixed point of the rule is n = 75.
+        let mut rule = IyerRule::new(IyerRuleParams {
+            initial_bound: 400,
+            max_bound: 600,
+            ..IyerRuleParams::default()
+        });
+        let mut bound = rule.current_bound();
+        for i in 0..200 {
+            let n = f64::from(bound);
+            let m = Measurement {
+                conflicts_per_txn: 0.01 * n,
+                ..Measurement::basic(f64::from(i), 1.0, 0.0, n)
+            };
+            bound = rule.update(&m);
+        }
+        assert!(
+            (f64::from(bound) - 75.0).abs() <= 6.0,
+            "fixed point missed: {bound}"
+        );
+    }
+
+    #[test]
+    fn iyer_rule_respects_bounds() {
+        let mut rule = IyerRule::new(IyerRuleParams {
+            initial_bound: 10,
+            min_bound: 5,
+            max_bound: 20,
+            ..IyerRuleParams::default()
+        });
+        for _ in 0..10 {
+            let m = Measurement {
+                conflicts_per_txn: 0.0,
+                ..Measurement::basic(0.0, 1.0, 0.0, 10.0)
+            };
+            assert!(rule.update(&m) <= 20);
+        }
+        let m = Measurement {
+            conflicts_per_txn: 1000.0,
+            ..Measurement::basic(0.0, 1.0, 0.0, 20.0)
+        };
+        assert!(rule.update(&m) >= 5);
+    }
+
+    #[test]
+    fn iyer_reset() {
+        let mut rule = IyerRule::new(IyerRuleParams::default());
+        let m = Measurement {
+            conflicts_per_txn: 0.0,
+            ..Measurement::basic(0.0, 1.0, 0.0, 10.0)
+        };
+        rule.update(&m);
+        rule.reset();
+        assert_eq!(rule.current_bound(), IyerRuleParams::default().initial_bound);
+    }
+}

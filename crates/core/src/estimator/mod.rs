@@ -1,0 +1,16 @@
+//! Numerical estimation machinery behind the controllers.
+//!
+//! * [`Rls`] — recursive least squares with exponentially fading memory
+//!   (Young 1984), the engine of the Parabola Approximation (§4.2).
+//! * [`Ewma`] — exponentially weighted moving average, optional smoothing
+//!   of noisy performance measurements (§5 stability/responsiveness).
+//! * [`quadratic`] — interpreting a fitted degree-2 polynomial: vertex,
+//!   concavity, and the memory-shape calculations behind Figure 6.
+
+mod ewma;
+
+pub mod quadratic;
+pub mod rls;
+
+pub use ewma::Ewma;
+pub use rls::{Rls, RlsSnapshot};

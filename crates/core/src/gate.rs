@@ -1,0 +1,493 @@
+//! The admission-control gate (§4.3).
+//!
+//! "The admission to the transaction processing system is controlled by a
+//! 'gate' that accepts an arriving transaction if and only if the actual
+//! load n is below the current threshold n*. Otherwise the transaction has
+//! to wait in a FCFS-queue. Waiting transactions are admitted as soon as
+//! n < n* holds again."
+//!
+//! [`AdaptiveGate`] is that mechanism as a real, thread-safe concurrency
+//! limiter — usable in an actual server, not only in the simulator (which
+//! has its own event-driven gate in `alc-tpsim`). Properties:
+//!
+//! * **FCFS fairness**: admissions happen strictly in arrival order
+//!   (ticket-based), matching the paper's queue discipline.
+//! * **Live limit updates**: a controller thread can lower or raise `n*`
+//!   at any time; raising wakes waiters immediately. Lowering never aborts
+//!   running work — the paper's recommended admission-only realization
+//!   ("not displacing transactions has a smoothing effect … that supports
+//!   controller stability"); the population drains to the new limit by
+//!   normal departures.
+//! * **RAII permits**: dropping a [`Permit`]/[`OwnedPermit`] releases the
+//!   slot, so a panicking worker cannot leak MPL capacity.
+//! * **Wait statistics** for the measurement pipeline.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Snapshot of the gate's counters.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GateStats {
+    /// Current admission limit `n*`.
+    pub limit: u32,
+    /// Permits currently held (the actual load `n`).
+    pub in_use: u32,
+    /// Arrivals currently blocked in the FCFS queue.
+    pub waiting: u32,
+    /// Total admissions since construction.
+    pub total_admitted: u64,
+    /// Acquisitions abandoned (timeout) since construction.
+    pub total_abandoned: u64,
+    /// Mean time admitted arrivals spent queued, milliseconds.
+    pub mean_wait_ms: f64,
+}
+
+#[derive(Debug)]
+struct State {
+    limit: u32,
+    in_use: u32,
+    next_ticket: u64,
+    serving: u64,
+    abandoned: HashSet<u64>,
+    waiting: u32,
+    total_admitted: u64,
+    total_abandoned: u64,
+    wait_sum_ms: f64,
+    wait_count: u64,
+}
+
+impl State {
+    /// Skips over tickets whose owners gave up so the queue never stalls
+    /// behind a ghost.
+    fn advance_past_abandoned(&mut self) {
+        while self.abandoned.remove(&self.serving) {
+            self.serving += 1;
+        }
+    }
+
+    fn head_can_enter(&self, ticket: u64) -> bool {
+        self.serving == ticket && self.in_use < self.limit
+    }
+
+    fn admit(&mut self, waited: Duration) {
+        self.serving += 1;
+        self.in_use += 1;
+        self.total_admitted += 1;
+        self.wait_sum_ms += waited.as_secs_f64() * 1000.0;
+        self.wait_count += 1;
+        self.advance_past_abandoned();
+    }
+}
+
+/// A thread-safe, FIFO-fair concurrency limiter with a live-updatable
+/// limit. See the module docs for the design rationale.
+#[derive(Debug)]
+pub struct AdaptiveGate {
+    state: Mutex<State>,
+    cond: Condvar,
+}
+
+impl AdaptiveGate {
+    /// Creates a gate admitting at most `limit` concurrent holders.
+    pub fn new(limit: u32) -> Self {
+        AdaptiveGate {
+            state: Mutex::new(State {
+                limit,
+                in_use: 0,
+                next_ticket: 0,
+                serving: 0,
+                abandoned: HashSet::new(),
+                waiting: 0,
+                total_admitted: 0,
+                total_abandoned: 0,
+                wait_sum_ms: 0.0,
+                wait_count: 0,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Blocks until admitted; returns a permit that releases on drop.
+    pub fn acquire(&self) -> Permit<'_> {
+        self.acquire_inner(None)
+            .expect("acquire without deadline cannot time out");
+        Permit { gate: self }
+    }
+
+    /// Blocks until admitted or until `timeout` elapses.
+    pub fn acquire_timeout(&self, timeout: Duration) -> Option<Permit<'_>> {
+        self.acquire_inner(Some(Instant::now() + timeout))
+            .map(|()| Permit { gate: self })
+    }
+
+    /// Like [`AdaptiveGate::acquire`] but returns an `Arc`-owning permit
+    /// that can move across threads and outlive the caller's borrow.
+    pub fn acquire_owned(self: &Arc<Self>) -> OwnedPermit {
+        self.acquire_inner(None)
+            .expect("acquire without deadline cannot time out");
+        OwnedPermit {
+            gate: Arc::clone(self),
+        }
+    }
+
+    /// Admits immediately if the queue is empty and capacity is free;
+    /// never blocks and never jumps the FCFS queue.
+    pub fn try_acquire(&self) -> Option<Permit<'_>> {
+        let mut s = self.state.lock();
+        s.advance_past_abandoned();
+        if s.serving == s.next_ticket && s.in_use < s.limit {
+            s.next_ticket += 1;
+            s.admit(Duration::ZERO);
+            Some(Permit { gate: self })
+        } else {
+            None
+        }
+    }
+
+    fn acquire_inner(&self, deadline: Option<Instant>) -> Option<()> {
+        let start = Instant::now();
+        let mut s = self.state.lock();
+        let ticket = s.next_ticket;
+        s.next_ticket += 1;
+        s.advance_past_abandoned();
+        if s.head_can_enter(ticket) {
+            s.admit(Duration::ZERO);
+            return Some(());
+        }
+        s.waiting += 1;
+        loop {
+            match deadline {
+                None => self.cond.wait(&mut s),
+                Some(d) => {
+                    if self.cond.wait_until(&mut s, d).timed_out() {
+                        s.advance_past_abandoned();
+                        if s.head_can_enter(ticket) {
+                            // Won the race at the deadline: still admitted.
+                            s.waiting -= 1;
+                            s.admit(start.elapsed());
+                            drop(s);
+                            self.cond.notify_all();
+                            return Some(());
+                        }
+                        s.waiting -= 1;
+                        s.total_abandoned += 1;
+                        s.abandoned.insert(ticket);
+                        s.advance_past_abandoned();
+                        drop(s);
+                        self.cond.notify_all();
+                        return None;
+                    }
+                }
+            }
+            s.advance_past_abandoned();
+            if s.head_can_enter(ticket) {
+                s.waiting -= 1;
+                s.admit(start.elapsed());
+                drop(s);
+                // The next ticket holder may also fit (e.g. after a limit
+                // raise); cascade the wake-up.
+                self.cond.notify_all();
+                return Some(());
+            }
+        }
+    }
+
+    fn release(&self) {
+        let mut s = self.state.lock();
+        debug_assert!(s.in_use > 0, "release without a held permit");
+        s.in_use = s.in_use.saturating_sub(1);
+        drop(s);
+        self.cond.notify_all();
+    }
+
+    /// Replaces the admission limit `n*`. Raising it wakes queued
+    /// arrivals; lowering it only affects future admissions (no
+    /// displacement — §4.3).
+    pub fn set_limit(&self, limit: u32) {
+        let mut s = self.state.lock();
+        s.limit = limit;
+        drop(s);
+        self.cond.notify_all();
+    }
+
+    /// The current admission limit.
+    pub fn limit(&self) -> u32 {
+        self.state.lock().limit
+    }
+
+    /// Permits currently held.
+    pub fn in_use(&self) -> u32 {
+        self.state.lock().in_use
+    }
+
+    /// A consistent snapshot of all counters.
+    pub fn stats(&self) -> GateStats {
+        let s = self.state.lock();
+        GateStats {
+            limit: s.limit,
+            in_use: s.in_use,
+            waiting: s.waiting,
+            total_admitted: s.total_admitted,
+            total_abandoned: s.total_abandoned,
+            mean_wait_ms: if s.wait_count == 0 {
+                0.0
+            } else {
+                s.wait_sum_ms / s.wait_count as f64
+            },
+        }
+    }
+}
+
+/// A borrowed admission permit; releases its slot on drop.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a AdaptiveGate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+/// An owning admission permit (`Arc`-backed); releases its slot on drop.
+#[derive(Debug)]
+pub struct OwnedPermit {
+    gate: Arc<AdaptiveGate>,
+}
+
+impl Drop for OwnedPermit {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicI32, AtomicU32, Ordering};
+    use std::thread;
+
+    #[test]
+    fn basic_acquire_release() {
+        let gate = AdaptiveGate::new(2);
+        let p1 = gate.acquire();
+        let p2 = gate.acquire();
+        assert_eq!(gate.in_use(), 2);
+        assert!(gate.try_acquire().is_none());
+        drop(p1);
+        assert_eq!(gate.in_use(), 1);
+        let p3 = gate.try_acquire();
+        assert!(p3.is_some());
+        drop(p2);
+        drop(p3);
+        assert_eq!(gate.in_use(), 0);
+    }
+
+    #[test]
+    fn permit_drop_on_panic_path_releases() {
+        let gate = AdaptiveGate::new(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _p = gate.acquire();
+            panic!("worker died");
+        }));
+        assert!(result.is_err());
+        // The permit must have been returned.
+        assert_eq!(gate.in_use(), 0);
+        let _p = gate.try_acquire().expect("slot must be free again");
+    }
+
+    #[test]
+    fn never_exceeds_limit_under_contention() {
+        let gate = Arc::new(AdaptiveGate::new(4));
+        let concurrent = Arc::new(AtomicI32::new(0));
+        let peak = Arc::new(AtomicI32::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let gate = Arc::clone(&gate);
+            let concurrent = Arc::clone(&concurrent);
+            let peak = Arc::clone(&peak);
+            handles.push(thread::spawn(move || {
+                for _ in 0..50 {
+                    let _p = gate.acquire_owned();
+                    let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::yield_now();
+                    concurrent.fetch_sub(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 4, "peak {:?}", peak);
+        assert_eq!(gate.in_use(), 0);
+        assert_eq!(gate.stats().total_admitted, 16 * 50);
+    }
+
+    #[test]
+    fn fifo_admission_order() {
+        let gate = Arc::new(AdaptiveGate::new(1));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let blocker = gate.acquire();
+        let started = Arc::new(AtomicU32::new(0));
+        let mut handles = Vec::new();
+        for i in 0..5u32 {
+            let gate = Arc::clone(&gate);
+            let order = Arc::clone(&order);
+            let started = Arc::clone(&started);
+            handles.push(thread::spawn(move || {
+                // Serialize queue entry so ticket order == i order.
+                while started.load(Ordering::SeqCst) != i {
+                    std::hint::spin_loop();
+                }
+                let handle = thread::spawn({
+                    let gate = Arc::clone(&gate);
+                    let order = Arc::clone(&order);
+                    move || {
+                        let _p = gate.acquire_owned();
+                        order.lock().push(i);
+                    }
+                });
+                // Give the inner thread time to enqueue before releasing
+                // the next spawner.
+                while gate.stats().waiting <= i {
+                    std::thread::yield_now();
+                }
+                started.store(i + 1, Ordering::SeqCst);
+                handle.join().unwrap();
+            }));
+        }
+        while gate.stats().waiting < 5 {
+            std::thread::yield_now();
+        }
+        drop(blocker);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn raising_limit_wakes_waiters() {
+        let gate = Arc::new(AdaptiveGate::new(0));
+        let admitted = Arc::new(AtomicU32::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let gate = Arc::clone(&gate);
+            let admitted = Arc::clone(&admitted);
+            handles.push(thread::spawn(move || {
+                let _p = gate.acquire_owned();
+                admitted.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        while gate.stats().waiting < 3 {
+            std::thread::yield_now();
+        }
+        assert_eq!(admitted.load(Ordering::SeqCst), 0);
+        gate.set_limit(3);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(admitted.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn lowering_limit_is_admission_only() {
+        // Holders are never displaced; in_use may exceed the new limit
+        // until permits drain.
+        let gate = AdaptiveGate::new(2);
+        let p1 = gate.acquire();
+        let p2 = gate.acquire();
+        gate.set_limit(1);
+        assert_eq!(gate.in_use(), 2, "no displacement on limit drop");
+        assert!(gate.try_acquire().is_none());
+        drop(p1);
+        assert!(gate.try_acquire().is_none(), "still at the new limit");
+        drop(p2);
+        assert!(gate.try_acquire().is_some());
+    }
+
+    #[test]
+    fn timeout_gives_up_and_queue_moves_on() {
+        let gate = Arc::new(AdaptiveGate::new(1));
+        let blocker = gate.acquire();
+        // This waiter times out…
+        assert!(gate
+            .acquire_timeout(Duration::from_millis(30))
+            .is_none());
+        assert_eq!(gate.stats().total_abandoned, 1);
+        // …and must not wedge the queue for the next arrival.
+        let gate2 = Arc::clone(&gate);
+        let h = thread::spawn(move || {
+            let _p = gate2.acquire_owned();
+        });
+        drop(blocker);
+        h.join().unwrap();
+        assert_eq!(gate.in_use(), 0);
+    }
+
+    #[test]
+    fn timeout_zero_on_free_gate_still_admits() {
+        let gate = AdaptiveGate::new(1);
+        let p = gate.acquire_timeout(Duration::ZERO);
+        assert!(p.is_some());
+    }
+
+    #[test]
+    fn try_acquire_respects_queue() {
+        let gate = Arc::new(AdaptiveGate::new(1));
+        let blocker = gate.acquire();
+        let gate2 = Arc::clone(&gate);
+        let h = thread::spawn(move || {
+            let _p = gate2.acquire_owned();
+        });
+        while gate.stats().waiting < 1 {
+            std::thread::yield_now();
+        }
+        drop(blocker);
+        // Even the instant the slot frees, try_acquire must not overtake
+        // the queued waiter.
+        let stolen = gate.try_acquire();
+        assert!(
+            stolen.is_none() || gate.stats().waiting == 0,
+            "try_acquire jumped the FCFS queue"
+        );
+        drop(stolen);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn stats_track_waiting_and_wait_time() {
+        let gate = Arc::new(AdaptiveGate::new(1));
+        let blocker = gate.acquire();
+        let gate2 = Arc::clone(&gate);
+        let h = thread::spawn(move || {
+            let _p = gate2.acquire_owned();
+        });
+        while gate.stats().waiting < 1 {
+            std::thread::yield_now();
+        }
+        thread::sleep(Duration::from_millis(20));
+        drop(blocker);
+        h.join().unwrap();
+        let stats = gate.stats();
+        assert_eq!(stats.waiting, 0);
+        assert_eq!(stats.total_admitted, 2);
+        assert!(
+            stats.mean_wait_ms >= 5.0,
+            "queued thread waited ~20ms, stats say {}",
+            stats.mean_wait_ms
+        );
+    }
+
+    #[test]
+    fn zero_limit_blocks_everyone() {
+        let gate = AdaptiveGate::new(0);
+        assert!(gate.try_acquire().is_none());
+        assert!(gate.acquire_timeout(Duration::from_millis(10)).is_none());
+    }
+}

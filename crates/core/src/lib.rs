@@ -1,0 +1,70 @@
+//! `alc-core` — adaptive load control for transaction processing systems.
+//!
+//! This crate is the reproduction's primary contribution, after Heiss &
+//! Wagner, *Adaptive Load Control in Transaction Processing Systems*,
+//! VLDB 1991: feedback controllers that adjust an upper bound `n*` on the
+//! number of concurrently running transactions (the multiprogramming
+//! level, MPL) so the system sits at the peak of its load–throughput
+//! function instead of thrashing beyond it.
+//!
+//! # The pieces
+//!
+//! * [`controller`] — the [`controller::LoadController`] trait and its
+//!   implementations:
+//!   [`controller::IncrementalSteps`] (§4.1, zig-zag ridge tracking),
+//!   [`controller::ParabolaApproximation`] (§4.2, recursive least squares
+//!   with exponentially fading memory and vertex seeking), plus the
+//!   baselines the paper argues against: a fixed bound, no bound, Tay's
+//!   `k²n/D < 1.5` rule and Iyer's `conflicts/txn ≤ 0.75` rule (§1).
+//! * [`estimator`] — the numerical machinery: RLS with forgetting
+//!   ([`estimator::Rls`]), EWMA smoothing, quadratic-model utilities.
+//! * [`measure`] — the [`measure::Measurement`] fed to controllers once
+//!   per interval, and the performance indicators of §6.
+//! * [`sampler`] — building measurements from raw departure events,
+//!   including the adaptive interval sizing of §5 ("rather hundreds of
+//!   departures than some tens").
+//! * [`gate`] — a production-grade, thread-safe admission gate
+//!   ([`gate::AdaptiveGate`]): FIFO admission under a live-updatable
+//!   limit, RAII permits, wait statistics. This is the enforcement
+//!   mechanism of §4.3 usable in a real server, not only in simulation.
+//! * [`pipeline`] — [`pipeline::ControlLoop`] wires gate + sampler +
+//!   controller together for runtime (non-simulated) use.
+//!
+//! # Quick start
+//!
+//! ```
+//! use alc_core::controller::{IncrementalSteps, IsParams, LoadController};
+//! use alc_core::measure::Measurement;
+//!
+//! let mut ctrl = IncrementalSteps::new(IsParams {
+//!     initial_bound: 10,
+//!     min_bound: 1,
+//!     max_bound: 100,
+//!     ..IsParams::default()
+//! });
+//!
+//! // Feed one measurement per interval; the controller returns the new MPL
+//! // bound. Here performance improves as load grows, so the bound rises.
+//! let mut bound = ctrl.current_bound();
+//! for step in 0..10 {
+//!     let m = Measurement::basic(step as f64 * 1000.0, 1000.0, bound as f64, bound as f64);
+//!     bound = ctrl.update(&m);
+//! }
+//! assert!(bound > 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod estimator;
+pub mod gate;
+pub mod measure;
+pub mod pipeline;
+pub mod sampler;
+
+pub use controller::{
+    FixedBound, IncrementalSteps, IsParams, IyerRule, LoadController, PaParams,
+    ParabolaApproximation, TayRule, Unlimited,
+};
+pub use gate::{AdaptiveGate, GateStats, Permit};
+pub use measure::{Measurement, PerfIndicator};

@@ -1,0 +1,227 @@
+//! The runtime control loop (Figure 5).
+//!
+//! ```text
+//!            ┌────────────┐   measurements   ┌────────────┐
+//!  arrivals →│    Gate    │────────────────→ │ Controller │
+//!            └─────┬──────┘                  └─────┬──────┘
+//!                  │        new threshold n*       │
+//!                  └────────────────←──────────────┘
+//! ```
+//!
+//! [`ControlLoop`] owns the three runtime pieces — gate, sampler and a
+//! controller — for applications embedding adaptive admission control in a
+//! real (threaded) server. Workers call [`ControlLoop::admit`] around each
+//! unit of work and report completions; a timer thread (or any scheduler)
+//! calls [`ControlLoop::tick`] once per measurement interval.
+//!
+//! The simulator in `alc-tpsim` does *not* use this type: it drives the
+//! same controllers directly from simulated time.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::controller::LoadController;
+use crate::gate::{AdaptiveGate, OwnedPermit};
+use crate::measure::{Measurement, PerfIndicator};
+use crate::sampler::{AdaptiveInterval, IntervalPolicy, IntervalSampler};
+
+/// A self-contained adaptive admission-control loop for real workloads.
+///
+/// Generic over the [`IntervalPolicy`] deciding the next measurement
+/// interval; [`AdaptiveInterval`] (target departure count) is the default,
+/// [`crate::sampler::CiInterval`] gives the exact §5 accuracy/confidence
+/// sizing.
+pub struct ControlLoop<C, P = AdaptiveInterval> {
+    gate: Arc<AdaptiveGate>,
+    inner: Mutex<Inner<C, P>>,
+    epoch: std::time::Instant,
+}
+
+struct Inner<C, P> {
+    controller: C,
+    sampler: IntervalSampler,
+    interval: P,
+}
+
+impl<C: LoadController, P: IntervalPolicy> ControlLoop<C, P> {
+    /// Wires a controller to a fresh gate. The gate starts at the
+    /// controller's current bound.
+    pub fn new(controller: C, indicator: PerfIndicator, interval: P) -> Self {
+        let gate = Arc::new(AdaptiveGate::new(controller.current_bound()));
+        ControlLoop {
+            gate,
+            inner: Mutex::new(Inner {
+                controller,
+                sampler: IntervalSampler::new(indicator, 0.0, 0),
+                interval,
+            }),
+            epoch: std::time::Instant::now(),
+        }
+    }
+
+    /// Milliseconds since the loop was created (the loop's time base).
+    pub fn now_ms(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1000.0
+    }
+
+    /// The gate, for sharing with worker threads.
+    pub fn gate(&self) -> &Arc<AdaptiveGate> {
+        &self.gate
+    }
+
+    /// Blocks until admitted and returns the permit. Hold it for the
+    /// duration of the unit of work.
+    pub fn admit(&self) -> OwnedPermit {
+        let permit = self.gate.acquire_owned();
+        let now = self.now_ms();
+        let mut inner = self.inner.lock();
+        let in_use = self.gate.in_use();
+        inner.sampler.on_mpl_change(now, in_use);
+        permit
+    }
+
+    /// Reports a successful completion with its response time.
+    pub fn complete(&self, response_ms: f64) {
+        let now = self.now_ms();
+        let mut inner = self.inner.lock();
+        inner.sampler.on_commit(response_ms);
+        let in_use = self.gate.in_use();
+        inner.sampler.on_mpl_change(now, in_use);
+    }
+
+    /// Reports a failed/aborted unit of work with its conflict count.
+    pub fn fail(&self, conflicts: u64) {
+        let mut inner = self.inner.lock();
+        inner.sampler.on_abort(conflicts);
+    }
+
+    /// Closes the measurement interval, runs the controller, pushes the
+    /// new bound into the gate, and returns `(measurement, new_bound,
+    /// next_interval_ms)`. Call this from a timer at roughly
+    /// `next_interval_ms` cadence.
+    pub fn tick(&self) -> (Measurement, u32, f64) {
+        let now = self.now_ms();
+        let mut inner = self.inner.lock();
+        let m = inner.sampler.harvest(now);
+        let bound = inner.controller.update(&m);
+        let next = inner.interval.observe(&m);
+        drop(inner);
+        self.gate.set_limit(bound);
+        (m, bound, next)
+    }
+
+    /// Read access to the controller under the loop's lock.
+    pub fn with_controller<R>(&self, f: impl FnOnce(&C) -> R) -> R {
+        f(&self.inner.lock().controller)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{IncrementalSteps, IsParams};
+    use crate::sampler::CiInterval;
+
+    fn quick_loop() -> ControlLoop<IncrementalSteps> {
+        ControlLoop::new(
+            IncrementalSteps::new(IsParams {
+                initial_bound: 4,
+                max_bound: 64,
+                ..IsParams::default()
+            }),
+            PerfIndicator::Throughput,
+            AdaptiveInterval::new(100, 10.0, 10_000.0, 100.0),
+        )
+    }
+
+    #[test]
+    fn gate_starts_at_controller_bound() {
+        let cl = quick_loop();
+        assert_eq!(cl.gate().limit(), 4);
+    }
+
+    #[test]
+    fn admit_complete_tick_roundtrip() {
+        let cl = quick_loop();
+        for _ in 0..10 {
+            let p = cl.admit();
+            cl.complete(5.0);
+            drop(p);
+        }
+        let (m, bound, next) = cl.tick();
+        assert_eq!(m.departures, 10);
+        assert!(bound >= 1);
+        assert!(next >= 10.0);
+        assert_eq!(cl.gate().limit(), bound);
+    }
+
+    #[test]
+    fn failures_are_counted() {
+        let cl = quick_loop();
+        let p = cl.admit();
+        cl.fail(2);
+        drop(p);
+        let (m, _, _) = cl.tick();
+        assert_eq!(m.aborts, 1);
+        assert!(m.conflicts_per_txn >= 2.0);
+    }
+
+    #[test]
+    fn bound_explores_and_stays_in_range() {
+        let cl = quick_loop();
+        let mut bounds = Vec::new();
+        for round in 0..6u64 {
+            for _ in 0..(10 + round * 10) {
+                let p = cl.admit();
+                cl.complete(1.0);
+                drop(p);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            let (_, b, _) = cl.tick();
+            bounds.push(b);
+        }
+        // The first update has no history, so the controller must probe
+        // upward at least once; every bound stays within the static range.
+        assert!(
+            bounds.iter().max().unwrap() > &4,
+            "controller never explored: {bounds:?}"
+        );
+        assert!(bounds.iter().all(|&b| (1..=64).contains(&b)));
+    }
+
+    #[test]
+    fn with_controller_exposes_state() {
+        let cl = quick_loop();
+        let name = cl.with_controller(|c| c.name());
+        assert_eq!(name, "incremental-steps");
+    }
+
+    #[test]
+    fn ci_interval_policy_plugs_in() {
+        let cl = ControlLoop::new(
+            IncrementalSteps::new(IsParams {
+                initial_bound: 4,
+                max_bound: 64,
+                ..IsParams::default()
+            }),
+            PerfIndicator::Throughput,
+            CiInterval::new(
+                0.1,
+                alc_des::stats::ConfidenceLevel::P95,
+                10.0,
+                10_000.0,
+                100.0,
+            ),
+        );
+        for _ in 0..20 {
+            let p = cl.admit();
+            cl.complete(1.0);
+            drop(p);
+        }
+        let (m, bound, next) = cl.tick();
+        assert_eq!(m.departures, 20);
+        assert!(bound >= 1);
+        assert!((10.0..=10_000.0).contains(&next));
+    }
+}

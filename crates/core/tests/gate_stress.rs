@@ -1,0 +1,174 @@
+//! Concurrency stress tests of the adaptive gate: many threads, live
+//! limit changes, timeout storms. These are the conditions a production
+//! admission controller actually faces.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use alc_core::gate::AdaptiveGate;
+
+#[test]
+fn limit_churn_never_overschedules() {
+    let gate = Arc::new(AdaptiveGate::new(4));
+    let running = Arc::new(AtomicBool::new(true));
+    let concurrent = Arc::new(AtomicI64::new(0));
+    let violations = Arc::new(AtomicI64::new(0));
+
+    // A controller thread sweeps the limit up and down.
+    let limiter = {
+        let gate = Arc::clone(&gate);
+        let running = Arc::clone(&running);
+        std::thread::spawn(move || {
+            let mut limit = 1u32;
+            let mut up = true;
+            while running.load(Ordering::Relaxed) {
+                gate.set_limit(limit);
+                if up {
+                    limit += 1;
+                    if limit >= 12 {
+                        up = false;
+                    }
+                } else {
+                    limit -= 1;
+                    if limit <= 1 {
+                        up = true;
+                    }
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            gate.set_limit(64); // let everyone drain
+        })
+    };
+
+    let mut workers = Vec::new();
+    for _ in 0..16 {
+        let gate = Arc::clone(&gate);
+        let running = Arc::clone(&running);
+        let concurrent = Arc::clone(&concurrent);
+        let violations = Arc::clone(&violations);
+        workers.push(std::thread::spawn(move || {
+            while running.load(Ordering::Relaxed) {
+                let permit = gate.acquire_owned();
+                let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                // The limit is in motion; admission-only semantics allow
+                // in-flight work to exceed a *freshly lowered* limit, but
+                // never the historical maximum the limiter ever set.
+                if now > 12 {
+                    violations.fetch_add(1, Ordering::SeqCst);
+                }
+                std::thread::yield_now();
+                concurrent.fetch_sub(1, Ordering::SeqCst);
+                drop(permit);
+            }
+        }));
+    }
+
+    std::thread::sleep(Duration::from_millis(300));
+    running.store(false, Ordering::Relaxed);
+    limiter.join().unwrap();
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert_eq!(
+        violations.load(Ordering::SeqCst),
+        0,
+        "admissions exceeded the maximum limit ever set"
+    );
+    assert_eq!(gate.in_use(), 0);
+}
+
+#[test]
+fn timeout_storm_leaves_consistent_state() {
+    let gate = Arc::new(AdaptiveGate::new(1));
+    let blocker = gate.acquire();
+    let mut handles = Vec::new();
+    for _ in 0..12 {
+        let gate = Arc::clone(&gate);
+        handles.push(std::thread::spawn(move || {
+            let mut gave_up = 0;
+            for _ in 0..20 {
+                if gate.acquire_timeout(Duration::from_micros(100)).is_none() {
+                    gave_up += 1;
+                }
+            }
+            gave_up
+        }));
+    }
+    let abandoned: i32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(abandoned > 0, "storm produced no timeouts at all");
+    drop(blocker);
+    // After the storm, the gate must be fully functional and FIFO-clean.
+    let stats = gate.stats();
+    assert_eq!(stats.waiting, 0);
+    assert_eq!(stats.total_abandoned, abandoned as u64);
+    let p1 = gate.acquire();
+    assert!(gate.try_acquire().is_none());
+    drop(p1);
+    assert!(gate.try_acquire().is_some());
+}
+
+#[test]
+fn throughput_under_contention_is_live() {
+    // Liveness: with a small limit and many threads, everyone keeps
+    // making progress (no lost wakeups).
+    let gate = Arc::new(AdaptiveGate::new(2));
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let gate = Arc::clone(&gate);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..200 {
+                let p = gate.acquire_owned();
+                std::hint::black_box(&p);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("a worker wedged");
+    }
+    assert_eq!(gate.stats().total_admitted, 8 * 200);
+}
+
+#[test]
+fn raising_limit_mid_queue_admits_in_order() {
+    let gate = Arc::new(AdaptiveGate::new(0));
+    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let release = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for i in 0..6u32 {
+        // Serialize enqueueing so ticket order is deterministic.
+        while gate.stats().waiting < i {
+            std::thread::yield_now();
+        }
+        let gate = Arc::clone(&gate);
+        let order = Arc::clone(&order);
+        let release = Arc::clone(&release);
+        handles.push(std::thread::spawn(move || {
+            let _p = gate.acquire_owned();
+            order.lock().push(i);
+            // Hold the permit until the test is done raising, so each
+            // raise admits exactly one waiter (a dropped permit would
+            // admit the next one out from under the raise sequence).
+            while !release.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }));
+    }
+    while gate.stats().waiting < 6 {
+        std::thread::yield_now();
+    }
+    // Open one slot at a time; every raise must admit exactly the FIFO
+    // head, observed via its push before the next raise.
+    for k in 1..=6u32 {
+        gate.set_limit(k);
+        while order.lock().len() < k as usize {
+            std::thread::yield_now();
+        }
+    }
+    release.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    let order = order.lock();
+    assert_eq!(*order, vec![0, 1, 2, 3, 4, 5], "FIFO violated across limit raises");
+}

@@ -1,0 +1,233 @@
+//! Property-based tests of the control core: RLS correctness, controller
+//! safety envelopes, and gate invariants under arbitrary operation
+//! sequences.
+
+#![allow(clippy::needless_range_loop)] // indexed matrix math in the oracle
+
+use proptest::prelude::*;
+
+use alc_core::controller::{
+    Hybrid, HybridParams, IncrementalSteps, IsParams, IyerRule, IyerRuleParams, LoadController,
+    OuterParams, PaOuterParams, PaParams, ParabolaApproximation, SelfTuningIs, SelfTuningPa,
+};
+use alc_core::estimator::Rls;
+use alc_core::gate::AdaptiveGate;
+use alc_core::measure::Measurement;
+
+/// Weighted batch least squares on `[1, x, x²]` with weights `α^(N−1−i)`.
+fn batch_weighted_quadratic(data: &[(f64, f64)], alpha: f64) -> [f64; 3] {
+    let n = data.len();
+    let mut ata = [[0.0f64; 3]; 3];
+    let mut aty = [0.0f64; 3];
+    for (i, &(x, y)) in data.iter().enumerate() {
+        let w = alpha.powi((n - 1 - i) as i32);
+        let phi = [1.0, x, x * x];
+        for r in 0..3 {
+            for c in 0..3 {
+                ata[r][c] += w * phi[r] * phi[c];
+            }
+            aty[r] += w * phi[r] * y;
+        }
+    }
+    // Gauss-Jordan with partial pivoting.
+    let mut m = [[0.0f64; 4]; 3];
+    for i in 0..3 {
+        m[i][..3].copy_from_slice(&ata[i]);
+        m[i][3] = aty[i];
+    }
+    for col in 0..3 {
+        let piv = (col..3)
+            .max_by(|&a, &b| m[a][col].abs().partial_cmp(&m[b][col].abs()).unwrap())
+            .unwrap();
+        m.swap(col, piv);
+        for row in 0..3 {
+            if row != col && m[col][col].abs() > 1e-30 {
+                let f = m[row][col] / m[col][col];
+                for c in col..4 {
+                    m[row][c] -= f * m[col][c];
+                }
+            }
+        }
+    }
+    [m[0][3] / m[0][0], m[1][3] / m[1][1], m[2][3] / m[2][2]]
+}
+
+proptest! {
+    /// RLS with forgetting converges to the weighted batch least-squares
+    /// solution (with a diffuse prior, the two differ only through the
+    /// vanishing prior term).
+    #[test]
+    fn rls_matches_weighted_batch_ls(
+        coefs in (-5.0f64..5.0, -5.0f64..5.0, -1.0f64..1.0),
+        alpha in 0.9f64..1.0,
+        noise_seed in any::<u64>(),
+    ) {
+        let (a0, a1, a2) = coefs;
+        let mut state = noise_seed;
+        let mut noise = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let data: Vec<(f64, f64)> = (0..120)
+            .map(|i| {
+                let x = (i % 24) as f64 / 6.0;
+                (x, a0 + a1 * x + a2 * x * x + 0.01 * noise())
+            })
+            .collect();
+        let mut rls = Rls::<3>::new(alpha, 1e10);
+        for &(x, y) in &data {
+            rls.update(&[1.0, x, x * x], y);
+        }
+        let batch = batch_weighted_quadratic(&data, alpha);
+        for i in 0..3 {
+            prop_assert!(
+                (rls.theta()[i] - batch[i]).abs() < 1e-2,
+                "coef {i}: rls {} vs batch {}",
+                rls.theta()[i],
+                batch[i]
+            );
+        }
+    }
+
+    /// Both feedback controllers keep the bound inside the configured
+    /// static range for ANY measurement sequence (the §5.1 safety
+    /// requirement).
+    #[test]
+    fn controllers_respect_static_bounds(
+        perfs in prop::collection::vec(0.0f64..1e6, 1..200),
+        mpls in prop::collection::vec(0.0f64..2000.0, 1..200),
+        min_bound in 1u32..50,
+        span in 1u32..500,
+    ) {
+        let max_bound = min_bound + span;
+        let initial = min_bound + span / 2;
+        let mut is = IncrementalSteps::new(IsParams {
+            initial_bound: initial,
+            min_bound,
+            max_bound,
+            ..IsParams::default()
+        });
+        let mut pa = ParabolaApproximation::new(PaParams {
+            initial_bound: initial,
+            min_bound,
+            max_bound,
+            ..PaParams::default()
+        });
+        let mut iyer = IyerRule::new(IyerRuleParams {
+            initial_bound: initial,
+            min_bound,
+            max_bound,
+            ..IyerRuleParams::default()
+        });
+        let is_params = IsParams {
+            initial_bound: initial,
+            min_bound,
+            max_bound,
+            ..IsParams::default()
+        };
+        let pa_params = PaParams {
+            initial_bound: initial,
+            min_bound,
+            max_bound,
+            ..PaParams::default()
+        };
+        let mut hybrid = Hybrid::new(HybridParams {
+            is: is_params,
+            pa: pa_params,
+            ..HybridParams::default()
+        });
+        let mut tuned_is = SelfTuningIs::new(is_params, OuterParams::default());
+        let mut tuned_pa = SelfTuningPa::new(pa_params, PaOuterParams::default());
+        for (i, (&p, &n)) in perfs.iter().zip(mpls.iter().cycle()).enumerate() {
+            let m = Measurement {
+                conflicts_per_txn: p / 1e5,
+                ..Measurement::basic(i as f64, 1.0, p, n)
+            };
+            for (ctrl, b) in [
+                ("is", is.update(&m)),
+                ("pa", pa.update(&m)),
+                ("iyer", iyer.update(&m)),
+                ("hybrid", hybrid.update(&m)),
+                ("self-tuning-is", tuned_is.update(&m)),
+                ("self-tuning-pa", tuned_pa.update(&m)),
+            ] {
+                prop_assert!(
+                    (min_bound..=max_bound).contains(&b),
+                    "{ctrl} bound {b} escaped [{min_bound}, {max_bound}]"
+                );
+            }
+        }
+    }
+
+    /// Gate state-machine invariants under arbitrary single-threaded
+    /// operation sequences: in-use never exceeds the limit in force at
+    /// admission time, permits all return, and counters balance.
+    #[test]
+    fn gate_state_machine_invariants(ops in prop::collection::vec(0u8..4, 1..300)) {
+        let gate = AdaptiveGate::new(4);
+        let mut permits = Vec::new();
+        let mut limit = 4u32;
+        for op in ops {
+            match op {
+                0 => {
+                    // try_acquire: may fail; success respects the limit.
+                    if let Some(p) = gate.try_acquire() {
+                        prop_assert!(gate.in_use() <= limit.max(1));
+                        permits.push(p);
+                    } else {
+                        prop_assert!(gate.in_use() >= limit || !permits.is_empty() || limit == 0);
+                    }
+                }
+                1 => {
+                    permits.pop(); // release by drop
+                }
+                2 => {
+                    limit = (limit + 3) % 9; // 0..=8
+                    gate.set_limit(limit);
+                }
+                _ => {
+                    // timed acquire with zero patience: must not deadlock.
+                    if let Some(p) = gate.acquire_timeout(std::time::Duration::ZERO) {
+                        permits.push(p);
+                    }
+                }
+            }
+            prop_assert_eq!(gate.in_use() as usize, permits.len(), "permit accounting broken");
+        }
+        let admitted = gate.stats().total_admitted;
+        drop(permits);
+        prop_assert_eq!(gate.in_use(), 0, "permits leaked");
+        prop_assert!(admitted >= 1 || gate.stats().total_admitted == 0);
+    }
+
+    /// IS converges onto the optimum of an arbitrary clean unimodal curve
+    /// whose peak lies inside the bound range.
+    #[test]
+    fn is_finds_interior_optimum(peak in 40.0f64..160.0, height in 10.0f64..500.0) {
+        // β is a gain an operator tunes to the magnitude of P; normalize it
+        // so a full-height performance swing maps to a ~50-step move.
+        let mut is = IncrementalSteps::new(IsParams {
+            initial_bound: 100,
+            min_bound: 1,
+            max_bound: 200,
+            beta: 50.0 / height,
+            ..IsParams::default()
+        });
+        let mut bound = is.current_bound();
+        let mut tail = Vec::new();
+        for i in 0..400 {
+            let n = f64::from(bound);
+            let x = n / peak;
+            let perf = height * (x * (1.0 - x).exp()).powi(2);
+            bound = is.update(&Measurement::basic(f64::from(i), 1.0, perf, n));
+            if i >= 300 {
+                tail.push(f64::from(bound));
+            }
+        }
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        prop_assert!(
+            (mean - peak).abs() < 0.35 * peak + 10.0,
+            "IS settled at {mean}, optimum {peak}"
+        );
+    }
+}

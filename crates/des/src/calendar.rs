@@ -1,0 +1,253 @@
+//! The future event list.
+//!
+//! A [`Calendar`] holds events of an arbitrary payload type `E`, each tagged
+//! with a firing time. `pop` yields events in time order; events with equal
+//! times fire in the order they were scheduled (FIFO tie-break via a
+//! monotonically increasing sequence number), which keeps simulation runs
+//! deterministic regardless of heap internals.
+//!
+//! Cancellation is *lazy*: [`Calendar::schedule`] returns an [`EventToken`];
+//! calling [`Calendar::cancel`] marks that token dead and the event is
+//! silently dropped when its time comes. Lazy cancellation is O(1) and is
+//! how the simulator implements transaction displacement (aborting an active
+//! transaction whose service-completion event is already scheduled).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Identifies a scheduled event so it can be cancelled later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The future event list: a priority queue of `(time, payload)` pairs with
+/// FIFO tie-breaking and lazy cancellation.
+pub struct Calendar<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+    now: SimTime,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// Creates an empty calendar at time zero.
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation time: the firing time of the most recently
+    /// popped event (or zero before the first pop).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// Panics if `at` lies in the past: scheduling into the past means the
+    /// model computed a negative delay, which is always a bug.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventToken {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+        EventToken(seq)
+    }
+
+    /// Schedules `payload` to fire `delay` milliseconds from now.
+    pub fn schedule_in(&mut self, delay: f64, payload: E) -> EventToken {
+        self.schedule(self.now + delay, payload)
+    }
+
+    /// Marks a previously scheduled event as cancelled. Cancelling an event
+    /// that already fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, token: EventToken) {
+        self.cancelled.insert(token.0);
+    }
+
+    /// Removes and returns the next live event, advancing the clock to its
+    /// firing time. Returns `None` when no live events remain.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now, "calendar time went backwards");
+            self.now = ev.at;
+            return Some((ev.at, ev.payload));
+        }
+        None
+    }
+
+    /// The firing time of the next live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(ev) = self.heap.peek() {
+            if self.cancelled.contains(&ev.seq) {
+                let seq = ev.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(ev.at);
+        }
+        None
+    }
+
+    /// Number of scheduled entries, including not-yet-reaped cancelled ones.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no entries are scheduled (cancelled-but-unreaped entries
+    /// still count, matching [`Calendar::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: f64) -> SimTime {
+        SimTime::new(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(t(30.0), "c");
+        cal.schedule(t(10.0), "a");
+        cal.schedule(t(20.0), "b");
+        let order: Vec<_> = std::iter::from_fn(|| cal.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_fire_fifo() {
+        let mut cal = Calendar::new();
+        for i in 0..100 {
+            cal.schedule(t(5.0), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| cal.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut cal = Calendar::new();
+        cal.schedule(t(10.0), ());
+        cal.schedule(t(25.0), ());
+        assert_eq!(cal.now(), SimTime::ZERO);
+        cal.pop();
+        assert_eq!(cal.now(), t(10.0));
+        cal.pop();
+        assert_eq!(cal.now(), t(25.0));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut cal = Calendar::new();
+        cal.schedule(t(10.0), 0);
+        cal.pop();
+        cal.schedule_in(5.0, 1);
+        let (at, _) = cal.pop().unwrap();
+        assert_eq!(at, t(15.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_past_events() {
+        let mut cal = Calendar::new();
+        cal.schedule(t(10.0), ());
+        cal.pop();
+        cal.schedule(t(5.0), ());
+    }
+
+    #[test]
+    fn cancellation_drops_event() {
+        let mut cal = Calendar::new();
+        let tok = cal.schedule(t(10.0), "dead");
+        cal.schedule(t(20.0), "alive");
+        cal.cancel(tok);
+        let (at, e) = cal.pop().unwrap();
+        assert_eq!(e, "alive");
+        assert_eq!(at, t(20.0));
+        assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut cal = Calendar::new();
+        let tok = cal.schedule(t(1.0), ());
+        cal.pop();
+        cal.cancel(tok);
+        cal.schedule(t(2.0), ());
+        assert!(cal.pop().is_some());
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut cal = Calendar::new();
+        let tok = cal.schedule(t(1.0), "x");
+        cal.schedule(t(2.0), "y");
+        cal.cancel(tok);
+        assert_eq!(cal.peek_time(), Some(t(2.0)));
+        assert_eq!(cal.pop().unwrap().1, "y");
+    }
+
+    #[test]
+    fn empty_calendar() {
+        let mut cal: Calendar<()> = Calendar::new();
+        assert!(cal.is_empty());
+        assert_eq!(cal.len(), 0);
+        assert!(cal.pop().is_none());
+        assert!(cal.peek_time().is_none());
+    }
+}

@@ -1,0 +1,344 @@
+//! Service-time and think-time distributions.
+//!
+//! The paper's physical model needs three of these directly — constant disk
+//! service, exponential CPU bursts, exponential think times — and the rest
+//! round out what a workload-sensitivity study reaches for (Erlang for
+//! low-variance service, hyperexponential for bursty service, Zipf for the
+//! hot-spot access extension the paper explicitly excludes but we test
+//! against).
+
+use crate::rng::RngStream;
+
+/// Something that can be sampled to a non-negative duration/value.
+pub trait Sample {
+    /// Draws one value.
+    fn sample(&self, rng: &mut RngStream) -> f64;
+
+    /// The distribution's mean, used in tests and analytic cross-checks.
+    fn mean(&self) -> f64;
+}
+
+/// A fixed value (the paper's disk subsystem: "constant service times and no
+/// contention").
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Constant(pub f64);
+
+impl Sample for Constant {
+    #[inline]
+    fn sample(&self, _rng: &mut RngStream) -> f64 {
+        self.0
+    }
+    fn mean(&self) -> f64 {
+        self.0
+    }
+}
+
+/// Uniform on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Uniform {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+}
+
+impl Sample for Uniform {
+    #[inline]
+    fn sample(&self, rng: &mut RngStream) -> f64 {
+        rng.uniform(self.lo, self.hi)
+    }
+    fn mean(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+}
+
+/// Exponential with the given mean (CPU bursts, think times).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Exponential {
+    /// Mean of the distribution (1/rate).
+    pub mean: f64,
+}
+
+impl Exponential {
+    /// Constructs from a mean. Panics if the mean is not positive.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        Exponential { mean }
+    }
+}
+
+impl Sample for Exponential {
+    #[inline]
+    fn sample(&self, rng: &mut RngStream) -> f64 {
+        // Inverse CDF; 1 - u avoids ln(0).
+        -self.mean * (1.0 - rng.uniform01()).ln()
+    }
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Erlang-k: sum of `k` independent exponentials; coefficient of variation
+/// `1/sqrt(k)` — a low-variance service time.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Erlang {
+    /// Number of exponential stages (k ≥ 1).
+    pub stages: u32,
+    /// Mean of the whole distribution.
+    pub mean: f64,
+}
+
+impl Sample for Erlang {
+    fn sample(&self, rng: &mut RngStream) -> f64 {
+        assert!(self.stages >= 1);
+        let stage_mean = self.mean / f64::from(self.stages);
+        // Product-of-uniforms form: one log instead of k.
+        let mut prod = 1.0;
+        for _ in 0..self.stages {
+            prod *= 1.0 - rng.uniform01();
+        }
+        -stage_mean * prod.ln()
+    }
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Two-branch hyperexponential: with probability `p` the mean is `mean_a`,
+/// otherwise `mean_b`. Coefficient of variation > 1 — a bursty service time.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HyperExp {
+    /// Probability of drawing from branch A.
+    pub p: f64,
+    /// Mean of branch A.
+    pub mean_a: f64,
+    /// Mean of branch B.
+    pub mean_b: f64,
+}
+
+impl Sample for HyperExp {
+    #[inline]
+    fn sample(&self, rng: &mut RngStream) -> f64 {
+        let mean = if rng.chance(self.p) {
+            self.mean_a
+        } else {
+            self.mean_b
+        };
+        -mean * (1.0 - rng.uniform01()).ln()
+    }
+    fn mean(&self) -> f64 {
+        self.p * self.mean_a + (1.0 - self.p) * self.mean_b
+    }
+}
+
+/// A distribution choice, serializable for experiment configs.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Dist {
+    /// Fixed value.
+    Constant(Constant),
+    /// Uniform interval.
+    Uniform(Uniform),
+    /// Exponential.
+    Exponential(Exponential),
+    /// Erlang-k.
+    Erlang(Erlang),
+    /// Two-branch hyperexponential.
+    HyperExp(HyperExp),
+}
+
+impl Dist {
+    /// Shorthand for a constant distribution.
+    pub fn constant(v: f64) -> Self {
+        Dist::Constant(Constant(v))
+    }
+    /// Shorthand for an exponential with the given mean.
+    pub fn exponential(mean: f64) -> Self {
+        Dist::Exponential(Exponential::with_mean(mean))
+    }
+}
+
+impl Sample for Dist {
+    #[inline]
+    fn sample(&self, rng: &mut RngStream) -> f64 {
+        match self {
+            Dist::Constant(d) => d.sample(rng),
+            Dist::Uniform(d) => d.sample(rng),
+            Dist::Exponential(d) => d.sample(rng),
+            Dist::Erlang(d) => d.sample(rng),
+            Dist::HyperExp(d) => d.sample(rng),
+        }
+    }
+    fn mean(&self) -> f64 {
+        match self {
+            Dist::Constant(d) => d.mean(),
+            Dist::Uniform(d) => d.mean(),
+            Dist::Exponential(d) => d.mean(),
+            Dist::Erlang(d) => d.mean(),
+            Dist::HyperExp(d) => d.mean(),
+        }
+    }
+}
+
+/// Zipf-like discrete distribution over `[0, n)` with exponent `theta`,
+/// via rejection-inversion (Hörmann). Used by the hot-spot access-pattern
+/// extension; `theta = 0` degenerates to the paper's uniform selection.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    // Precomputed constants of the rejection-inversion sampler.
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf sampler over `[0, n)` with skew `theta ∈ [0, 1)∪(1, …)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        assert!(theta >= 0.0 && (theta - 1.0).abs() > 1e-9, "theta == 1 unsupported");
+        let h = |x: f64| ((x + 1.0).powf(1.0 - theta) - 1.0) / (1.0 - theta);
+        let h_x1 = h(1.5) - 1.0;
+        let h_n = h(n as f64 + 0.5);
+        let s = 2.0 - {
+            // h^-1(h(2.5) - 2^-theta) ... constant from Hörmann's paper
+            let v = h(2.5) - (2.0f64).powf(-theta);
+            ((1.0 - theta) * v + 1.0).powf(1.0 / (1.0 - theta)) - 1.0
+        };
+        Zipf { n, theta, h_x1, h_n, s }
+    }
+
+    /// Draws one value in `[0, n)`; smaller values are more popular.
+    pub fn sample(&self, rng: &mut RngStream) -> u64 {
+        if self.theta == 0.0 {
+            return rng.below(self.n);
+        }
+        let h_inv = |v: f64| ((1.0 - self.theta) * v + 1.0).powf(1.0 / (1.0 - self.theta)) - 1.0;
+        loop {
+            let u = self.h_x1 + rng.uniform01() * (self.h_n - self.h_x1);
+            let x = h_inv(u);
+            let k = (x + 0.5).floor().max(1.0);
+            let h_k = |x: f64| ((x + 1.0).powf(1.0 - self.theta) - 1.0) / (1.0 - self.theta);
+            if k - x <= self.s || u >= h_k(k + 0.5) - k.powf(-self.theta) {
+                let idx = k as u64;
+                if idx >= 1 && idx <= self.n {
+                    return idx - 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RngStream;
+
+    fn mean_of(d: &impl Sample, seed: u64, n: usize) -> f64 {
+        let mut rng = RngStream::from_seed(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = RngStream::from_seed(1);
+        let d = Constant(25.0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 25.0);
+        }
+        assert_eq!(d.mean(), 25.0);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Exponential::with_mean(10.0);
+        let m = mean_of(&d, 11, 200_000);
+        assert!((m - 10.0).abs() < 0.15, "sample mean {m}");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let d = Exponential::with_mean(1.0);
+        let mut rng = RngStream::from_seed(12);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Uniform { lo: 2.0, hi: 6.0 };
+        let mut rng = RngStream::from_seed(13);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..6.0).contains(&x));
+        }
+        let m = mean_of(&d, 14, 100_000);
+        assert!((m - 4.0).abs() < 0.05, "sample mean {m}");
+    }
+
+    #[test]
+    fn erlang_mean_and_lower_variance() {
+        let d = Erlang { stages: 4, mean: 8.0 };
+        let mut rng = RngStream::from_seed(15);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let m: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n as f64;
+        assert!((m - 8.0).abs() < 0.1, "mean {m}");
+        // Erlang-4 variance = mean^2 / 4 = 16
+        assert!((var - 16.0).abs() < 1.0, "variance {var}");
+    }
+
+    #[test]
+    fn hyperexp_mean() {
+        let d = HyperExp { p: 0.9, mean_a: 1.0, mean_b: 20.0 };
+        assert!((d.mean() - 2.9).abs() < 1e-12);
+        let m = mean_of(&d, 16, 300_000);
+        assert!((m - 2.9).abs() < 0.1, "sample mean {m}");
+    }
+
+    #[test]
+    fn dist_enum_dispatch() {
+        let d = Dist::exponential(5.0);
+        assert_eq!(d.mean(), 5.0);
+        let c = Dist::constant(3.0);
+        let mut rng = RngStream::from_seed(17);
+        assert_eq!(c.sample(&mut rng), 3.0);
+    }
+
+    #[test]
+    fn zipf_uniform_degenerate() {
+        let z = Zipf::new(100, 0.0);
+        let mut rng = RngStream::from_seed(18);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5_000 {
+            let v = z.sample(&mut rng);
+            assert!(v < 100);
+            seen.insert(v);
+        }
+        assert!(seen.len() > 90, "uniform should cover most of the range");
+    }
+
+    #[test]
+    fn zipf_skews_to_small_values() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = RngStream::from_seed(19);
+        let n = 50_000;
+        let small = (0..n).filter(|_| z.sample(&mut rng) < 100).count();
+        // With theta≈1, the first 10% of items draw well over half the mass.
+        assert!(
+            small as f64 > 0.5 * n as f64,
+            "only {small}/{n} samples in the hot range"
+        );
+    }
+
+    #[test]
+    fn zipf_values_in_range() {
+        let z = Zipf::new(10, 0.8);
+        let mut rng = RngStream::from_seed(20);
+        for _ in 0..20_000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Deterministic random-number streams.
+//!
+//! Every model component (terminal think times, CPU bursts, access-set
+//! selection, …) owns its own [`RngStream`], derived from a single master
+//! seed via SplitMix64 on a component label. Two properties follow:
+//!
+//! 1. a run is reproducible from one `u64` seed, and
+//! 2. adding a component (or drawing more numbers in one) never changes the
+//!    sequence another component sees — common-random-numbers variance
+//!    reduction across experiment variants comes for free.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Derives independent RNG substreams from one master seed.
+#[derive(Debug, Clone, Copy)]
+pub struct SeedFactory {
+    master: u64,
+}
+
+impl SeedFactory {
+    /// Creates a factory from the experiment's master seed.
+    pub fn new(master: u64) -> Self {
+        SeedFactory { master }
+    }
+
+    /// Returns the stream for a component label. The same `(seed, label)`
+    /// pair always yields the same stream.
+    pub fn stream(&self, label: &str) -> RngStream {
+        let mut h = self.master ^ 0x9E37_79B9_7F4A_7C15;
+        for b in label.as_bytes() {
+            h = splitmix64(h ^ u64::from(*b));
+        }
+        RngStream::from_seed(splitmix64(h))
+    }
+
+    /// Returns a numbered stream, for per-entity substreams such as one per
+    /// terminal.
+    pub fn numbered_stream(&self, label: &str, index: u64) -> RngStream {
+        let base = self.stream(label);
+        RngStream::from_seed(splitmix64(base.seed ^ splitmix64(index.wrapping_add(1))))
+    }
+}
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A single deterministic random stream. Wraps `SmallRng` and remembers its
+/// seed so streams can be re-derived and debugged.
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    seed: u64,
+    rng: SmallRng,
+}
+
+impl RngStream {
+    /// Creates a stream directly from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        RngStream {
+            seed,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    #[inline]
+    pub fn uniform01(&mut self) -> f64 {
+        // 53 random mantissa bits, the standard open-interval construction.
+        (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.uniform01()
+    }
+
+    /// A uniform integer in `[0, n)` via Lemire's rejection method.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Widening-multiply rejection sampling: unbiased and branch-light.
+        let mut x = self.rng.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut low = m as u64;
+        if low < n {
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                x = self.rng.next_u64();
+                m = (x as u128) * (n as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A Bernoulli draw with success probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform01() < p
+    }
+
+    /// Samples `count` distinct values from `[0, population)` via partial
+    /// Fisher–Yates on a virtual index map. Cost is O(count) expected.
+    ///
+    /// This is how a transaction picks its `k` data items out of the `D`
+    /// item database ("data items are selected randomly, no hot spots").
+    pub fn distinct_below(&mut self, population: u64, count: usize) -> Vec<u64> {
+        assert!(
+            (count as u64) <= population,
+            "cannot draw {count} distinct values from a population of {population}"
+        );
+        // Floyd's algorithm: O(count) draws, O(count) memory.
+        let mut chosen = std::collections::HashSet::with_capacity(count);
+        let mut out = Vec::with_capacity(count);
+        let start = population - count as u64;
+        for j in start..population {
+            let t = self.below(j + 1);
+            let pick = if chosen.contains(&t) { j } else { t };
+            chosen.insert(pick);
+            out.push(pick);
+        }
+        out
+    }
+
+    /// Raw 64 random bits (exposed for the distributions module).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let f = SeedFactory::new(42);
+        let mut a = f.stream("cpu");
+        let mut b = f.stream("cpu");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_different_sequences() {
+        let f = SeedFactory::new(42);
+        let mut a = f.stream("cpu");
+        let mut b = f.stream("disk");
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3, "streams should be effectively independent");
+    }
+
+    #[test]
+    fn numbered_streams_are_distinct() {
+        let f = SeedFactory::new(7);
+        let mut s0 = f.numbered_stream("terminal", 0);
+        let mut s1 = f.numbered_stream("terminal", 1);
+        assert_ne!(s0.next_u64(), s1.next_u64());
+    }
+
+    #[test]
+    fn uniform01_in_range_and_mean_reasonable() {
+        let mut s = RngStream::from_seed(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = s.uniform01();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn below_is_unbiased_over_small_range() {
+        let mut s = RngStream::from_seed(2);
+        let mut counts = [0u32; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[s.below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            let expected = n as f64 / 7.0;
+            assert!(
+                (f64::from(c) - expected).abs() < expected * 0.05,
+                "bucket count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_below_yields_distinct_in_range() {
+        let mut s = RngStream::from_seed(3);
+        for _ in 0..100 {
+            let v = s.distinct_below(50, 8);
+            assert_eq!(v.len(), 8);
+            let set: std::collections::HashSet<_> = v.iter().collect();
+            assert_eq!(set.len(), 8);
+            assert!(v.iter().all(|&x| x < 50));
+        }
+    }
+
+    #[test]
+    fn distinct_below_full_population() {
+        let mut s = RngStream::from_seed(4);
+        let mut v = s.distinct_below(10, 10);
+        v.sort_unstable();
+        assert_eq!(v, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn distinct_below_rejects_oversample() {
+        let mut s = RngStream::from_seed(5);
+        s.distinct_below(3, 4);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut s = RngStream::from_seed(6);
+        assert!(!s.chance(0.0));
+        assert!(s.chance(1.0));
+    }
+}

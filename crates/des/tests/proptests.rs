@@ -1,0 +1,164 @@
+//! Property-based tests of the DES kernel invariants.
+
+use proptest::prelude::*;
+
+use alc_des::dist::{Dist, Sample};
+use alc_des::rng::RngStream;
+use alc_des::stats::{Histogram, Welford};
+use alc_des::{Calendar, SimTime};
+
+proptest! {
+    /// The calendar pops events in nondecreasing time order, with FIFO
+    /// order among equal times, for any schedule.
+    #[test]
+    fn calendar_pops_sorted_fifo(times in prop::collection::vec(0u32..1000, 1..200)) {
+        let mut cal = Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime::new(f64::from(t)), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut last_seq_at_time: Option<usize> = None;
+        while let Some((t, seq)) = cal.pop() {
+            prop_assert!(t >= last_time);
+            if t == last_time {
+                if let Some(prev) = last_seq_at_time {
+                    prop_assert!(seq > prev, "FIFO violated at equal times");
+                }
+            }
+            last_time = t;
+            last_seq_at_time = Some(seq);
+        }
+    }
+
+    /// Cancelled events never fire; all others do, exactly once.
+    #[test]
+    fn calendar_cancellation_is_exact(
+        times in prop::collection::vec(0u32..100, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut cal = Calendar::new();
+        let tokens: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, cal.schedule(SimTime::new(f64::from(t)), i)))
+            .collect();
+        let mut cancelled = std::collections::HashSet::new();
+        for ((i, tok), &dead) in tokens.iter().zip(cancel_mask.iter()) {
+            if dead {
+                cal.cancel(*tok);
+                cancelled.insert(*i);
+            }
+        }
+        let mut fired = std::collections::HashSet::new();
+        while let Some((_, id)) = cal.pop() {
+            prop_assert!(!cancelled.contains(&id), "cancelled event {id} fired");
+            prop_assert!(fired.insert(id), "event {id} fired twice");
+        }
+        prop_assert_eq!(fired.len(), times.len() - cancelled.len());
+    }
+
+    /// Welford matches the two-pass formulas on arbitrary data.
+    #[test]
+    fn welford_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        let scale = mean.abs().max(1.0);
+        prop_assert!((w.mean() - mean).abs() <= 1e-8 * scale);
+        prop_assert!((w.variance() - var).abs() <= 1e-6 * var.max(1.0));
+    }
+
+    /// Merging two Welford accumulators equals accumulating everything in
+    /// one, regardless of the split point.
+    #[test]
+    fn welford_merge_associative(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..100),
+        split in 0usize..100,
+    ) {
+        let split = split % xs.len();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..split] {
+            a.push(x);
+        }
+        for &x in &xs[split..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    /// Distinct sampling returns exactly `count` distinct in-range values.
+    #[test]
+    fn distinct_below_properties(seed in any::<u64>(), population in 1u64..5000, frac in 0.0f64..1.0) {
+        let count = ((population as f64 * frac) as usize).min(512);
+        let mut rng = RngStream::from_seed(seed);
+        let sample = rng.distinct_below(population, count);
+        prop_assert_eq!(sample.len(), count);
+        let set: std::collections::HashSet<_> = sample.iter().collect();
+        prop_assert_eq!(set.len(), count, "duplicates in sample");
+        prop_assert!(sample.iter().all(|&x| x < population));
+    }
+
+    /// Distribution samples are non-negative and the empirical mean is in
+    /// the right ballpark for any parameterization.
+    #[test]
+    fn distributions_sane(seed in any::<u64>(), mean in 0.1f64..1e4) {
+        let mut rng = RngStream::from_seed(seed);
+        for dist in [Dist::constant(mean), Dist::exponential(mean)] {
+            let n = 2000;
+            let mut sum = 0.0;
+            for _ in 0..n {
+                let x = dist.sample(&mut rng);
+                prop_assert!(x >= 0.0 && x.is_finite());
+                sum += x;
+            }
+            let emp = sum / f64::from(n);
+            prop_assert!(
+                (emp - mean).abs() < 0.15 * mean,
+                "empirical mean {emp} vs {mean}"
+            );
+        }
+    }
+
+    /// Histogram quantiles are monotone in q and within range bounds.
+    #[test]
+    fn histogram_quantiles_monotone(xs in prop::collection::vec(0.0f64..100.0, 1..300)) {
+        let mut h = Histogram::new(0.0, 100.0, 20);
+        for &x in &xs {
+            h.record(x);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+        let mut last = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = h.quantile(q);
+            prop_assert!(v >= last - 1e-9, "quantiles not monotone");
+            prop_assert!((0.0..=100.0).contains(&v));
+            last = v;
+        }
+    }
+
+    /// Same seed ⇒ same stream; different seeds ⇒ (almost surely)
+    /// different streams.
+    #[test]
+    fn rng_streams_deterministic(seed in any::<u64>()) {
+        let mut a = RngStream::from_seed(seed);
+        let mut b = RngStream::from_seed(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = RngStream::from_seed(seed.wrapping_add(1));
+        let distinct = (0..64).any(|_| a.next_u64() != c.next_u64());
+        prop_assert!(distinct);
+    }
+}

@@ -1,0 +1,321 @@
+//! Shared/exclusive lock table with FIFO queuing and upgrades.
+//!
+//! The locking machinery common to every lock-based protocol in this
+//! crate: [`TwoPhaseLocking`](super::TwoPhaseLocking) (deadlock
+//! *detection*) and the [`Prevention`](super::Prevention) protocols
+//! wound-wait / wait-die (deadlock *prevention*) differ only in what they
+//! do when a request blocks — the grant rules below are identical.
+//!
+//! Semantics:
+//!
+//! * shared (S) locks coexist; exclusive (X) conflicts with everything;
+//! * a fresh request is granted iff it is compatible with all holders
+//!   *and* nobody is queued ahead (FIFO fairness — reader streams cannot
+//!   starve a waiting writer);
+//! * an S→X upgrade by the sole holder succeeds in place; with other
+//!   readers present it waits at the *front* of the queue;
+//! * releases grant from the queue front while compatible.
+
+use std::collections::{HashMap, VecDeque};
+
+use super::TxnId;
+
+/// Lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// Shared (read) lock.
+    Shared,
+    /// Exclusive (write) lock.
+    Exclusive,
+}
+
+/// Outcome of [`LockTable::request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RequestOutcome {
+    /// The lock is held; proceed.
+    Granted,
+    /// The request joined the wait queue.
+    Queued,
+}
+
+#[derive(Debug)]
+struct LockEntry {
+    /// Current holders with their strongest granted mode.
+    holders: Vec<(TxnId, Mode)>,
+    /// FIFO wait queue. Upgrades enter at the front.
+    queue: VecDeque<(TxnId, Mode)>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct Slot {
+    held: Vec<u64>,
+    waiting_for_item: Option<u64>,
+    blocked_count: u64,
+}
+
+/// A strict shared/exclusive lock table over `u64` item ids.
+#[derive(Debug)]
+pub(crate) struct LockTable {
+    table: HashMap<u64, LockEntry>,
+    slots: Vec<Slot>,
+}
+
+impl LockTable {
+    /// Creates a table for `slots` transaction slots.
+    pub(crate) fn new(slots: usize) -> Self {
+        LockTable {
+            table: HashMap::new(),
+            slots: vec![Slot::default(); slots],
+        }
+    }
+
+    /// Resets per-transaction bookkeeping at the start of a (re)run.
+    pub(crate) fn begin(&mut self, txn: TxnId) {
+        debug_assert!(
+            self.slots[txn].held.is_empty() && self.slots[txn].waiting_for_item.is_none(),
+            "begin() on a transaction still holding locks"
+        );
+        self.slots[txn] = Slot::default();
+    }
+
+    fn compatible(holders: &[(TxnId, Mode)], requester: TxnId, mode: Mode) -> bool {
+        holders
+            .iter()
+            .all(|&(h, m)| h == requester || (m == Mode::Shared && mode == Mode::Shared))
+    }
+
+    /// Requests `item` in `mode` for `txn`.
+    pub(crate) fn request(&mut self, txn: TxnId, item: u64, mode: Mode) -> RequestOutcome {
+        let entry = self.table.entry(item).or_insert_with(|| LockEntry {
+            holders: Vec::new(),
+            queue: VecDeque::new(),
+        });
+
+        // Already holding in sufficient mode?
+        if let Some(&(_, held_mode)) = entry.holders.iter().find(|(h, _)| *h == txn) {
+            if held_mode == Mode::Exclusive || mode == Mode::Shared {
+                return RequestOutcome::Granted;
+            }
+            // Upgrade S→X: only if sole holder, else wait at queue front.
+            if entry.holders.len() == 1 {
+                entry.holders[0].1 = Mode::Exclusive;
+                return RequestOutcome::Granted;
+            }
+            entry.queue.push_front((txn, Mode::Exclusive));
+            self.slots[txn].waiting_for_item = Some(item);
+            self.slots[txn].blocked_count += 1;
+            return RequestOutcome::Queued;
+        }
+
+        // Fresh request: grant only if compatible AND nobody queued ahead.
+        if entry.queue.is_empty() && Self::compatible(&entry.holders, txn, mode) {
+            entry.holders.push((txn, mode));
+            self.slots[txn].held.push(item);
+            return RequestOutcome::Granted;
+        }
+        entry.queue.push_back((txn, mode));
+        self.slots[txn].waiting_for_item = Some(item);
+        self.slots[txn].blocked_count += 1;
+        RequestOutcome::Queued
+    }
+
+    /// Grants whatever the FIFO queue head(s) allow after a release or
+    /// abort. Returns the transactions granted.
+    fn grant_waiters(&mut self, item: u64) -> Vec<TxnId> {
+        let mut granted = Vec::new();
+        let Some(entry) = self.table.get_mut(&item) else {
+            return granted;
+        };
+        while let Some(&(txn, mode)) = entry.queue.front() {
+            if Self::compatible(&entry.holders, txn, mode) {
+                entry.queue.pop_front();
+                // Upgrade if already holding, else add.
+                if let Some(h) = entry.holders.iter_mut().find(|(h, _)| *h == txn) {
+                    h.1 = mode;
+                } else {
+                    entry.holders.push((txn, mode));
+                    self.slots[txn].held.push(item);
+                }
+                self.slots[txn].waiting_for_item = None;
+                granted.push(txn);
+                if mode == Mode::Exclusive {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        if entry.holders.is_empty() && entry.queue.is_empty() {
+            self.table.remove(&item);
+        }
+        granted
+    }
+
+    /// Releases everything `txn` holds and cancels its pending request.
+    /// Returns the transactions whose queued requests became granted —
+    /// cancelling a queue-head request can unblock the entry behind it,
+    /// so even a waiter's release may grant others.
+    pub(crate) fn release_all(&mut self, txn: TxnId) -> Vec<TxnId> {
+        let mut unblocked = Vec::new();
+        let held = std::mem::take(&mut self.slots[txn].held);
+        if let Some(item) = self.slots[txn].waiting_for_item.take() {
+            if let Some(entry) = self.table.get_mut(&item) {
+                entry.queue.retain(|&(t, _)| t != txn);
+                if entry.holders.is_empty() && entry.queue.is_empty() {
+                    self.table.remove(&item);
+                } else {
+                    unblocked.extend(self.grant_waiters(item));
+                }
+            }
+        }
+        for item in held {
+            if let Some(entry) = self.table.get_mut(&item) {
+                entry.holders.retain(|&(h, _)| h != txn);
+                unblocked.extend(self.grant_waiters(item));
+            }
+        }
+        unblocked
+    }
+
+    /// The item `txn` is queued on, if any.
+    pub(crate) fn waiting_item(&self, txn: TxnId) -> Option<u64> {
+        self.slots[txn].waiting_for_item
+    }
+
+    /// Times `txn` has blocked since its `begin`.
+    pub(crate) fn blocked_count(&self, txn: TxnId) -> u64 {
+        self.slots[txn].blocked_count
+    }
+
+    /// Current holders of `item` (empty if unlocked).
+    pub(crate) fn holders_of(&self, item: u64) -> Vec<TxnId> {
+        self.table
+            .get(&item)
+            .map(|e| e.holders.iter().map(|&(h, _)| h).collect())
+            .unwrap_or_default()
+    }
+
+    /// Everything `txn`'s pending request directly waits on: holders that
+    /// conflict with the requested mode plus every waiter queued ahead
+    /// (FIFO means the whole prefix must drain first). Empty when `txn` is
+    /// not waiting. The queue-ahead part is conservative — a compatible
+    /// reader ahead would in fact be granted together — but conservatism
+    /// only costs extra wounds/dies, never correctness.
+    pub(crate) fn blocking_targets(&self, txn: TxnId) -> Vec<TxnId> {
+        let Some(item) = self.slots[txn].waiting_for_item else {
+            return Vec::new();
+        };
+        let Some(entry) = self.table.get(&item) else {
+            return Vec::new();
+        };
+        let Some(pos) = entry.queue.iter().position(|&(t, _)| t == txn) else {
+            return Vec::new();
+        };
+        let mode = entry.queue[pos].1;
+        let mut targets: Vec<TxnId> = entry
+            .holders
+            .iter()
+            .filter(|&&(h, m)| {
+                h != txn && !(m == Mode::Shared && mode == Mode::Shared)
+            })
+            .map(|&(h, _)| h)
+            .collect();
+        for &(t, _) in entry.queue.iter().take(pos) {
+            if t != txn && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        targets
+    }
+
+    /// Number of data items currently locked (table size), for tests.
+    pub(crate) fn locked_items(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_and_queue_basics() {
+        let mut lt = LockTable::new(3);
+        for t in 0..3 {
+            lt.begin(t);
+        }
+        assert_eq!(lt.request(0, 7, Mode::Exclusive), RequestOutcome::Granted);
+        assert_eq!(lt.request(1, 7, Mode::Shared), RequestOutcome::Queued);
+        assert_eq!(lt.request(2, 7, Mode::Shared), RequestOutcome::Queued);
+        assert_eq!(lt.release_all(0), vec![1, 2], "both readers grant together");
+    }
+
+    #[test]
+    fn blocking_targets_cover_holders_and_queue_prefix() {
+        let mut lt = LockTable::new(4);
+        for t in 0..4 {
+            lt.begin(t);
+        }
+        lt.request(0, 7, Mode::Exclusive);
+        lt.request(1, 7, Mode::Exclusive);
+        lt.request(2, 7, Mode::Exclusive);
+        let targets = lt.blocking_targets(2);
+        assert!(targets.contains(&0), "holder missing: {targets:?}");
+        assert!(targets.contains(&1), "queued-ahead missing: {targets:?}");
+        assert_eq!(lt.blocking_targets(0), Vec::<TxnId>::new());
+    }
+
+    #[test]
+    fn shared_shared_holders_do_not_conflict() {
+        let mut lt = LockTable::new(3);
+        for t in 0..3 {
+            lt.begin(t);
+        }
+        lt.request(0, 7, Mode::Shared);
+        lt.request(1, 7, Mode::Exclusive); // queued
+        lt.request(2, 7, Mode::Shared); // queued behind the writer
+        // Reader 2 conflicts with nothing it holds against reader 0, but
+        // FIFO makes it wait for the writer ahead.
+        let targets = lt.blocking_targets(2);
+        assert!(!targets.contains(&0), "S/S holders must not conflict");
+        assert!(targets.contains(&1));
+    }
+
+    #[test]
+    fn cancelled_upgrade_unblocks_queue_head() {
+        let mut lt = LockTable::new(3);
+        for t in 0..3 {
+            lt.begin(t);
+        }
+        lt.request(0, 7, Mode::Shared);
+        lt.request(1, 7, Mode::Shared);
+        assert_eq!(lt.request(0, 7, Mode::Exclusive), RequestOutcome::Queued);
+        // Aborting the upgrader releases its S lock and cancels the
+        // queued upgrade; nothing else is waiting.
+        let unblocked = lt.release_all(0);
+        assert!(unblocked.is_empty());
+        assert_eq!(lt.holders_of(7), vec![1]);
+    }
+
+    #[test]
+    fn table_shrinks_to_empty() {
+        let mut lt = LockTable::new(2);
+        lt.begin(0);
+        lt.request(0, 1, Mode::Shared);
+        lt.request(0, 2, Mode::Exclusive);
+        assert_eq!(lt.locked_items(), 2);
+        lt.release_all(0);
+        assert_eq!(lt.locked_items(), 0);
+    }
+
+    #[test]
+    fn blocked_count_accumulates() {
+        let mut lt = LockTable::new(2);
+        lt.begin(0);
+        lt.begin(1);
+        lt.request(0, 1, Mode::Exclusive);
+        assert_eq!(lt.request(1, 1, Mode::Shared), RequestOutcome::Queued);
+        assert_eq!(lt.blocked_count(1), 1);
+        assert_eq!(lt.blocked_count(0), 0);
+    }
+}

@@ -1,0 +1,402 @@
+//! Multiversion timestamp ordering (MVTO).
+//!
+//! The multiversion member of §1's non-blocking class (Bernstein et al.
+//! 1987 §5): every committed write of item `x` creates a new *version*
+//! stamped with its writer's timestamp. A reader with timestamp `ts`
+//! reads the youngest committed version not younger than itself
+//! (`max wts ≤ ts`) and records its read timestamp on that version.
+//! Reads therefore never block and never abort (unless their snapshot has
+//! been garbage-collected); only writers can be rejected — a write by
+//! `ts` must abort if some younger transaction already read the version
+//! the write would have superseded (`max_rts > ts` on the version
+//! preceding the write's slot).
+//!
+//! This implementation uses the *commit-time install* variant: writes are
+//! buffered privately and versions are installed atomically at commit, so
+//! readers only ever see committed data (recoverability for free). The
+//! write check runs twice — optimistically at access time (early abort)
+//! and authoritatively at validation.
+//!
+//! Version histories are pruned to the newest [`Mvto::max_versions`] per
+//! item; a reader whose snapshot predates the oldest retained version
+//! aborts with a "snapshot too old" outcome, exactly like the error
+//! real multiversion systems raise.
+
+use std::collections::HashMap;
+
+use super::{AccessOutcome, ConcurrencyControl, TxnId, ValidateOutcome};
+
+/// One committed version of an item.
+#[derive(Debug, Clone, Copy)]
+struct Version {
+    /// Writer's timestamp.
+    wts: u64,
+    /// Largest timestamp that read this version.
+    max_rts: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    ts: u64,
+    /// `(item, wts of the version read)` in access order.
+    reads: Vec<(u64, u64)>,
+    /// Buffered write intents.
+    writes: Vec<u64>,
+    /// Read-invalidation conflicts charged to this run.
+    conflicts: u64,
+}
+
+/// Multiversion timestamp ordering with commit-time version install.
+pub struct Mvto {
+    /// Version chains, ascending by `wts`. Absent item = only the initial
+    /// version `{wts: 0, max_rts: 0}` exists (created lazily on first
+    /// touch).
+    store: HashMap<u64, Vec<Version>>,
+    slots: Vec<Slot>,
+    max_versions: usize,
+}
+
+impl Mvto {
+    /// Default bound on retained versions per item.
+    pub const DEFAULT_MAX_VERSIONS: usize = 16;
+
+    /// Creates the protocol for `slots` transaction slots with the
+    /// default version-retention bound.
+    pub fn new(slots: usize) -> Self {
+        Self::with_max_versions(slots, Self::DEFAULT_MAX_VERSIONS)
+    }
+
+    /// Creates the protocol retaining at most `max_versions` committed
+    /// versions per item (≥ 1).
+    pub fn with_max_versions(slots: usize, max_versions: usize) -> Self {
+        assert!(max_versions >= 1, "at least one version must be retained");
+        Mvto {
+            store: HashMap::new(),
+            slots: vec![Slot::default(); slots],
+            max_versions,
+        }
+    }
+
+    /// The version-retention bound per item.
+    pub fn max_versions(&self) -> usize {
+        self.max_versions
+    }
+
+    /// Committed versions currently retained for `item` (1 if untouched:
+    /// the implicit initial version).
+    pub fn version_count(&self, item: u64) -> usize {
+        self.store.get(&item).map_or(1, Vec::len)
+    }
+
+    /// The reads `txn` has performed in its current run, as
+    /// `(item, wts of the version read)` pairs.
+    pub fn reads_of(&self, txn: TxnId) -> &[(u64, u64)] {
+        &self.slots[txn].reads
+    }
+
+    /// The write intents `txn` has buffered in its current run.
+    pub fn writes_of(&self, txn: TxnId) -> &[u64] {
+        &self.slots[txn].writes
+    }
+
+    fn chain(&mut self, item: u64) -> &mut Vec<Version> {
+        self.store.entry(item).or_insert_with(|| {
+            vec![Version {
+                wts: 0,
+                max_rts: 0,
+            }]
+        })
+    }
+
+    /// Index of the youngest version with `wts ≤ ts`, or `None` when the
+    /// snapshot has been pruned away.
+    fn visible_index(chain: &[Version], ts: u64) -> Option<usize> {
+        chain.iter().rposition(|v| v.wts <= ts)
+    }
+
+    /// The write rule: `ts` may write `item` iff nobody younger has read
+    /// the version the write would supersede.
+    fn write_permitted(chain: &[Version], ts: u64) -> bool {
+        match Self::visible_index(chain, ts) {
+            Some(i) => chain[i].max_rts <= ts,
+            // Snapshot pruned: the write would slot below the retention
+            // horizon where reads can no longer be tracked.
+            None => false,
+        }
+    }
+}
+
+impl ConcurrencyControl for Mvto {
+    fn name(&self) -> &'static str {
+        "mvto"
+    }
+
+    fn begin(&mut self, txn: TxnId, ts: u64) {
+        let slot = &mut self.slots[txn];
+        slot.ts = ts;
+        slot.reads.clear();
+        slot.writes.clear();
+        slot.conflicts = 0;
+    }
+
+    fn access(&mut self, txn: TxnId, item: u64, write: bool) -> AccessOutcome {
+        let ts = self.slots[txn].ts;
+        let chain = self.chain(item);
+        if write {
+            if !Self::write_permitted(chain, ts) {
+                self.slots[txn].conflicts += 1;
+                return AccessOutcome::Abort;
+            }
+            // Repeated writes to one item collapse into a single version.
+            if !self.slots[txn].writes.contains(&item) {
+                self.slots[txn].writes.push(item);
+            }
+            AccessOutcome::Granted
+        } else {
+            match Self::visible_index(chain, ts) {
+                Some(i) => {
+                    chain[i].max_rts = chain[i].max_rts.max(ts);
+                    let wts = chain[i].wts;
+                    self.slots[txn].reads.push((item, wts));
+                    AccessOutcome::Granted
+                }
+                None => {
+                    // Snapshot too old: every version ≤ ts was pruned.
+                    self.slots[txn].conflicts += 1;
+                    AccessOutcome::Abort
+                }
+            }
+        }
+    }
+
+    fn validate(&mut self, txn: TxnId) -> ValidateOutcome {
+        // Untouched item: only the initial version, unread.
+        const INITIAL: &[Version] = &[Version { wts: 0, max_rts: 0 }];
+        let ts = self.slots[txn].ts;
+        let mut failed = 0u64;
+        for &item in &self.slots[txn].writes {
+            let chain = self.store.get(&item).map_or(INITIAL, Vec::as_slice);
+            if !Self::write_permitted(chain, ts) {
+                failed += 1;
+            }
+        }
+        self.slots[txn].conflicts += failed;
+        ValidateOutcome {
+            ok: failed == 0,
+            conflicts: self.slots[txn].conflicts,
+        }
+    }
+
+    fn commit(&mut self, txn: TxnId) -> Vec<TxnId> {
+        let ts = self.slots[txn].ts;
+        let writes = std::mem::take(&mut self.slots[txn].writes);
+        let max_versions = self.max_versions;
+        for item in writes {
+            let chain = self.chain(item);
+            // Insert in wts order; the new version may land *behind*
+            // younger committed versions (interval insert).
+            let pos = chain.partition_point(|v| v.wts <= ts);
+            debug_assert!(
+                pos == 0 || chain[pos - 1].wts < ts,
+                "duplicate write timestamp {ts}"
+            );
+            chain.insert(
+                pos,
+                Version {
+                    wts: ts,
+                    max_rts: ts,
+                },
+            );
+            if chain.len() > max_versions {
+                let excess = chain.len() - max_versions;
+                chain.drain(..excess);
+            }
+        }
+        self.slots[txn].reads.clear();
+        Vec::new()
+    }
+
+    fn abort(&mut self, txn: TxnId) -> Vec<TxnId> {
+        let slot = &mut self.slots[txn];
+        slot.reads.clear();
+        slot.writes.clear();
+        Vec::new()
+    }
+
+    fn deadlock_victim(&mut self, _requester: TxnId) -> Option<TxnId> {
+        None // nothing ever blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_never_block_and_see_initial_version() {
+        let mut cc = Mvto::new(2);
+        cc.begin(0, 5);
+        assert_eq!(cc.access(0, 7, false), AccessOutcome::Granted);
+        assert_eq!(cc.reads_of(0), &[(7, 0)]);
+    }
+
+    #[test]
+    fn reader_sees_latest_committed_version_not_younger() {
+        let mut cc = Mvto::new(3);
+        cc.begin(0, 10);
+        assert_eq!(cc.access(0, 7, true), AccessOutcome::Granted);
+        assert!(cc.validate(0).ok);
+        cc.commit(0);
+        cc.begin(1, 20);
+        assert_eq!(cc.access(1, 7, true), AccessOutcome::Granted);
+        assert!(cc.validate(1).ok);
+        cc.commit(1);
+        // A reader between the two writers sees version 10, not 20.
+        cc.begin(2, 15);
+        assert_eq!(cc.access(2, 7, false), AccessOutcome::Granted);
+        assert_eq!(cc.reads_of(2), &[(7, 10)]);
+    }
+
+    #[test]
+    fn younger_read_invalidates_older_write_at_validate() {
+        let mut cc = Mvto::new(2);
+        cc.begin(0, 10); // older writer
+        cc.begin(1, 20); // younger reader
+        assert_eq!(cc.access(1, 7, false), AccessOutcome::Granted); // reads v0
+        assert_eq!(cc.access(0, 7, true), AccessOutcome::Abort, "early check");
+        // Had the write been buffered before the read, validation catches it.
+        let mut cc = Mvto::new(2);
+        cc.begin(0, 10);
+        cc.begin(1, 20);
+        assert_eq!(cc.access(0, 7, true), AccessOutcome::Granted);
+        assert_eq!(cc.access(1, 7, false), AccessOutcome::Granted);
+        let v = cc.validate(0);
+        assert!(!v.ok, "commit would invalidate the younger read");
+        assert_eq!(v.conflicts, 1);
+    }
+
+    #[test]
+    fn older_read_does_not_disturb_younger_write() {
+        let mut cc = Mvto::new(2);
+        cc.begin(0, 10); // older reader
+        cc.begin(1, 20); // younger writer
+        assert_eq!(cc.access(0, 7, false), AccessOutcome::Granted);
+        assert_eq!(cc.access(1, 7, true), AccessOutcome::Granted);
+        assert!(cc.validate(1).ok, "rts 10 < wts 20 is harmless");
+        cc.commit(1);
+        // And the old reader still sees v0 on a re-read.
+        assert_eq!(cc.access(0, 7, false), AccessOutcome::Granted);
+        assert_eq!(cc.reads_of(0), &[(7, 0), (7, 0)]);
+    }
+
+    #[test]
+    fn interval_insert_behind_younger_version() {
+        // A younger writer commits first; the older writer then slots its
+        // version *behind* — both serialize in timestamp order.
+        let mut cc = Mvto::new(3);
+        cc.begin(1, 20);
+        assert_eq!(cc.access(1, 7, true), AccessOutcome::Granted);
+        assert!(cc.validate(1).ok);
+        cc.commit(1);
+        cc.begin(0, 10);
+        assert_eq!(cc.access(0, 7, true), AccessOutcome::Granted);
+        assert!(cc.validate(0).ok);
+        cc.commit(0);
+        // Readers at 15 and 25 see the respective versions.
+        cc.begin(2, 15);
+        cc.access(2, 7, false);
+        assert_eq!(cc.reads_of(2), &[(7, 10)]);
+        cc.begin(2, 25);
+        cc.access(2, 7, false);
+        assert_eq!(cc.reads_of(2), &[(7, 20)]);
+    }
+
+    #[test]
+    fn write_write_without_reads_is_harmless() {
+        let mut cc = Mvto::new(2);
+        cc.begin(0, 10);
+        cc.begin(1, 20);
+        assert_eq!(cc.access(0, 7, true), AccessOutcome::Granted);
+        assert_eq!(cc.access(1, 7, true), AccessOutcome::Granted);
+        assert!(cc.validate(1).ok);
+        cc.commit(1);
+        assert!(cc.validate(0).ok, "blind write behind a blind write is fine");
+        cc.commit(0);
+        assert_eq!(cc.version_count(7), 3); // v0, v10, v20
+    }
+
+    #[test]
+    fn own_write_then_read_sees_committed_state_only() {
+        // The commit-time install variant buffers writes privately; a
+        // re-read within the same run still sees the committed snapshot.
+        let mut cc = Mvto::new(1);
+        cc.begin(0, 10);
+        assert_eq!(cc.access(0, 7, true), AccessOutcome::Granted);
+        assert_eq!(cc.access(0, 7, false), AccessOutcome::Granted);
+        assert_eq!(cc.reads_of(0), &[(7, 0)]);
+    }
+
+    #[test]
+    fn abort_discards_buffered_writes() {
+        let mut cc = Mvto::new(2);
+        cc.begin(0, 10);
+        cc.access(0, 7, true);
+        cc.abort(0);
+        assert_eq!(cc.version_count(7), 1, "nothing installed");
+        cc.begin(1, 20);
+        cc.access(1, 7, false);
+        assert_eq!(cc.reads_of(1), &[(7, 0)]);
+    }
+
+    #[test]
+    fn gc_caps_version_chains() {
+        let mut cc = Mvto::with_max_versions(1, 4);
+        for ts in 1..=10u64 {
+            cc.begin(0, ts);
+            assert_eq!(cc.access(0, 7, true), AccessOutcome::Granted);
+            assert!(cc.validate(0).ok);
+            cc.commit(0);
+        }
+        assert_eq!(cc.version_count(7), 4);
+    }
+
+    #[test]
+    fn pruned_snapshot_aborts_old_reader() {
+        let mut cc = Mvto::with_max_versions(2, 2);
+        for ts in [10u64, 20, 30] {
+            cc.begin(0, ts);
+            cc.access(0, 7, true);
+            assert!(cc.validate(0).ok);
+            cc.commit(0);
+        }
+        // Versions 20 and 30 retained; a reader at 15 predates both.
+        cc.begin(1, 15);
+        assert_eq!(cc.access(1, 7, false), AccessOutcome::Abort);
+        // A writer at 15 is likewise below the retention horizon.
+        cc.begin(1, 15);
+        assert_eq!(cc.access(1, 7, true), AccessOutcome::Abort);
+    }
+
+    #[test]
+    fn never_names_deadlock_victims() {
+        let mut cc = Mvto::new(2);
+        cc.begin(0, 1);
+        assert_eq!(cc.deadlock_victim(0), None);
+    }
+
+    #[test]
+    fn conflicts_are_reported_per_run() {
+        let mut cc = Mvto::new(2);
+        cc.begin(1, 20);
+        cc.access(1, 7, false);
+        cc.begin(0, 10);
+        assert_eq!(cc.access(0, 7, true), AccessOutcome::Abort);
+        // The engine aborts and restarts with a fresh ts; counters reset.
+        cc.abort(0);
+        cc.begin(0, 30);
+        assert_eq!(cc.access(0, 7, true), AccessOutcome::Granted);
+        let v = cc.validate(0);
+        assert!(v.ok);
+        assert_eq!(v.conflicts, 0);
+    }
+}

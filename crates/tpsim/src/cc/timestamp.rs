@@ -1,0 +1,176 @@
+//! Basic timestamp ordering.
+//!
+//! The second non-blocking representative of §1 ("e.g. timestamp
+//! ordering, optimistic CC"). Each item carries the largest reader
+//! timestamp `rts` and the writer timestamp `wts`; accesses arriving "too
+//! late" in timestamp order abort the transaction immediately, which then
+//! restarts with a *fresh* timestamp (avoiding livelock on the same
+//! ordering conflict).
+//!
+//! As usual in performance models, writes install at access time and are
+//! not rolled back on abort — recoverability machinery (deferred writes,
+//! commit dependencies) affects constants, not the contention shape this
+//! study needs. The simplification is documented here deliberately.
+
+use std::collections::HashMap;
+
+use super::{AccessOutcome, ConcurrencyControl, TxnId, ValidateOutcome};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ItemTs {
+    rts: u64,
+    wts: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TxnState {
+    ts: u64,
+    conflicts: u64,
+}
+
+/// Basic T/O.
+pub struct TimestampOrdering {
+    items: HashMap<u64, ItemTs>,
+    txns: Vec<TxnState>,
+}
+
+impl TimestampOrdering {
+    /// Creates the protocol for `slots` transaction slots.
+    pub fn new(slots: usize) -> Self {
+        TimestampOrdering {
+            items: HashMap::new(),
+            txns: vec![TxnState::default(); slots],
+        }
+    }
+}
+
+impl ConcurrencyControl for TimestampOrdering {
+    fn name(&self) -> &'static str {
+        "timestamp-ordering"
+    }
+
+    fn begin(&mut self, txn: TxnId, ts: u64) {
+        self.txns[txn] = TxnState { ts, conflicts: 0 };
+    }
+
+    fn access(&mut self, txn: TxnId, item: u64, write: bool) -> AccessOutcome {
+        let ts = self.txns[txn].ts;
+        let e = self.items.entry(item).or_default();
+        if write {
+            if ts < e.rts || ts < e.wts {
+                self.txns[txn].conflicts += 1;
+                return AccessOutcome::Abort;
+            }
+            e.wts = ts;
+        } else {
+            if ts < e.wts {
+                self.txns[txn].conflicts += 1;
+                return AccessOutcome::Abort;
+            }
+            e.rts = e.rts.max(ts);
+        }
+        AccessOutcome::Granted
+    }
+
+    fn validate(&mut self, txn: TxnId) -> ValidateOutcome {
+        ValidateOutcome {
+            ok: true,
+            conflicts: self.txns[txn].conflicts,
+        }
+    }
+
+    fn commit(&mut self, _txn: TxnId) -> Vec<TxnId> {
+        Vec::new()
+    }
+
+    fn abort(&mut self, _txn: TxnId) -> Vec<TxnId> {
+        Vec::new()
+    }
+
+    fn deadlock_victim(&mut self, _requester: TxnId) -> Option<TxnId> {
+        None // T/O never blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_accesses_proceed() {
+        let mut cc = TimestampOrdering::new(2);
+        cc.begin(0, 1);
+        cc.begin(1, 2);
+        assert_eq!(cc.access(0, 5, true), AccessOutcome::Granted);
+        assert_eq!(cc.access(1, 5, true), AccessOutcome::Granted);
+        assert!(cc.validate(1).ok);
+    }
+
+    #[test]
+    fn late_read_aborts() {
+        let mut cc = TimestampOrdering::new(2);
+        cc.begin(0, 1); // old
+        cc.begin(1, 2); // young
+        assert_eq!(cc.access(1, 5, true), AccessOutcome::Granted); // wts=2
+        assert_eq!(cc.access(0, 5, false), AccessOutcome::Abort); // ts 1 < wts 2
+    }
+
+    #[test]
+    fn late_write_after_read_aborts() {
+        let mut cc = TimestampOrdering::new(2);
+        cc.begin(0, 1);
+        cc.begin(1, 2);
+        assert_eq!(cc.access(1, 5, false), AccessOutcome::Granted); // rts=2
+        assert_eq!(cc.access(0, 5, true), AccessOutcome::Abort); // ts 1 < rts 2
+    }
+
+    #[test]
+    fn read_after_older_write_is_fine() {
+        let mut cc = TimestampOrdering::new(2);
+        cc.begin(0, 1);
+        cc.begin(1, 2);
+        assert_eq!(cc.access(0, 5, true), AccessOutcome::Granted); // wts=1
+        assert_eq!(cc.access(1, 5, false), AccessOutcome::Granted); // ts 2 >= wts 1
+    }
+
+    #[test]
+    fn restart_with_fresh_timestamp_succeeds() {
+        let mut cc = TimestampOrdering::new(2);
+        cc.begin(0, 1);
+        cc.begin(1, 2);
+        cc.access(1, 5, true);
+        assert_eq!(cc.access(0, 5, false), AccessOutcome::Abort);
+        cc.abort(0);
+        cc.begin(0, 3); // fresh, younger timestamp
+        assert_eq!(cc.access(0, 5, false), AccessOutcome::Granted);
+    }
+
+    #[test]
+    fn conflicts_are_counted() {
+        let mut cc = TimestampOrdering::new(2);
+        cc.begin(0, 1);
+        cc.begin(1, 2);
+        cc.access(1, 5, true);
+        cc.access(0, 5, false);
+        assert_eq!(cc.validate(0).conflicts, 1);
+    }
+
+    #[test]
+    fn never_blocks_or_names_victims() {
+        let mut cc = TimestampOrdering::new(1);
+        cc.begin(0, 1);
+        assert_eq!(cc.deadlock_victim(0), None);
+    }
+
+    #[test]
+    fn reads_by_many_raise_rts_monotonically() {
+        let mut cc = TimestampOrdering::new(3);
+        cc.begin(0, 5);
+        cc.begin(1, 3);
+        cc.begin(2, 4);
+        assert_eq!(cc.access(0, 7, false), AccessOutcome::Granted); // rts=5
+        assert_eq!(cc.access(1, 7, false), AccessOutcome::Granted); // reads never conflict with reads
+        // A writer younger than the max reader succeeds only at ts >= 5.
+        assert_eq!(cc.access(2, 7, true), AccessOutcome::Abort); // ts 4 < rts 5
+    }
+}

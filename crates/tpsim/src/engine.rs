@@ -1,0 +1,1384 @@
+//! The event-driven simulation engine (§7, Figure 11).
+//!
+//! One [`Simulator`] owns the calendar, the transaction slots, the CPU
+//! station, the gate, the CC protocol and (optionally) a load controller.
+//! Transactions flow:
+//!
+//! ```text
+//! terminal think ──Submit──▶ gate ──admit──▶ run: phase 0 .. k+1
+//!        ▲                     │ queue             │ per phase:
+//!        │                     ▼                   │ [access] → CPU → disk
+//!        └──────── commit ◀── validate ◀───────────┘
+//!                     │ fail: abort → restart delay → rerun
+//! ```
+//!
+//! Every `sample_interval_ms` a `Sample` event harvests the interval
+//! measurement, lets the controller adjust the gate bound, and records the
+//! trajectory points the paper's figures plot.
+
+use alc_core::controller::LoadController;
+use alc_core::sampler::IntervalSampler;
+use alc_des::dist::Sample as _;
+use alc_des::rng::{RngStream, SeedFactory};
+use alc_des::series::TimeSeries;
+use alc_des::stats::{TimeWeighted, Welford};
+use alc_des::{Calendar, SimTime};
+
+use crate::cc::{make_cc, AccessOutcome, ConcurrencyControl};
+use crate::config::{ArrivalProcess, CcKind, ControlConfig, SystemConfig};
+use crate::gate::SimGate;
+use crate::station::{CpuJob, CpuStation};
+use crate::txn::{Stage, Txn, TxnState};
+use crate::workload::WorkloadConfig;
+
+/// Simulator events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Terminal finished thinking; the transaction arrives at the gate.
+    Submit(usize),
+    /// An external arrival (open mode): claim a slot and submit.
+    Arrival,
+    /// A CPU burst completed.
+    CpuDone { txn: usize, generation: u64 },
+    /// A disk operation completed.
+    DiskDone { txn: usize, generation: u64 },
+    /// Restart delay elapsed; re-run the transaction.
+    RestartBegin { txn: usize, generation: u64 },
+    /// Measurement / control tick.
+    Sample,
+}
+
+/// Aggregate statistics of a (post-warm-up) run window.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunStats {
+    /// Measured window length, ms.
+    pub duration_ms: f64,
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted runs (restarts + displacements).
+    pub aborts: u64,
+    /// Commits per second.
+    pub throughput_per_sec: f64,
+    /// Mean response time (submission → commit), ms.
+    pub mean_response_ms: f64,
+    /// Time-averaged in-system transaction count (observed MPL).
+    pub mean_mpl: f64,
+    /// Time-averaged gate bound `n*`.
+    pub mean_bound: f64,
+    /// Aborted runs / all finished runs.
+    pub abort_ratio: f64,
+    /// Mean CPU utilization.
+    pub cpu_utilization: f64,
+    /// Transactions displaced by bound drops (only with displacement on).
+    pub displaced: u64,
+    /// Mean data conflicts per committed transaction.
+    pub conflicts_per_commit: f64,
+    /// Open mode only: arrivals rejected because the slot pool was
+    /// exhausted (always 0 in the closed model).
+    pub lost: u64,
+}
+
+/// The trajectory series the paper's figures plot, sampled once per
+/// measurement interval.
+#[derive(Debug, Clone)]
+pub struct Trajectories {
+    /// The controller's bound `n*(t)` (solid line of Figures 13/14).
+    pub bound: TimeSeries,
+    /// Observed MPL `n(t)`.
+    pub observed_mpl: TimeSeries,
+    /// Interval throughput, commits/s.
+    pub throughput: TimeSeries,
+    /// The analytic optimum `n_opt(t)` (broken line of Figures 13/14).
+    pub optimum: TimeSeries,
+    /// The workload's `k(t)`, for reference.
+    pub k: TimeSeries,
+}
+
+impl Trajectories {
+    fn new() -> Self {
+        Trajectories {
+            bound: TimeSeries::new("bound"),
+            observed_mpl: TimeSeries::new("observed_mpl"),
+            throughput: TimeSeries::new("throughput"),
+            optimum: TimeSeries::new("optimum"),
+            k: TimeSeries::new("k"),
+        }
+    }
+}
+
+struct Streams {
+    think: RngStream,
+    cpu: RngStream,
+    disk: RngStream,
+    access: RngStream,
+    mix: RngStream,
+    restart: RngStream,
+    arrival: RngStream,
+}
+
+/// The §7 transaction processing system simulator.
+pub struct Simulator {
+    sys: SystemConfig,
+    workload: WorkloadConfig,
+    control: ControlConfig,
+    cal: Calendar<Event>,
+    txns: Vec<Txn>,
+    cc: Box<dyn ConcurrencyControl>,
+    cpu: CpuStation,
+    gate: SimGate,
+    rng: Streams,
+    controller: Option<Box<dyn LoadController>>,
+    sampler: IntervalSampler,
+    ts_counter: u64,
+    /// Open mode: transaction slots currently unused (LIFO for cache
+    /// friendliness; slot identity carries no semantics in open mode).
+    free_slots: Vec<usize>,
+    // Aggregate statistics (reset at end of warm-up).
+    commits: u64,
+    aborts: u64,
+    conflicts: u64,
+    displaced: u64,
+    lost: u64,
+    response: Welford,
+    mpl_avg: TimeWeighted,
+    bound_avg: TimeWeighted,
+    window_start: SimTime,
+    trajectories: Trajectories,
+    optimum_cache: std::collections::HashMap<(u32, u32, u32, u32), u32>,
+    record_optimum: bool,
+    /// Cached Zipf sampler for the hot-spot extension, keyed by the skew
+    /// in force when it was built.
+    zipf_cache: Option<(f64, alc_des::dist::Zipf)>,
+}
+
+impl Simulator {
+    /// Builds a simulator. `controller = None` runs with the static
+    /// `control.initial_bound` (use `u32::MAX` for "no control").
+    pub fn new(
+        sys: SystemConfig,
+        workload: WorkloadConfig,
+        cc_kind: CcKind,
+        control: ControlConfig,
+        controller: Option<Box<dyn LoadController>>,
+    ) -> Self {
+        assert!(sys.terminals > 0, "a closed model needs terminals");
+        let seeds = SeedFactory::new(sys.seed);
+        let t0 = SimTime::ZERO;
+        let initial_bound = controller
+            .as_ref()
+            .map_or(control.initial_bound, |c| c.current_bound());
+        let mut sim = Simulator {
+            cal: Calendar::new(),
+            txns: (0..sys.terminals).map(|_| Txn::new()).collect(),
+            cc: make_cc(cc_kind, sys.terminals as usize),
+            cpu: CpuStation::new(sys.cpus, t0),
+            gate: SimGate::new(initial_bound),
+            rng: Streams {
+                think: seeds.stream("think"),
+                cpu: seeds.stream("cpu"),
+                disk: seeds.stream("disk"),
+                access: seeds.stream("access"),
+                mix: seeds.stream("mix"),
+                restart: seeds.stream("restart"),
+                arrival: seeds.stream("arrival"),
+            },
+            controller,
+            sampler: IntervalSampler::new(control.indicator, 0.0, 0),
+            ts_counter: 0,
+            free_slots: Vec::new(),
+            commits: 0,
+            aborts: 0,
+            conflicts: 0,
+            displaced: 0,
+            lost: 0,
+            response: Welford::new(),
+            mpl_avg: TimeWeighted::new(t0, 0.0),
+            bound_avg: TimeWeighted::new(t0, f64::from(initial_bound).min(1e9)),
+            window_start: t0,
+            trajectories: Trajectories::new(),
+            optimum_cache: std::collections::HashMap::new(),
+            record_optimum: true,
+            zipf_cache: None,
+            sys,
+            workload,
+            control,
+        };
+        match sim.sys.arrival {
+            ArrivalProcess::Closed => {
+                // Terminals start thinking; their first submissions
+                // stagger naturally through the think-time distribution.
+                for i in 0..sim.sys.terminals as usize {
+                    let delay = sim.sys.think.sample(&mut sim.rng.think);
+                    sim.cal.schedule(t0 + delay, Event::Submit(i));
+                }
+            }
+            ArrivalProcess::Open { interarrival } => {
+                sim.free_slots = (0..sim.sys.terminals as usize).rev().collect();
+                let delay = interarrival.sample(&mut sim.rng.arrival);
+                sim.cal.schedule(t0 + delay, Event::Arrival);
+            }
+        }
+        sim.cal
+            .schedule(t0 + sim.control.sample_interval_ms, Event::Sample);
+        sim
+    }
+
+    /// Disables the (potentially costly) analytic-optimum trajectory.
+    pub fn set_record_optimum(&mut self, on: bool) {
+        self.record_optimum = on;
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.cal.now()
+    }
+
+    /// The gate (bound, population, queue length).
+    pub fn gate(&self) -> &SimGate {
+        &self.gate
+    }
+
+    /// The recorded trajectories.
+    pub fn trajectories(&self) -> &Trajectories {
+        &self.trajectories
+    }
+
+    /// Runs until `until_ms`, then returns the statistics of the window
+    /// since the last [`Simulator::reset_window`] (or construction).
+    pub fn run_until(&mut self, until_ms: f64) -> RunStats {
+        let t_end = SimTime::new(until_ms);
+        while let Some(t) = self.cal.peek_time() {
+            if t > t_end {
+                break;
+            }
+            let (_, ev) = self.cal.pop().expect("peeked event must pop");
+            self.handle(ev);
+        }
+        self.stats_at(t_end)
+    }
+
+    /// Convenience: runs `warmup_ms` (from the control config), resets the
+    /// statistics window, then runs to `horizon_ms` and reports.
+    pub fn run(&mut self, horizon_ms: f64) -> RunStats {
+        let warmup = self.control.warmup_ms.min(horizon_ms);
+        if warmup > 0.0 {
+            self.run_until(warmup);
+            self.reset_window();
+        }
+        self.run_until(horizon_ms)
+    }
+
+    /// Restarts the aggregate-statistics window (end of warm-up).
+    pub fn reset_window(&mut self) {
+        let now = self.now();
+        self.commits = 0;
+        self.aborts = 0;
+        self.conflicts = 0;
+        self.displaced = 0;
+        self.lost = 0;
+        self.response = Welford::new();
+        self.mpl_avg.reset(now);
+        self.bound_avg.reset(now);
+        self.cpu.reset_stats(now);
+        self.window_start = now;
+    }
+
+    fn stats_at(&self, t_end: SimTime) -> RunStats {
+        let duration = (t_end - self.window_start).max(f64::EPSILON);
+        let finished = self.commits + self.aborts;
+        RunStats {
+            duration_ms: duration,
+            commits: self.commits,
+            aborts: self.aborts,
+            throughput_per_sec: self.commits as f64 * 1000.0 / duration,
+            mean_response_ms: self.response.mean(),
+            mean_mpl: self.mpl_avg.average(t_end),
+            mean_bound: self.bound_avg.average(t_end),
+            abort_ratio: if finished == 0 {
+                0.0
+            } else {
+                self.aborts as f64 / finished as f64
+            },
+            cpu_utilization: self.cpu.mean_utilization(t_end),
+            displaced: self.displaced,
+            conflicts_per_commit: if self.commits == 0 {
+                0.0
+            } else {
+                self.conflicts as f64 / self.commits as f64
+            },
+            lost: self.lost,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Submit(i) => self.on_submit(i),
+            Event::Arrival => self.on_arrival(),
+            Event::CpuDone { txn, generation } => self.on_cpu_done(txn, generation),
+            Event::DiskDone { txn, generation } => self.on_disk_done(txn, generation),
+            Event::RestartBegin { txn, generation } => self.on_restart(txn, generation),
+            Event::Sample => self.on_sample(),
+        }
+    }
+
+    /// Open mode: claim a free slot for the arriving transaction (or
+    /// count it lost) and schedule the next arrival.
+    fn on_arrival(&mut self) {
+        let ArrivalProcess::Open { interarrival } = self.sys.arrival else {
+            debug_assert!(false, "Arrival event in closed mode");
+            return;
+        };
+        match self.free_slots.pop() {
+            Some(i) => self.on_submit(i),
+            None => self.lost += 1,
+        }
+        let delay = interarrival.sample(&mut self.rng.arrival);
+        self.cal.schedule_in(delay, Event::Arrival);
+    }
+
+    fn on_submit(&mut self, i: usize) {
+        let now = self.now();
+        debug_assert_eq!(self.txns[i].state, TxnState::Thinking);
+        self.txns[i].submitted_at = now;
+        if self.gate.arrive(i) {
+            self.note_mpl();
+            self.start_instance(i);
+        } else {
+            self.txns[i].state = TxnState::Queued;
+        }
+    }
+
+    /// Admission: draw a fresh instance (access set, mix) from the
+    /// workload schedules at the current time and start running.
+    fn start_instance(&mut self, i: usize) {
+        let now = self.now();
+        let w = self.workload.at(now.millis());
+        let is_query = self.rng.mix.chance(w.query_frac);
+        let items = self.draw_access_set(w.k as usize, w.access_skew);
+        let marked: Vec<(u64, bool)> = items
+            .into_iter()
+            .map(|item| {
+                let write = !is_query && self.rng.mix.chance(w.write_frac);
+                (item, write)
+            })
+            .collect();
+        let txn = &mut self.txns[i];
+        txn.items = marked;
+        txn.is_query = is_query;
+        txn.restarts = 0;
+        self.begin_run(i);
+    }
+
+    /// Draws `k` distinct items: uniformly for `skew = 0` (the paper's
+    /// "no hot spots"), Zipf-skewed otherwise (hot-spot extension; the
+    /// paper's uniform model is the `skew = 0` special case).
+    fn draw_access_set(&mut self, k: usize, skew: f64) -> Vec<u64> {
+        if skew <= 0.0 {
+            return self.rng.access.distinct_below(self.sys.db_size, k);
+        }
+        let rebuild = match &self.zipf_cache {
+            Some((theta, _)) => (theta - skew).abs() > 1e-12,
+            None => true,
+        };
+        if rebuild {
+            self.zipf_cache = Some((skew, alc_des::dist::Zipf::new(self.sys.db_size, skew)));
+        }
+        let zipf = &self.zipf_cache.as_ref().expect("just built").1;
+        let mut set = std::collections::HashSet::with_capacity(k);
+        let mut out = Vec::with_capacity(k);
+        // Rejection on duplicates; under extreme skew fall back to filling
+        // with the coldest untouched items so the draw always terminates.
+        let mut attempts = 0;
+        while out.len() < k && attempts < 64 * k {
+            let item = zipf.sample(&mut self.rng.access);
+            attempts += 1;
+            if set.insert(item) {
+                out.push(item);
+            }
+        }
+        let mut fill = self.sys.db_size;
+        while out.len() < k {
+            fill -= 1;
+            if set.insert(fill) {
+                out.push(fill);
+            }
+        }
+        out
+    }
+
+    /// (Re)starts execution of the current instance from phase 0.
+    fn begin_run(&mut self, i: usize) {
+        let now = self.now();
+        self.ts_counter += 1;
+        let ts = self.ts_counter;
+        {
+            let txn = &mut self.txns[i];
+            txn.generation += 1;
+            txn.ts = ts;
+            txn.run_started_at = now;
+            txn.state = TxnState::Running {
+                phase: 0,
+                stage: Stage::Cpu,
+            };
+        }
+        self.cc.begin(i, ts);
+        self.request_cpu(i);
+    }
+
+    fn request_cpu(&mut self, i: usize) {
+        let now = self.now();
+        let burst = self.sys.cpu_phase.sample(&mut self.rng.cpu);
+        let job = CpuJob {
+            txn: i,
+            generation: self.txns[i].generation,
+            burst_ms: burst,
+        };
+        if let Some(job) = self.cpu.offer(now, job) {
+            self.cal.schedule_in(
+                job.burst_ms,
+                Event::CpuDone {
+                    txn: job.txn,
+                    generation: job.generation,
+                },
+            );
+        }
+    }
+
+    fn on_cpu_done(&mut self, i: usize, generation: u64) {
+        let now = self.now();
+        // The server frees regardless of whether the run is still alive;
+        // dispatch the next live job.
+        let txns = &self.txns;
+        if let Some(job) = self
+            .cpu
+            .complete(now, |j| j.generation != txns[j.txn].generation)
+        {
+            self.cal.schedule_in(
+                job.burst_ms,
+                Event::CpuDone {
+                    txn: job.txn,
+                    generation: job.generation,
+                },
+            );
+        }
+        if self.txns[i].generation != generation {
+            return; // burst belonged to an aborted run
+        }
+        // CPU half done → disk half. Access phases hit (mostly cached)
+        // data pages; init/commit phases pay the fixed I/O (catalog, log).
+        if let TxnState::Running { phase, .. } = self.txns[i].state {
+            self.txns[i].state = TxnState::Running {
+                phase,
+                stage: Stage::Disk,
+            };
+            let k = self.txns[i].k();
+            let d = if phase >= 1 && phase <= k {
+                self.sys.disk_access.sample(&mut self.rng.disk)
+            } else {
+                self.sys.disk_init_commit.sample(&mut self.rng.disk)
+            };
+            self.cal.schedule_in(d, Event::DiskDone { txn: i, generation });
+        } else {
+            debug_assert!(false, "CpuDone for a non-running transaction");
+        }
+    }
+
+    fn on_disk_done(&mut self, i: usize, generation: u64) {
+        if self.txns[i].generation != generation {
+            return;
+        }
+        let TxnState::Running { phase, .. } = self.txns[i].state else {
+            debug_assert!(false, "DiskDone for a non-running transaction");
+            return;
+        };
+        let k = self.txns[i].k();
+        if phase == k + 1 {
+            self.finalize_commit(i);
+        } else {
+            self.enter_phase(i, phase + 1);
+        }
+    }
+
+    /// Starts phase `phase` (1..=k: access + CPU + disk; k+1: commit
+    /// processing CPU + disk).
+    fn enter_phase(&mut self, i: usize, phase: u32) {
+        let k = self.txns[i].k();
+        self.txns[i].state = TxnState::Running {
+            phase,
+            stage: Stage::Cpu,
+        };
+        if phase >= 1 && phase <= k {
+            let (item, write) = self.txns[i].items[(phase - 1) as usize];
+            match self.cc.access(i, item, write) {
+                AccessOutcome::Granted => self.request_cpu(i),
+                AccessOutcome::Blocked => {
+                    self.txns[i].state = TxnState::Blocked { phase };
+                    // Drain the protocol's victims: a detector breaks one
+                    // cycle per call, wound-wait preempts younger blockers
+                    // one at a time, wait-die kills the requester itself.
+                    let mut guard = 0usize;
+                    while let Some(victim) = self.cc.deadlock_victim(i) {
+                        self.abort_run(victim, RestartMode::Delayed);
+                        if victim == i {
+                            break; // the requester itself died
+                        }
+                        guard += 1;
+                        debug_assert!(
+                            guard <= self.txns.len(),
+                            "deadlock-victim loop did not converge"
+                        );
+                    }
+                }
+                AccessOutcome::Abort => {
+                    self.abort_run(i, RestartMode::Delayed);
+                }
+            }
+        } else {
+            // Phase 0 (init) and phase k+1 (commit processing): no access.
+            self.request_cpu(i);
+        }
+    }
+
+    fn finalize_commit(&mut self, i: usize) {
+        let now = self.now();
+        let v = self.cc.validate(i);
+        if v.ok {
+            let unblocked = self.cc.commit(i);
+            self.conflicts += v.conflicts;
+            self.sampler.on_conflicts(v.conflicts);
+            let response = now - self.txns[i].submitted_at;
+            self.sampler.on_commit(response);
+            self.response.push(response);
+            self.commits += 1;
+            // Departure: back to the terminal (closed) or out of the
+            // system, returning the slot (open).
+            self.txns[i].state = TxnState::Thinking;
+            match self.sys.arrival {
+                ArrivalProcess::Closed => {
+                    let think = self.sys.think.sample(&mut self.rng.think);
+                    self.cal.schedule_in(think, Event::Submit(i));
+                }
+                ArrivalProcess::Open { .. } => {
+                    self.free_slots.push(i);
+                }
+            }
+            // Free the MPL slot and admit waiters.
+            let admitted = self.gate.depart();
+            self.note_mpl();
+            for a in admitted {
+                self.txns[a].state = TxnState::Thinking; // transient
+                self.note_mpl();
+                self.start_instance(a);
+            }
+            for u in unblocked {
+                self.resume_unblocked(u);
+            }
+        } else {
+            self.sampler.on_abort(v.conflicts);
+            self.conflicts += v.conflicts;
+            self.abort_run(i, RestartMode::Delayed);
+        }
+    }
+
+    fn resume_unblocked(&mut self, u: usize) {
+        let TxnState::Blocked { phase } = self.txns[u].state else {
+            debug_assert!(false, "unblock of a non-blocked transaction");
+            return;
+        };
+        self.txns[u].state = TxnState::Running {
+            phase,
+            stage: Stage::Cpu,
+        };
+        self.request_cpu(u);
+    }
+
+    fn abort_run(&mut self, i: usize, mode: RestartMode) {
+        let now = self.now();
+        let unblocked = self.cc.abort(i);
+        self.aborts += 1;
+        self.txns[i].generation += 1; // kill in-flight events
+        self.txns[i].restarts += 1;
+        match mode {
+            RestartMode::Delayed => {
+                self.txns[i].state = TxnState::RestartWait;
+                let d = self.sys.restart_delay.sample(&mut self.rng.restart);
+                let generation = self.txns[i].generation;
+                self.cal
+                    .schedule_in(d, Event::RestartBegin { txn: i, generation });
+            }
+            RestartMode::Displaced => {
+                self.displaced += 1;
+                self.txns[i].state = TxnState::Queued;
+                self.gate.displace(i);
+                self.note_mpl();
+                let _ = now;
+            }
+        }
+        for u in unblocked {
+            self.resume_unblocked(u);
+        }
+    }
+
+    fn on_restart(&mut self, i: usize, generation: u64) {
+        if self.txns[i].generation != generation {
+            return;
+        }
+        debug_assert_eq!(self.txns[i].state, TxnState::RestartWait);
+        if self.sys.resample_on_restart {
+            // Fresh access set from the *current* workload (re-planned run).
+            let keep_restarts = self.txns[i].restarts;
+            self.start_instance(i);
+            self.txns[i].restarts = keep_restarts;
+        } else {
+            self.begin_run(i);
+        }
+    }
+
+    fn on_sample(&mut self) {
+        let now = self.now();
+        let m = self.sampler.harvest(now.millis());
+        if let Some(ctrl) = self.controller.as_mut() {
+            let bound = ctrl.update(&m);
+            self.bound_avg.set(now, f64::from(bound).min(1e9));
+            let admitted = self.gate.set_bound(bound);
+            self.note_mpl();
+            for a in admitted {
+                self.start_instance(a);
+            }
+            if self.control.displacement {
+                // §4.3 displacement: abort in-system transactions per the
+                // configured victim policy until the new bound holds.
+                let mut excess = self.gate.excess();
+                while excess > 0 {
+                    match self.select_displacement_victim() {
+                        Some(v) => self.abort_run(v, RestartMode::Displaced),
+                        None => break,
+                    }
+                    excess = self.gate.excess();
+                }
+            }
+        }
+        // Trajectory points.
+        let w = self.workload.at(now.millis());
+        let bound_now = self.gate.bound();
+        self.trajectories
+            .bound
+            .push(now, f64::from(bound_now.min(1_000_000)));
+        self.trajectories.observed_mpl.push(now, m.observed_mpl);
+        self.trajectories
+            .throughput
+            .push(now, m.throughput_per_sec());
+        self.trajectories.k.push(now, f64::from(w.k));
+        if self.record_optimum {
+            let key = (
+                w.k,
+                (w.query_frac * 1000.0) as u32,
+                (w.write_frac * 1000.0) as u32,
+                (w.access_skew * 1000.0) as u32,
+            );
+            let sys = &self.sys;
+            let workload = &self.workload;
+            let n_opt = *self.optimum_cache.entry(key).or_insert_with(|| {
+                workload.analytic_optimum(now.millis(), sys, sys.terminals.max(2))
+            });
+            self.trajectories.optimum.push(now, f64::from(n_opt));
+        }
+        self.cal
+            .schedule_in(self.control.sample_interval_ms, Event::Sample);
+    }
+
+    /// Picks the next displacement victim among in-system transactions per
+    /// `control.victim_policy`. Progress-based policies break ties by age
+    /// (youngest preferred) so repeated displacement stays deterministic.
+    fn select_displacement_victim(&self) -> Option<usize> {
+        use crate::config::VictimPolicy;
+        let candidates = self
+            .txns
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.in_system());
+        match self.control.victim_policy {
+            VictimPolicy::Youngest => candidates.max_by_key(|(_, t)| t.ts),
+            VictimPolicy::Oldest => candidates.min_by_key(|(_, t)| t.ts),
+            VictimPolicy::LeastProgress => {
+                candidates.min_by_key(|(_, t)| (t.progress(), std::cmp::Reverse(t.ts)))
+            }
+            VictimPolicy::MostProgress => candidates.max_by_key(|(_, t)| (t.progress(), t.ts)),
+        }
+        .map(|(idx, _)| idx)
+    }
+
+    fn note_mpl(&mut self) {
+        let now = self.now();
+        let n = self.gate.in_system();
+        self.mpl_avg.set(now, f64::from(n));
+        self.sampler.on_mpl_change(now.millis(), n);
+    }
+}
+
+/// How an aborted run re-enters execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RestartMode {
+    /// Restart inside the system after the restart delay (keeps its MPL
+    /// slot) — the normal abort path.
+    Delayed,
+    /// Displacement victim: leaves the system and re-queues at the gate.
+    Displaced,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alc_core::controller::{FixedBound, IncrementalSteps, IsParams};
+    use alc_des::dist::Dist;
+
+    fn small_sys(terminals: u32, seed: u64) -> SystemConfig {
+        SystemConfig {
+            terminals,
+            arrival: ArrivalProcess::Closed,
+            cpus: 4,
+            cpu_phase: Dist::exponential(4.0),
+            disk_access: Dist::constant(3.0),
+            disk_init_commit: Dist::constant(40.0),
+            think: Dist::exponential(200.0),
+            restart_delay: Dist::constant(2.0),
+            db_size: 500,
+            resample_on_restart: true,
+            seed,
+        }
+    }
+
+    fn no_control(bound: u32) -> ControlConfig {
+        ControlConfig {
+            sample_interval_ms: 500.0,
+            initial_bound: bound,
+            warmup_ms: 2_000.0,
+            ..ControlConfig::default()
+        }
+    }
+
+    fn run_fixed(
+        terminals: u32,
+        bound: u32,
+        cc: CcKind,
+        workload: WorkloadConfig,
+        horizon: f64,
+        seed: u64,
+    ) -> RunStats {
+        let mut sim = Simulator::new(small_sys(terminals, seed), workload, cc, no_control(bound), None);
+        sim.set_record_optimum(false);
+        sim.run(horizon)
+    }
+
+    #[test]
+    fn transactions_flow_and_commit() {
+        let stats = run_fixed(
+            20,
+            u32::MAX,
+            CcKind::Certification,
+            WorkloadConfig::default(),
+            20_000.0,
+            1,
+        );
+        assert!(stats.commits > 100, "only {} commits", stats.commits);
+        assert!(stats.mean_response_ms > 0.0);
+        assert!(stats.mean_mpl > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_fixed(
+            15,
+            10,
+            CcKind::Certification,
+            WorkloadConfig::default(),
+            10_000.0,
+            42,
+        );
+        let b = run_fixed(
+            15,
+            10,
+            CcKind::Certification,
+            WorkloadConfig::default(),
+            10_000.0,
+            42,
+        );
+        assert_eq!(a, b, "same seed must give identical statistics");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_fixed(
+            15,
+            10,
+            CcKind::Certification,
+            WorkloadConfig::default(),
+            10_000.0,
+            1,
+        );
+        let b = run_fixed(
+            15,
+            10,
+            CcKind::Certification,
+            WorkloadConfig::default(),
+            10_000.0,
+            2,
+        );
+        assert_ne!(a.commits, b.commits);
+    }
+
+    #[test]
+    fn gate_bound_caps_mpl() {
+        let stats = run_fixed(
+            40,
+            5,
+            CcKind::Certification,
+            WorkloadConfig::default(),
+            15_000.0,
+            3,
+        );
+        assert!(
+            stats.mean_mpl <= 5.0 + 1e-9,
+            "observed MPL {} exceeds bound 5",
+            stats.mean_mpl
+        );
+    }
+
+    #[test]
+    fn read_only_workload_never_aborts() {
+        let workload = WorkloadConfig {
+            query_frac: alc_analytic::surface::Schedule::Constant(1.0),
+            ..WorkloadConfig::default()
+        };
+        for cc in [CcKind::Certification, CcKind::TwoPhaseLocking] {
+            let stats = run_fixed(20, u32::MAX, cc, workload.clone(), 15_000.0, 4);
+            assert_eq!(stats.aborts, 0, "{cc:?} aborted read-only txns");
+            assert!(stats.commits > 50);
+        }
+    }
+
+    #[test]
+    fn contention_causes_aborts_under_certification() {
+        // Tiny database + heavy writes: certification must abort runs.
+        let workload = WorkloadConfig {
+            k: alc_analytic::surface::Schedule::Constant(8.0),
+            query_frac: alc_analytic::surface::Schedule::Constant(0.0),
+            write_frac: alc_analytic::surface::Schedule::Constant(1.0),
+            ..WorkloadConfig::default()
+        };
+        let mut sys = small_sys(30, 5);
+        sys.db_size = 60;
+        let mut sim = Simulator::new(
+            sys,
+            workload,
+            CcKind::Certification,
+            no_control(u32::MAX),
+            None,
+        );
+        sim.set_record_optimum(false);
+        let stats = sim.run(15_000.0);
+        assert!(stats.aborts > 20, "only {} aborts", stats.aborts);
+        assert!(stats.abort_ratio > 0.1);
+    }
+
+    #[test]
+    fn all_protocols_make_progress_under_contention() {
+        let workload = WorkloadConfig {
+            k: alc_analytic::surface::Schedule::Constant(6.0),
+            query_frac: alc_analytic::surface::Schedule::Constant(0.1),
+            write_frac: alc_analytic::surface::Schedule::Constant(0.5),
+            ..WorkloadConfig::default()
+        };
+        for cc in CcKind::ALL {
+            let mut sys = small_sys(25, 6);
+            sys.db_size = 300;
+            let mut sim = Simulator::new(sys, workload.clone(), cc, no_control(u32::MAX), None);
+            sim.set_record_optimum(false);
+            let stats = sim.run(20_000.0);
+            assert!(
+                stats.commits > 100,
+                "{cc:?} starved: {} commits",
+                stats.commits
+            );
+        }
+    }
+
+    #[test]
+    fn prevention_protocols_abort_instead_of_deadlocking() {
+        // Heavy write contention on a small database: detection and
+        // prevention must all keep committing; the prevention pair pays
+        // with aborts where the detector only aborts on real cycles.
+        let workload = WorkloadConfig {
+            k: alc_analytic::surface::Schedule::Constant(8.0),
+            query_frac: alc_analytic::surface::Schedule::Constant(0.0),
+            write_frac: alc_analytic::surface::Schedule::Constant(1.0),
+            ..WorkloadConfig::default()
+        };
+        let run = |cc: CcKind| {
+            let mut sys = small_sys(30, 21);
+            sys.db_size = 80;
+            let mut sim = Simulator::new(sys, workload.clone(), cc, no_control(u32::MAX), None);
+            sim.set_record_optimum(false);
+            sim.run(20_000.0)
+        };
+        let detect = run(CcKind::TwoPhaseLocking);
+        let wound = run(CcKind::WoundWait);
+        let die = run(CcKind::WaitDie);
+        for (name, s) in [("2pl", &detect), ("wound-wait", &wound), ("wait-die", &die)] {
+            assert!(s.commits > 100, "{name} starved: {} commits", s.commits);
+        }
+        assert!(
+            wound.aborts > detect.aborts && die.aborts > detect.aborts,
+            "prevention should abort more than detection: 2pl {} vs ww {} / wd {}",
+            detect.aborts,
+            wound.aborts,
+            die.aborts
+        );
+    }
+
+    #[test]
+    fn mvto_queries_do_not_abort() {
+        // MVTO's headline property: read-only transactions never abort,
+        // even under write contention (unless their snapshot is pruned,
+        // which a 25-terminal run never reaches).
+        let workload = WorkloadConfig {
+            k: alc_analytic::surface::Schedule::Constant(6.0),
+            query_frac: alc_analytic::surface::Schedule::Constant(0.5),
+            write_frac: alc_analytic::surface::Schedule::Constant(0.8),
+            ..WorkloadConfig::default()
+        };
+        let run = |cc: CcKind| {
+            let mut sys = small_sys(25, 22);
+            sys.db_size = 100;
+            let mut sim = Simulator::new(sys, workload.clone(), cc, no_control(u32::MAX), None);
+            sim.set_record_optimum(false);
+            sim.run(20_000.0)
+        };
+        let occ = run(CcKind::Certification);
+        let mv = run(CcKind::Multiversion);
+        assert!(mv.commits > 100, "mvto starved");
+        assert!(
+            mv.abort_ratio < occ.abort_ratio,
+            "mvto should abort less than certification under a query mix: {} vs {}",
+            mv.abort_ratio,
+            occ.abort_ratio
+        );
+    }
+
+    #[test]
+    fn throughput_matches_mva_without_contention() {
+        // Read-only => no CC effects; the closed network must match MVA.
+        let workload = WorkloadConfig {
+            k: alc_analytic::surface::Schedule::Constant(8.0),
+            query_frac: alc_analytic::surface::Schedule::Constant(1.0),
+            ..WorkloadConfig::default()
+        };
+        let sys = SystemConfig {
+            terminals: 60,
+            arrival: ArrivalProcess::Closed,
+            cpus: 4,
+            cpu_phase: Dist::exponential(4.0),
+            disk_access: Dist::constant(3.0),
+            disk_init_commit: Dist::constant(40.0),
+            think: Dist::exponential(500.0),
+            restart_delay: Dist::constant(2.0),
+            db_size: 10_000,
+            resample_on_restart: true,
+            seed: 7,
+        };
+        let mut sim = Simulator::new(
+            sys,
+            workload,
+            CcKind::Certification,
+            ControlConfig {
+                initial_bound: u32::MAX,
+                warmup_ms: 10_000.0,
+                ..ControlConfig::default()
+            },
+            None,
+        );
+        sim.set_record_optimum(false);
+        let stats = sim.run(120_000.0);
+        // MVA reference: CPU demand 10 phases * 4ms, delay = disk 100ms +
+        // think 500ms.
+        let net = alc_analytic::mva::ClosedNetwork::new(40.0, 4, 100.0 + 500.0);
+        let x = net.throughput(60) * 1000.0; // per second
+        let rel_err = (stats.throughput_per_sec - x).abs() / x;
+        assert!(
+            rel_err < 0.08,
+            "simulated {} vs MVA {} (rel err {:.3})",
+            stats.throughput_per_sec,
+            x,
+            rel_err
+        );
+    }
+
+    #[test]
+    fn controller_trajectory_is_recorded() {
+        let ctrl = IncrementalSteps::new(IsParams {
+            initial_bound: 5,
+            max_bound: 60,
+            ..IsParams::default()
+        });
+        let mut sim = Simulator::new(
+            small_sys(30, 8),
+            WorkloadConfig::default(),
+            CcKind::Certification,
+            ControlConfig {
+                sample_interval_ms: 500.0,
+                warmup_ms: 0.0,
+                ..ControlConfig::default()
+            },
+            Some(Box::new(ctrl)),
+        );
+        sim.set_record_optimum(false);
+        sim.run_until(20_000.0);
+        let traj = sim.trajectories();
+        assert!(traj.bound.len() >= 35, "samples: {}", traj.bound.len());
+        assert!(traj.throughput.len() == traj.bound.len());
+        // The controller must have moved the bound off its start value.
+        let bounds: Vec<f64> = traj.bound.points().iter().map(|&(_, v)| v).collect();
+        assert!(bounds.iter().any(|&b| (b - 5.0).abs() > 0.5));
+    }
+
+    #[test]
+    fn fixed_bound_controller_equivalent_to_static_gate() {
+        let a = {
+            let mut sim = Simulator::new(
+                small_sys(20, 9),
+                WorkloadConfig::default(),
+                CcKind::Certification,
+                no_control(8),
+                None,
+            );
+            sim.set_record_optimum(false);
+            sim.run(15_000.0)
+        };
+        let b = {
+            let mut sim = Simulator::new(
+                small_sys(20, 9),
+                WorkloadConfig::default(),
+                CcKind::Certification,
+                no_control(8),
+                Some(Box::new(FixedBound::new(8))),
+            );
+            sim.set_record_optimum(false);
+            sim.run(15_000.0)
+        };
+        assert_eq!(a.commits, b.commits);
+        assert!((a.throughput_per_sec - b.throughput_per_sec).abs() < 1e-9);
+    }
+
+    #[test]
+    fn displacement_enforces_bound_drop() {
+        // A controller that slams the bound down mid-run.
+        struct Slammer {
+            at: u32,
+            calls: u32,
+        }
+        impl LoadController for Slammer {
+            fn name(&self) -> &'static str {
+                "slammer"
+            }
+            fn update(&mut self, _m: &alc_core::measure::Measurement) -> u32 {
+                self.calls += 1;
+                if self.calls > 10 {
+                    2
+                } else {
+                    self.at
+                }
+            }
+            fn current_bound(&self) -> u32 {
+                self.at
+            }
+            fn reset(&mut self) {}
+        }
+        let mut sim = Simulator::new(
+            small_sys(30, 10),
+            WorkloadConfig::default(),
+            CcKind::Certification,
+            ControlConfig {
+                sample_interval_ms: 500.0,
+                displacement: true,
+                warmup_ms: 0.0,
+                ..ControlConfig::default()
+            },
+            Some(Box::new(Slammer { at: 20, calls: 0 })),
+        );
+        sim.set_record_optimum(false);
+        // Samples fire at 500ms intervals; call 11 (the slam to bound 2)
+        // happens at t = 5500ms.
+        let stats = sim.run_until(5_600.0);
+        assert!(stats.displaced > 0, "displacement never happened");
+        assert!(
+            sim.gate().in_system() <= 2,
+            "bound not enforced: {} in system",
+            sim.gate().in_system()
+        );
+    }
+
+    #[test]
+    fn victim_policies_enforce_bound_and_differ() {
+        use crate::config::VictimPolicy;
+        // A controller that drops the bound sharply mid-run, forcing many
+        // displacement decisions.
+        struct Stepper {
+            calls: u32,
+        }
+        impl LoadController for Stepper {
+            fn name(&self) -> &'static str {
+                "stepper"
+            }
+            fn update(&mut self, _m: &alc_core::measure::Measurement) -> u32 {
+                self.calls += 1;
+                if self.calls.is_multiple_of(4) {
+                    3
+                } else {
+                    25
+                }
+            }
+            fn current_bound(&self) -> u32 {
+                25
+            }
+            fn reset(&mut self) {}
+        }
+        let run = |policy: VictimPolicy| {
+            let mut sim = Simulator::new(
+                small_sys(30, 17),
+                WorkloadConfig::default(),
+                CcKind::Certification,
+                ControlConfig {
+                    sample_interval_ms: 400.0,
+                    displacement: true,
+                    victim_policy: policy,
+                    warmup_ms: 0.0,
+                    ..ControlConfig::default()
+                },
+                Some(Box::new(Stepper { calls: 0 })),
+            );
+            sim.set_record_optimum(false);
+            sim.run_until(20_000.0)
+        };
+        let mut commits = Vec::new();
+        for policy in VictimPolicy::ALL {
+            let stats = run(policy);
+            assert!(stats.displaced > 0, "{policy:?} never displaced");
+            assert!(stats.commits > 50, "{policy:?} starved");
+            commits.push(stats.commits);
+        }
+        // The policies pick different victims, so the runs diverge.
+        assert!(
+            commits.iter().any(|&c| c != commits[0]),
+            "all victim policies produced identical runs: {commits:?}"
+        );
+    }
+
+    #[test]
+    fn workload_jump_shifts_abort_rate() {
+        let workload = WorkloadConfig::k_jump(4.0, 16.0, 15_000.0);
+        let mut sys = small_sys(25, 11);
+        sys.db_size = 400;
+        let mut sim = Simulator::new(
+            sys,
+            workload,
+            CcKind::Certification,
+            ControlConfig {
+                sample_interval_ms: 500.0,
+                initial_bound: u32::MAX,
+                warmup_ms: 3_000.0,
+                ..ControlConfig::default()
+            },
+            None,
+        );
+        sim.set_record_optimum(false);
+        let before = sim.run_until(15_000.0);
+        sim.reset_window();
+        let after = sim.run_until(30_000.0);
+        assert!(
+            after.abort_ratio > before.abort_ratio * 2.0,
+            "k jump 4→16 should multiply aborts: {} -> {}",
+            before.abort_ratio,
+            after.abort_ratio
+        );
+    }
+
+    #[test]
+    fn hot_spots_raise_contention() {
+        // Hot-spot extension: Zipf skew concentrates accesses and must
+        // raise the abort ratio relative to uniform access.
+        let run_with_skew = |skew: f64| {
+            let workload = WorkloadConfig {
+                access_skew: alc_analytic::surface::Schedule::Constant(skew),
+                write_frac: alc_analytic::surface::Schedule::Constant(0.5),
+                ..WorkloadConfig::default()
+            };
+            let mut sys = small_sys(25, 13);
+            sys.db_size = 2000;
+            let mut sim = Simulator::new(
+                sys,
+                workload,
+                CcKind::Certification,
+                no_control(u32::MAX),
+                None,
+            );
+            sim.set_record_optimum(false);
+            sim.run(20_000.0)
+        };
+        let uniform = run_with_skew(0.0);
+        let skewed = run_with_skew(0.9);
+        assert!(
+            skewed.abort_ratio > 1.5 * uniform.abort_ratio.max(0.01),
+            "skew should raise aborts: uniform {} vs skewed {}",
+            uniform.abort_ratio,
+            skewed.abort_ratio
+        );
+        assert!(skewed.commits > 50, "skewed run starved");
+    }
+
+    #[test]
+    fn extreme_skew_still_terminates() {
+        // The duplicate-rejection fallback must keep instance creation
+        // finite even when k is large relative to the hot set.
+        let workload = WorkloadConfig {
+            k: alc_analytic::surface::Schedule::Constant(10.0),
+            access_skew: alc_analytic::surface::Schedule::Constant(3.0),
+            ..WorkloadConfig::default()
+        };
+        let mut sys = small_sys(10, 14);
+        sys.db_size = 50;
+        let mut sim = Simulator::new(
+            sys,
+            workload,
+            CcKind::Certification,
+            no_control(u32::MAX),
+            None,
+        );
+        sim.set_record_optimum(false);
+        let stats = sim.run(10_000.0);
+        assert!(stats.commits + stats.aborts > 0);
+    }
+
+    fn open_sys(slots: u32, interarrival_ms: f64, seed: u64) -> SystemConfig {
+        SystemConfig {
+            arrival: ArrivalProcess::Open {
+                interarrival: Dist::exponential(interarrival_ms),
+            },
+            ..small_sys(slots, seed)
+        }
+    }
+
+    #[test]
+    fn open_arrivals_flow_at_offered_rate() {
+        // Î» = 1/50ms = 20/s, far below capacity: throughput â Î», no loss.
+        let mut sim = Simulator::new(
+            open_sys(60, 50.0, 31),
+            WorkloadConfig::default(),
+            CcKind::Certification,
+            no_control(u32::MAX),
+            None,
+        );
+        sim.set_record_optimum(false);
+        let stats = sim.run(60_000.0);
+        assert_eq!(stats.lost, 0, "underload must not lose arrivals");
+        let rel = (stats.throughput_per_sec - 20.0).abs() / 20.0;
+        assert!(
+            rel < 0.1,
+            "open throughput {} vs offered 20/s",
+            stats.throughput_per_sec
+        );
+    }
+
+    #[test]
+    fn open_overload_exhausts_slots_and_counts_losses() {
+        // Î» = 200/s against a 10-slot pool with heavy service: losses.
+        let mut sim = Simulator::new(
+            open_sys(10, 5.0, 32),
+            WorkloadConfig::default(),
+            CcKind::Certification,
+            no_control(u32::MAX),
+            None,
+        );
+        sim.set_record_optimum(false);
+        let stats = sim.run(30_000.0);
+        assert!(stats.lost > 100, "only {} lost", stats.lost);
+        assert!(sim.gate().in_system() <= 10);
+        assert!(stats.commits > 0, "system wedged under overload");
+    }
+
+    #[test]
+    fn open_mode_is_deterministic() {
+        let run = || {
+            let mut sim = Simulator::new(
+                open_sys(40, 20.0, 33),
+                WorkloadConfig::default(),
+                CcKind::Certification,
+                no_control(15),
+                None,
+            );
+            sim.set_record_optimum(false);
+            sim.run(30_000.0)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn open_overload_admission_control_preserves_goodput() {
+        // The classic open-system argument for admission control: offered
+        // load far above the thrashing point. Uncontrolled, every arrival
+        // enters and data contention destroys goodput; with a fixed gate
+        // at a sane MPL, the same offered load commits far more.
+        let workload = WorkloadConfig {
+            k: alc_analytic::surface::Schedule::Constant(8.0),
+            query_frac: alc_analytic::surface::Schedule::Constant(0.0),
+            write_frac: alc_analytic::surface::Schedule::Constant(0.8),
+            ..WorkloadConfig::default()
+        };
+        let run = |bound: u32| {
+            let mut sys = open_sys(120, 4.0, 34); // 250/s offered
+            sys.db_size = 150;
+            let mut sim = Simulator::new(
+                sys,
+                workload.clone(),
+                CcKind::Certification,
+                no_control(bound),
+                None,
+            );
+            sim.set_record_optimum(false);
+            sim.run(40_000.0)
+        };
+        let uncontrolled = run(u32::MAX);
+        let gated = run(8);
+        assert!(
+            gated.throughput_per_sec > 1.3 * uncontrolled.throughput_per_sec,
+            "admission control did not help the open system: gated {} vs open {}",
+            gated.throughput_per_sec,
+            uncontrolled.throughput_per_sec
+        );
+    }
+
+    #[test]
+    fn little_law_consistency() {
+        // mean_mpl ≈ throughput × mean in-system residence. Residence is
+        // response minus queue wait; with an unlimited gate there is no
+        // queueing, so response == residence.
+        let stats = run_fixed(
+            25,
+            u32::MAX,
+            CcKind::Certification,
+            WorkloadConfig::default(),
+            40_000.0,
+            12,
+        );
+        let little = stats.throughput_per_sec / 1000.0 * stats.mean_response_ms;
+        let rel = (little - stats.mean_mpl).abs() / stats.mean_mpl;
+        assert!(
+            rel < 0.15,
+            "Little's law violated: X*R = {little}, mean MPL = {}",
+            stats.mean_mpl
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! The simulator-side admission gate (§4.3, Figure 5).
+//!
+//! Event-driven counterpart of the runtime [`alc_core::gate::AdaptiveGate`]:
+//! a bound `n*`, an in-system count `n`, and a FCFS queue of transaction
+//! slots waiting to be admitted. Displacement (§4.3's stronger enforcement
+//! option) selects the youngest running transactions as victims and parks
+//! them at the *front* of the queue — they were admitted once and should
+//! not pay the full queue again.
+
+use std::collections::VecDeque;
+
+/// The event-driven admission gate.
+#[derive(Debug, Clone)]
+pub struct SimGate {
+    bound: u32,
+    in_system: u32,
+    queue: VecDeque<usize>,
+    total_admitted: u64,
+    total_displaced: u64,
+}
+
+impl SimGate {
+    /// Creates a gate with the given initial bound.
+    pub fn new(bound: u32) -> Self {
+        SimGate {
+            bound,
+            in_system: 0,
+            queue: VecDeque::new(),
+            total_admitted: 0,
+            total_displaced: 0,
+        }
+    }
+
+    /// Current bound `n*`.
+    pub fn bound(&self) -> u32 {
+        self.bound
+    }
+
+    /// Transactions currently admitted (the actual load `n`).
+    pub fn in_system(&self) -> u32 {
+        self.in_system
+    }
+
+    /// Waiting transactions.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total admissions so far.
+    pub fn total_admitted(&self) -> u64 {
+        self.total_admitted
+    }
+
+    /// Total displacement victims so far.
+    pub fn total_displaced(&self) -> u64 {
+        self.total_displaced
+    }
+
+    /// An arrival: admitted immediately (`true`) or queued (`false`).
+    pub fn arrive(&mut self, txn: usize) -> bool {
+        if self.in_system < self.bound {
+            self.in_system += 1;
+            self.total_admitted += 1;
+            true
+        } else {
+            self.queue.push_back(txn);
+            false
+        }
+    }
+
+    /// A departure (commit or displacement-to-terminal): frees a slot and
+    /// returns the transactions admitted from the queue as a result.
+    pub fn depart(&mut self) -> Vec<usize> {
+        debug_assert!(self.in_system > 0, "departure from an empty system");
+        self.in_system = self.in_system.saturating_sub(1);
+        self.drain_queue()
+    }
+
+    /// Applies a new bound. Returns the slots admitted from the queue if
+    /// the bound rose. (Shrinking below the current load is handled by the
+    /// engine via [`SimGate::excess`] + [`SimGate::displace`] when
+    /// displacement is on, otherwise the population drains by normal
+    /// departures.)
+    pub fn set_bound(&mut self, bound: u32) -> Vec<usize> {
+        self.bound = bound;
+        self.drain_queue()
+    }
+
+    /// How many transactions must be displaced to honor the bound now.
+    pub fn excess(&self) -> u32 {
+        self.in_system.saturating_sub(self.bound)
+    }
+
+    /// Records that a running transaction was displaced: it leaves the
+    /// in-system population and re-queues at the front.
+    pub fn displace(&mut self, txn: usize) {
+        debug_assert!(self.in_system > 0);
+        self.in_system -= 1;
+        self.total_displaced += 1;
+        self.queue.push_front(txn);
+    }
+
+    fn drain_queue(&mut self) -> Vec<usize> {
+        let mut admitted = Vec::new();
+        while self.in_system < self.bound {
+            match self.queue.pop_front() {
+                Some(txn) => {
+                    self.in_system += 1;
+                    self.total_admitted += 1;
+                    admitted.push(txn);
+                }
+                None => break,
+            }
+        }
+        admitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_below_bound_queues_above() {
+        let mut g = SimGate::new(2);
+        assert!(g.arrive(0));
+        assert!(g.arrive(1));
+        assert!(!g.arrive(2));
+        assert_eq!(g.in_system(), 2);
+        assert_eq!(g.queue_len(), 1);
+    }
+
+    #[test]
+    fn departure_admits_fifo() {
+        let mut g = SimGate::new(1);
+        g.arrive(0);
+        g.arrive(1);
+        g.arrive(2);
+        assert_eq!(g.depart(), vec![1]);
+        assert_eq!(g.depart(), vec![2]);
+        assert_eq!(g.depart(), Vec::<usize>::new());
+        assert_eq!(g.in_system(), 0);
+    }
+
+    #[test]
+    fn raising_bound_drains_queue() {
+        let mut g = SimGate::new(0);
+        g.arrive(0);
+        g.arrive(1);
+        g.arrive(2);
+        let admitted = g.set_bound(2);
+        assert_eq!(admitted, vec![0, 1]);
+        assert_eq!(g.queue_len(), 1);
+    }
+
+    #[test]
+    fn lowering_bound_reports_excess() {
+        let mut g = SimGate::new(5);
+        for i in 0..5 {
+            g.arrive(i);
+        }
+        assert!(g.set_bound(2).is_empty());
+        assert_eq!(g.excess(), 3);
+        assert_eq!(g.in_system(), 5, "no implicit displacement");
+    }
+
+    #[test]
+    fn displacement_requeues_at_front() {
+        let mut g = SimGate::new(3);
+        g.arrive(0);
+        g.arrive(1);
+        g.arrive(2);
+        g.arrive(3); // queued
+        g.set_bound(1);
+        g.displace(2);
+        g.displace(1);
+        assert_eq!(g.in_system(), 1);
+        assert_eq!(g.excess(), 0);
+        // Front of queue: most recently displaced first, then 2, then the
+        // original waiter 3.
+        let admitted = g.set_bound(4);
+        assert_eq!(admitted, vec![1, 2, 3]);
+        assert_eq!(g.total_displaced(), 2);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut g = SimGate::new(10);
+        for i in 0..7 {
+            g.arrive(i);
+        }
+        assert_eq!(g.total_admitted(), 7);
+    }
+}

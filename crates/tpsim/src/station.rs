@@ -1,0 +1,196 @@
+//! Physical resource stations (§7, Figure 11).
+//!
+//! * [`CpuStation`] — "a homogeneous multiprocessor system serving a
+//!   shared queue": `m` servers, one FIFO ready queue, non-preemptive
+//!   bursts. Jobs belonging to aborted runs are lazily skipped via a
+//!   generation check when they reach the head of the queue.
+//! * The disk ("constant service times and no contention") and the
+//!   terminals are pure delays — they need no station type, the engine
+//!   schedules their completion events directly.
+
+use std::collections::VecDeque;
+
+use alc_des::stats::TimeWeighted;
+use alc_des::SimTime;
+
+/// A job enqueued at the CPU: transaction slot, run generation (for lazy
+/// abort of queued work), and the pre-drawn burst length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuJob {
+    /// Transaction slot the burst belongs to.
+    pub txn: usize,
+    /// Run generation; stale generations are discarded at dispatch.
+    pub generation: u64,
+    /// Burst length in milliseconds.
+    pub burst_ms: f64,
+}
+
+/// The multiprocessor CPU station.
+pub struct CpuStation {
+    servers: u32,
+    busy: u32,
+    queue: VecDeque<CpuJob>,
+    utilization: TimeWeighted,
+    queue_len: TimeWeighted,
+}
+
+impl CpuStation {
+    /// Creates a station with `servers` CPUs.
+    pub fn new(servers: u32, t0: SimTime) -> Self {
+        assert!(servers > 0);
+        CpuStation {
+            servers,
+            busy: 0,
+            queue: VecDeque::new(),
+            utilization: TimeWeighted::new(t0, 0.0),
+            queue_len: TimeWeighted::new(t0, 0.0),
+        }
+    }
+
+    /// Offers a job. Returns `Some(job)` if a server is free and the job
+    /// starts service now (the caller schedules its completion); `None`
+    /// if it was queued.
+    pub fn offer(&mut self, now: SimTime, job: CpuJob) -> Option<CpuJob> {
+        if self.busy < self.servers {
+            self.busy += 1;
+            self.utilization.set(now, f64::from(self.busy));
+            Some(job)
+        } else {
+            self.queue.push_back(job);
+            self.queue_len.set(now, self.queue.len() as f64);
+            None
+        }
+    }
+
+    /// A burst finished: frees its server and dispatches the next live
+    /// queued job, if any. `is_stale` decides whether a queued job still
+    /// belongs to a live run. Returns the job now entering service.
+    pub fn complete(
+        &mut self,
+        now: SimTime,
+        is_stale: impl Fn(&CpuJob) -> bool,
+    ) -> Option<CpuJob> {
+        debug_assert!(self.busy > 0, "completion without a busy server");
+        self.busy -= 1;
+        while let Some(job) = self.queue.pop_front() {
+            if is_stale(&job) {
+                continue;
+            }
+            self.busy += 1;
+            self.queue_len.set(now, self.queue.len() as f64);
+            self.utilization.set(now, f64::from(self.busy));
+            return Some(job);
+        }
+        self.queue_len.set(now, self.queue.len() as f64);
+        self.utilization.set(now, f64::from(self.busy));
+        None
+    }
+
+    /// Busy servers right now.
+    pub fn busy(&self) -> u32 {
+        self.busy
+    }
+
+    /// Jobs waiting in the ready queue (may include stale entries).
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Time-averaged utilization (busy servers / total) since `since`.
+    pub fn mean_utilization(&self, now: SimTime) -> f64 {
+        self.utilization.average(now) / f64::from(self.servers)
+    }
+
+    /// Time-averaged ready-queue length.
+    pub fn mean_queue_len(&self, now: SimTime) -> f64 {
+        self.queue_len.average(now)
+    }
+
+    /// Restarts the running averages (end of warm-up).
+    pub fn reset_stats(&mut self, now: SimTime) {
+        self.utilization.reset(now);
+        self.queue_len.reset(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: f64) -> SimTime {
+        SimTime::new(ms)
+    }
+
+    fn job(txn: usize, generation: u64) -> CpuJob {
+        CpuJob {
+            txn,
+            generation,
+            burst_ms: 10.0,
+        }
+    }
+
+    #[test]
+    fn serves_up_to_capacity_then_queues() {
+        let mut cpu = CpuStation::new(2, t(0.0));
+        assert!(cpu.offer(t(0.0), job(0, 0)).is_some());
+        assert!(cpu.offer(t(0.0), job(1, 0)).is_some());
+        assert!(cpu.offer(t(0.0), job(2, 0)).is_none());
+        assert_eq!(cpu.busy(), 2);
+        assert_eq!(cpu.queued(), 1);
+    }
+
+    #[test]
+    fn completion_dispatches_fifo() {
+        let mut cpu = CpuStation::new(1, t(0.0));
+        cpu.offer(t(0.0), job(0, 0));
+        cpu.offer(t(0.0), job(1, 0));
+        cpu.offer(t(0.0), job(2, 0));
+        let next = cpu.complete(t(10.0), |_| false).unwrap();
+        assert_eq!(next.txn, 1);
+        let next = cpu.complete(t(20.0), |_| false).unwrap();
+        assert_eq!(next.txn, 2);
+        assert!(cpu.complete(t(30.0), |_| false).is_none());
+        assert_eq!(cpu.busy(), 0);
+    }
+
+    #[test]
+    fn stale_jobs_are_skipped_at_dispatch() {
+        let mut cpu = CpuStation::new(1, t(0.0));
+        cpu.offer(t(0.0), job(0, 0));
+        cpu.offer(t(0.0), job(1, 7)); // will be stale
+        cpu.offer(t(0.0), job(2, 0));
+        let next = cpu
+            .complete(t(10.0), |j| j.generation == 7)
+            .expect("live job expected");
+        assert_eq!(next.txn, 2);
+        assert_eq!(cpu.queued(), 0);
+    }
+
+    #[test]
+    fn all_stale_leaves_server_idle() {
+        let mut cpu = CpuStation::new(1, t(0.0));
+        cpu.offer(t(0.0), job(0, 0));
+        cpu.offer(t(0.0), job(1, 7));
+        assert!(cpu.complete(t(10.0), |j| j.generation == 7).is_none());
+        assert_eq!(cpu.busy(), 0);
+    }
+
+    #[test]
+    fn utilization_average() {
+        let mut cpu = CpuStation::new(2, t(0.0));
+        cpu.offer(t(0.0), job(0, 0)); // busy 1 from t=0
+        cpu.complete(t(50.0), |_| false); // idle from t=50
+        // busy-server integral: 1 * 50 over [0, 100] => mean 0.5 servers
+        // => utilization 0.25 of 2 servers.
+        assert!((cpu.mean_utilization(t(100.0)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_stats_starts_fresh_window() {
+        let mut cpu = CpuStation::new(1, t(0.0));
+        cpu.offer(t(0.0), job(0, 0));
+        cpu.reset_stats(t(100.0));
+        // Still busy the whole post-reset window.
+        assert!((cpu.mean_utilization(t(200.0)) - 1.0).abs() < 1e-12);
+    }
+}

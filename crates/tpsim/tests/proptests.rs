@@ -1,0 +1,507 @@
+//! Property-based tests of the CC protocols and the simulation engine.
+//!
+//! The serializability properties are checked against independent oracles
+//! that replay the same operation sequence with simple reference
+//! semantics.
+
+#![allow(clippy::type_complexity, clippy::needless_range_loop)] // oracle bookkeeping
+
+use proptest::prelude::*;
+
+use alc_tpsim::cc::{
+    AccessOutcome, Certification, ConcurrencyControl, Mvto, Prevention, PreventionPolicy,
+    TimestampOrdering, TwoPhaseLocking,
+};
+
+/// A random workload step for protocol testing.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Access { txn: usize, item: u64, write: bool },
+    TryCommit { txn: usize },
+    Abort { txn: usize },
+}
+
+fn steps(txns: usize, items: u64) -> impl Strategy<Value = Vec<Step>> {
+    let step = prop_oneof![
+        6 => (0..txns, 0..items, any::<bool>())
+            .prop_map(|(txn, item, write)| Step::Access { txn, item, write }),
+        2 => (0..txns).prop_map(|txn| Step::TryCommit { txn }),
+        1 => (0..txns).prop_map(|txn| Step::Abort { txn }),
+    ];
+    prop::collection::vec(step, 1..200)
+}
+
+proptest! {
+    /// Certification enforces first-committer-wins: for every committed
+    /// transaction, no item it accessed was written by another transaction
+    /// that committed within its lifetime. Verified with an independent
+    /// commit-log oracle.
+    #[test]
+    fn certification_first_committer_wins(ops in steps(6, 12)) {
+        let mut cc = Certification::new(6);
+        let mut ts = 0u64;
+        // Oracle state: global commit log of (commit_index, item) writes,
+        // plus per-txn (start_index, access set).
+        let mut commit_index = 0u64;
+        let mut log: Vec<(u64, u64)> = Vec::new();
+        let mut active: Vec<Option<(u64, Vec<(u64, bool)>)>> = vec![None; 6];
+
+        let begin = |cc: &mut Certification, active: &mut Vec<Option<(u64, Vec<(u64, bool)>)>>, txn: usize, ts: &mut u64, commit_index: u64| {
+            *ts += 1;
+            cc.begin(txn, *ts);
+            active[txn] = Some((commit_index, Vec::new()));
+        };
+
+        for txn in 0..6 {
+            begin(&mut cc, &mut active, txn, &mut ts, commit_index);
+        }
+        for op in ops {
+            match op {
+                Step::Access { txn, item, write } => {
+                    prop_assert_eq!(cc.access(txn, item, write), AccessOutcome::Granted);
+                    active[txn].as_mut().expect("active").1.push((item, write));
+                }
+                Step::TryCommit { txn } => {
+                    let v = cc.validate(txn);
+                    let (start, accesses) = active[txn].clone().expect("active");
+                    // Oracle: conflicts = accessed items written by commits
+                    // after `start`.
+                    let dirty: std::collections::HashSet<u64> = log
+                        .iter()
+                        .filter(|&&(idx, _)| idx > start)
+                        .map(|&(_, item)| item)
+                        .collect();
+                    let expect_conflict = accesses.iter().any(|&(item, _)| dirty.contains(&item));
+                    prop_assert_eq!(
+                        v.ok,
+                        !expect_conflict,
+                        "validate disagrees with oracle for txn {}", txn
+                    );
+                    if v.ok {
+                        cc.commit(txn);
+                        commit_index += 1;
+                        for &(item, write) in &accesses {
+                            if write {
+                                log.push((commit_index, item));
+                            }
+                        }
+                    } else {
+                        cc.abort(txn);
+                    }
+                    begin(&mut cc, &mut active, txn, &mut ts, commit_index);
+                }
+                Step::Abort { txn } => {
+                    cc.abort(txn);
+                    begin(&mut cc, &mut active, txn, &mut ts, commit_index);
+                }
+            }
+        }
+    }
+
+    /// 2PL never grants incompatible locks simultaneously; an oracle lock
+    /// table is maintained from the observed grant/release events.
+    #[test]
+    fn twopl_grants_are_always_compatible(ops in steps(5, 8)) {
+        let mut cc = TwoPhaseLocking::new(5);
+        let mut ts = 0u64;
+        // Oracle: item -> (writers, readers) currently granted.
+        let mut held: std::collections::HashMap<u64, (Vec<usize>, Vec<usize>)> =
+            std::collections::HashMap::new();
+        let mut blocked = [false; 5];
+
+        for txn in 0..5usize {
+            ts += 1;
+            cc.begin(txn, ts);
+        }
+        let release_all = |held: &mut std::collections::HashMap<u64, (Vec<usize>, Vec<usize>)>, txn: usize| {
+            for (_, (w, r)) in held.iter_mut() {
+                w.retain(|&t| t != txn);
+                r.retain(|&t| t != txn);
+            }
+        };
+        for op in ops {
+            match op {
+                Step::Access { txn, item, write } => {
+                    if blocked[txn] {
+                        continue; // a blocked txn cannot issue requests
+                    }
+                    match cc.access(txn, item, write) {
+                        AccessOutcome::Granted => {
+                            let (w, r) = held.entry(item).or_default();
+                            if write {
+                                prop_assert!(
+                                    w.iter().all(|&t| t == txn) && r.iter().all(|&t| t == txn),
+                                    "X granted on {item} while held by others"
+                                );
+                                if !w.contains(&txn) {
+                                    w.push(txn);
+                                }
+                            } else {
+                                prop_assert!(
+                                    w.iter().all(|&t| t == txn),
+                                    "S granted on {item} while X-held by another"
+                                );
+                                if !r.contains(&txn) {
+                                    r.push(txn);
+                                }
+                            }
+                        }
+                        AccessOutcome::Blocked => {
+                            blocked[txn] = true;
+                            // Deadlock handling: abort the named victim.
+                            if let Some(victim) = cc.deadlock_victim(txn) {
+                                let unblocked = cc.abort(victim);
+                                release_all(&mut held, victim);
+                                blocked[victim] = false;
+                                for u in unblocked {
+                                    blocked[u] = false;
+                                    // The granted request is now held: track
+                                    // it conservatively as a reader (mode is
+                                    // internal; compatibility was checked by
+                                    // the protocol itself).
+                                }
+                                ts += 1;
+                                cc.begin(victim, ts);
+                            }
+                        }
+                        AccessOutcome::Abort => unreachable!("2PL never self-aborts on access"),
+                    }
+                }
+                Step::TryCommit { txn } | Step::Abort { txn } => {
+                    if blocked[txn] {
+                        continue;
+                    }
+                    let unblocked = if matches!(op, Step::TryCommit { .. }) {
+                        prop_assert!(cc.validate(txn).ok);
+                        cc.commit(txn)
+                    } else {
+                        cc.abort(txn)
+                    };
+                    release_all(&mut held, txn);
+                    for u in unblocked {
+                        blocked[u] = false;
+                    }
+                    ts += 1;
+                    cc.begin(txn, ts);
+                }
+            }
+        }
+    }
+
+    /// The deadlock-prevention protocols never grant incompatible locks,
+    /// and their wound/die decisions always unblock the system: no run of
+    /// operations can wedge (a blocked transaction either waits for a
+    /// live holder or the protocol names a victim).
+    #[test]
+    fn prevention_grants_are_always_compatible(
+        ops in steps(5, 8),
+        wound in any::<bool>(),
+    ) {
+        let policy = if wound { PreventionPolicy::WoundWait } else { PreventionPolicy::WaitDie };
+        let mut cc = Prevention::new(policy, 5);
+        let mut ts = 0u64;
+        // Oracle: item -> (writers, readers) currently granted.
+        let mut held: std::collections::HashMap<u64, (Vec<usize>, Vec<usize>)> =
+            std::collections::HashMap::new();
+        let mut blocked = [false; 5];
+
+        for txn in 0..5usize {
+            ts += 1;
+            cc.begin(txn, ts);
+        }
+        let release_all = |held: &mut std::collections::HashMap<u64, (Vec<usize>, Vec<usize>)>, txn: usize| {
+            for (_, (w, r)) in held.iter_mut() {
+                w.retain(|&t| t != txn);
+                r.retain(|&t| t != txn);
+            }
+        };
+        for op in ops {
+            match op {
+                Step::Access { txn, item, write } => {
+                    if blocked[txn] {
+                        continue;
+                    }
+                    match cc.access(txn, item, write) {
+                        AccessOutcome::Granted => {
+                            let (w, r) = held.entry(item).or_default();
+                            if write {
+                                prop_assert!(
+                                    w.iter().all(|&t| t == txn) && r.iter().all(|&t| t == txn),
+                                    "X granted on {item} while held by others"
+                                );
+                                if !w.contains(&txn) {
+                                    w.push(txn);
+                                }
+                            } else {
+                                prop_assert!(
+                                    w.iter().all(|&t| t == txn),
+                                    "S granted on {item} while X-held by another"
+                                );
+                                if !r.contains(&txn) {
+                                    r.push(txn);
+                                }
+                            }
+                        }
+                        AccessOutcome::Blocked => {
+                            blocked[txn] = true;
+                            // Drain the victim chain exactly as the engine does.
+                            let mut guard = 0;
+                            while let Some(victim) = cc.deadlock_victim(txn) {
+                                let unblocked = cc.abort(victim);
+                                release_all(&mut held, victim);
+                                blocked[victim] = false;
+                                for u in unblocked {
+                                    blocked[u] = false;
+                                }
+                                ts += 1;
+                                cc.begin(victim, ts);
+                                if victim == txn {
+                                    break;
+                                }
+                                guard += 1;
+                                prop_assert!(guard <= 5, "victim chain did not converge");
+                            }
+                        }
+                        AccessOutcome::Abort => unreachable!("prevention never aborts on access"),
+                    }
+                }
+                Step::TryCommit { txn } | Step::Abort { txn } => {
+                    if blocked[txn] {
+                        continue;
+                    }
+                    let unblocked = if matches!(op, Step::TryCommit { .. }) {
+                        prop_assert!(cc.validate(txn).ok);
+                        cc.commit(txn)
+                    } else {
+                        cc.abort(txn)
+                    };
+                    release_all(&mut held, txn);
+                    for u in unblocked {
+                        blocked[u] = false;
+                    }
+                    ts += 1;
+                    cc.begin(txn, ts);
+                }
+            }
+        }
+        // No-wedge check: repeatedly aborting every runnable transaction
+        // must eventually free all waiters (prevention admits no cycles,
+        // so every blocked transaction waits on a live chain of holders).
+        let mut done = [false; 5];
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for txn in 0..5usize {
+                if !blocked[txn] && !done[txn] {
+                    let unblocked = cc.abort(txn);
+                    release_all(&mut held, txn);
+                    done[txn] = true;
+                    for u in unblocked {
+                        blocked[u] = false;
+                    }
+                    progress = true;
+                }
+            }
+        }
+        prop_assert!(
+            blocked.iter().all(|&b| !b),
+            "aborting all runners left transactions wedged: {blocked:?}"
+        );
+    }
+
+    /// MVTO's committed projection is serializable in timestamp order:
+    /// every committed reader saw exactly the version the ts-order serial
+    /// execution over committed writers would have produced.
+    #[test]
+    fn mvto_commits_serialize_in_timestamp_order(ops in steps(6, 10)) {
+        // A large retention bound keeps GC out of this property.
+        let mut cc = Mvto::with_max_versions(6, 1024);
+        let mut ts_counter = 0u64;
+        let mut txn_ts = [0u64; 6];
+        // Committed history: (ts, reads as (item, wts_read), writes).
+        let mut committed: Vec<(u64, Vec<(u64, u64)>, Vec<u64>)> = Vec::new();
+
+        for txn in 0..6usize {
+            ts_counter += 1;
+            txn_ts[txn] = ts_counter;
+            cc.begin(txn, ts_counter);
+        }
+        for op in ops {
+            match op {
+                Step::Access { txn, item, write } => {
+                    if cc.access(txn, item, write) == AccessOutcome::Abort {
+                        cc.abort(txn);
+                        ts_counter += 1;
+                        txn_ts[txn] = ts_counter;
+                        cc.begin(txn, ts_counter);
+                    }
+                }
+                Step::TryCommit { txn } => {
+                    let reads = cc.reads_of(txn).to_vec();
+                    let writes = cc.writes_of(txn).to_vec();
+                    if cc.validate(txn).ok {
+                        cc.commit(txn);
+                        committed.push((txn_ts[txn], reads, writes));
+                    } else {
+                        cc.abort(txn);
+                    }
+                    ts_counter += 1;
+                    txn_ts[txn] = ts_counter;
+                    cc.begin(txn, ts_counter);
+                }
+                Step::Abort { txn } => {
+                    cc.abort(txn);
+                    ts_counter += 1;
+                    txn_ts[txn] = ts_counter;
+                    cc.begin(txn, ts_counter);
+                }
+            }
+        }
+        // Serial oracle: the version a reader at `ts` must see is the
+        // largest committed write timestamp below ts on that item (0 =
+        // initial). Strictly below: the commit-time-install variant
+        // serializes a transaction's reads before its own writes, so its
+        // own version is never its read target.
+        for (reader_ts, reads, _) in &committed {
+            for &(item, wts_read) in reads {
+                let serial = committed
+                    .iter()
+                    .filter(|(w_ts, _, writes)| w_ts < reader_ts && writes.contains(&item))
+                    .map(|(w_ts, _, _)| *w_ts)
+                    .max()
+                    .unwrap_or(0);
+                prop_assert_eq!(
+                    wts_read, serial,
+                    "reader {} on item {} saw {}, serial order says {}",
+                    reader_ts, item, wts_read, serial
+                );
+            }
+        }
+    }
+
+    /// Timestamp ordering matches the textbook rts/wts oracle exactly.
+    #[test]
+    fn timestamp_ordering_matches_oracle(ops in steps(5, 10)) {
+        let mut cc = TimestampOrdering::new(5);
+        let mut ts_counter = 0u64;
+        let mut txn_ts = [0u64; 5];
+        let mut oracle: std::collections::HashMap<u64, (u64, u64)> =
+            std::collections::HashMap::new(); // item -> (rts, wts)
+        let mut dead = [false; 5];
+
+        for txn in 0..5usize {
+            ts_counter += 1;
+            txn_ts[txn] = ts_counter;
+            cc.begin(txn, ts_counter);
+        }
+        for op in ops {
+            match op {
+                Step::Access { txn, item, write } => {
+                    if dead[txn] {
+                        continue;
+                    }
+                    let ts = txn_ts[txn];
+                    let e = oracle.entry(item).or_insert((0, 0));
+                    let expect = if write {
+                        if ts < e.0 || ts < e.1 {
+                            AccessOutcome::Abort
+                        } else {
+                            e.1 = ts;
+                            AccessOutcome::Granted
+                        }
+                    } else if ts < e.1 {
+                        AccessOutcome::Abort
+                    } else {
+                        e.0 = e.0.max(ts);
+                        AccessOutcome::Granted
+                    };
+                    let got = cc.access(txn, item, write);
+                    prop_assert_eq!(got, expect, "T/O deviates from oracle");
+                    if got == AccessOutcome::Abort {
+                        cc.abort(txn);
+                        dead[txn] = true;
+                    }
+                }
+                Step::TryCommit { txn } | Step::Abort { txn } => {
+                    if matches!(op, Step::TryCommit { .. }) && !dead[txn] {
+                        prop_assert!(cc.validate(txn).ok);
+                        cc.commit(txn);
+                    } else {
+                        cc.abort(txn);
+                    }
+                    ts_counter += 1;
+                    txn_ts[txn] = ts_counter;
+                    cc.begin(txn, ts_counter);
+                    dead[txn] = false;
+                }
+            }
+        }
+    }
+}
+
+mod engine_props {
+    use super::*;
+    use alc_tpsim::config::{CcKind, ControlConfig, SystemConfig};
+    use alc_tpsim::engine::Simulator;
+    use alc_tpsim::workload::WorkloadConfig;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// For arbitrary small configurations the engine terminates,
+        /// conserves transactions, respects the bound, and produces finite
+        /// statistics.
+        #[test]
+        fn engine_invariants_hold(
+            seed in any::<u64>(),
+            terminals in 4u32..40,
+            bound in 1u32..50,
+            k in 1.0f64..10.0,
+            write_frac in 0.0f64..1.0,
+            cc_pick in 0usize..CcKind::ALL.len(),
+        ) {
+            let cc = CcKind::ALL[cc_pick];
+            let sys = SystemConfig {
+                terminals,
+                cpus: 2,
+                db_size: 200,
+                think: alc_des::dist::Dist::exponential(100.0),
+                disk_access: alc_des::dist::Dist::constant(2.0),
+                disk_init_commit: alc_des::dist::Dist::constant(20.0),
+                seed,
+                ..SystemConfig::default()
+            };
+            let workload = WorkloadConfig {
+                k: alc_analytic::surface::Schedule::Constant(k),
+                write_frac: alc_analytic::surface::Schedule::Constant(write_frac),
+                ..WorkloadConfig::default()
+            };
+            let mut sim = Simulator::new(
+                sys,
+                workload,
+                cc,
+                ControlConfig {
+                    initial_bound: bound,
+                    sample_interval_ms: 500.0,
+                    warmup_ms: 0.0,
+                    ..ControlConfig::default()
+                },
+                None,
+            );
+            sim.set_record_optimum(false);
+            let stats = sim.run_until(8_000.0);
+            prop_assert!(sim.gate().in_system() <= bound);
+            prop_assert!(stats.mean_mpl <= f64::from(bound) + 1e-9);
+            prop_assert!(stats.throughput_per_sec.is_finite());
+            prop_assert!(stats.mean_response_ms >= 0.0);
+            prop_assert!(stats.abort_ratio >= 0.0 && stats.abort_ratio <= 1.0);
+            prop_assert!(stats.cpu_utilization >= 0.0 && stats.cpu_utilization <= 1.0 + 1e-9);
+            // Transaction conservation: every terminal slot is in exactly
+            // one place (thinking/queued/in-system) — implied by in_system
+            // + queue being bounded by the population.
+            prop_assert!(
+                sim.gate().in_system() + sim.gate().queue_len() as u32 <= terminals
+            );
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Thrashing across concurrency-control protocols.
+//!
+//! §1 splits CC algorithms into a blocking class (2PL and its deadlock-
+//! prevention variants) and a non-blocking class (certification, basic
+//! T/O, multiversion T/O) and argues both thrash — by different
+//! mechanisms. This example sweeps a fixed MPL bound across all six
+//! protocols in the simulator and prints each load–throughput curve: the
+//! optimum's *position and height are protocol-dependent*, which is
+//! exactly why a feedback controller beats any protocol-derived constant.
+//!
+//! ```sh
+//! cargo run --release --example cc_comparison
+//! ```
+
+use adaptive_load_control::tpsim::config::{ArrivalProcess, CcKind, ControlConfig, SystemConfig};
+use adaptive_load_control::tpsim::experiment::sweep_bounds;
+use adaptive_load_control::tpsim::workload::WorkloadConfig;
+use adaptive_load_control::analytic::surface::Schedule;
+use adaptive_load_control::des::dist::Dist;
+
+fn main() {
+    let sys = SystemConfig {
+        terminals: 150,
+        arrival: ArrivalProcess::Closed,
+        cpus: 8,
+        cpu_phase: Dist::exponential(4.0),
+        disk_access: Dist::constant(3.0),
+        disk_init_commit: Dist::constant(50.0),
+        think: Dist::exponential(400.0),
+        restart_delay: Dist::constant(5.0),
+        db_size: 600,
+        resample_on_restart: true,
+        seed: 0xCCC0_FFEE,
+    };
+    // A write-heavy mix so data contention bites within the sweep range.
+    let workload = WorkloadConfig {
+        k: Schedule::Constant(8.0),
+        query_frac: Schedule::Constant(0.1),
+        write_frac: Schedule::Constant(0.5),
+        ..WorkloadConfig::default()
+    };
+    let control = ControlConfig {
+        sample_interval_ms: 1000.0,
+        warmup_ms: 5_000.0,
+        ..ControlConfig::default()
+    };
+    let bounds = [2u32, 4, 8, 12, 18, 26, 40, 60, 90, 130];
+
+    println!("load–throughput (commits/s) by protocol; database D = {}", sys.db_size);
+    print!("{:>22}", "bound:");
+    for b in bounds {
+        print!("{b:>7}");
+    }
+    println!();
+
+    for cc in CcKind::ALL {
+        let points = sweep_bounds(&sys, &workload, cc, &bounds, &control, 60_000.0);
+        let name = match cc {
+            CcKind::Certification => "certification (OCC)",
+            CcKind::TwoPhaseLocking => "2PL + detection",
+            CcKind::TimestampOrdering => "basic T/O",
+            CcKind::WoundWait => "2PL + wound-wait",
+            CcKind::WaitDie => "2PL + wait-die",
+            CcKind::Multiversion => "MVTO",
+        };
+        print!("{name:>22}");
+        for p in &points {
+            print!("{:>7.1}", p.stats.throughput_per_sec);
+        }
+        let peak = points
+            .iter()
+            .max_by(|a, b| a.stats.throughput_per_sec.total_cmp(&b.stats.throughput_per_sec))
+            .expect("non-empty sweep");
+        println!("   peak @ n*={}", peak.x);
+    }
+
+    println!(
+        "\nEach protocol peaks at a different MPL and falls off at its own rate —\n\
+         a fixed bound tuned for one protocol (or one workload) is wrong for the\n\
+         others, which is the paper's case for feedback control (§1)."
+    );
+}

@@ -1,0 +1,111 @@
+//! Controller playground: race every controller on synthetic
+//! load–performance surfaces (no simulator, instant).
+//!
+//! Surfaces come from `alc-analytic`: a stationary ridge, a jumping
+//! ridge (Figs. 13/14), a sinusoidal drift (§9), and the flat hump that
+//! breaks naive parabola fitting (Fig. 7). Reported score: mean |n* −
+//! n_opt| over the final two thirds of the run.
+//!
+//! ```sh
+//! cargo run --release --example controller_playground
+//! ```
+
+use adaptive_load_control::analytic::surface::{
+    FlatHumpSurface, RidgeSurface, Schedule, Surface,
+};
+use adaptive_load_control::core::controller::{
+    FixedBound, IncrementalSteps, IsParams, LoadController, PaParams, ParabolaApproximation,
+};
+use adaptive_load_control::core::Measurement;
+
+const STEPS: usize = 600;
+const INTERVAL_MS: f64 = 2000.0;
+
+fn make_controllers() -> Vec<(&'static str, Box<dyn LoadController>)> {
+    vec![
+        (
+            "incremental-steps",
+            Box::new(IncrementalSteps::new(IsParams {
+                initial_bound: 50,
+                max_bound: 800,
+                beta: 1.0,
+                ..IsParams::default()
+            })),
+        ),
+        (
+            "parabola-approx",
+            Box::new(ParabolaApproximation::new(PaParams {
+                initial_bound: 50,
+                max_bound: 800,
+                ..PaParams::default()
+            })),
+        ),
+        ("fixed@150", Box::new(FixedBound::new(150))),
+    ]
+}
+
+fn race(name: &str, surface: &dyn Surface) {
+    println!("\n--- {name} ---");
+    for (ctrl_name, mut ctrl) in make_controllers() {
+        let mut bound = ctrl.current_bound();
+        let mut err = 0.0;
+        let mut count = 0.0;
+        for i in 0..STEPS {
+            let t = i as f64 * INTERVAL_MS;
+            let n = f64::from(bound);
+            let perf = surface.performance(n, t);
+            bound = ctrl.update(&Measurement::basic(t + INTERVAL_MS, INTERVAL_MS, perf, n));
+            if i > STEPS / 3 {
+                err += (f64::from(bound) - surface.optimum(t)).abs();
+                count += 1.0;
+            }
+        }
+        println!(
+            "  {:<20} tracking error {:>7.1}  (final bound {:>4}, final optimum {:>6.1})",
+            ctrl_name,
+            err / count,
+            bound,
+            surface.optimum((STEPS - 1) as f64 * INTERVAL_MS),
+        );
+    }
+}
+
+fn main() {
+    race(
+        "stationary ridge (optimum at 150)",
+        &RidgeSurface::stationary(150.0, 100.0, 2.0),
+    );
+    race(
+        "jumping ridge (300 → 120 mid-run, Figs. 13/14)",
+        &RidgeSurface {
+            position: Schedule::Jump {
+                at: STEPS as f64 / 2.0 * INTERVAL_MS,
+                before: 300.0,
+                after: 120.0,
+            },
+            height: Schedule::Constant(80.0),
+            steepness: 2.0,
+        },
+    );
+    race(
+        "sinusoidal drift (150 ± 80, §9)",
+        &RidgeSurface {
+            position: Schedule::Sinusoid {
+                mean: 150.0,
+                amplitude: 80.0,
+                period: STEPS as f64 * INTERVAL_MS / 3.0,
+            },
+            height: Schedule::Constant(80.0),
+            steepness: 2.0,
+        },
+    );
+    race(
+        "flat hump (Fig. 7 pathology, optimum at 200)",
+        &FlatHumpSurface {
+            center: Schedule::Constant(200.0),
+            height: Schedule::Constant(80.0),
+            width: 120.0,
+        },
+    );
+    println!("\nthe fixed bound wins only when the optimum happens to sit on it; the feedback controllers follow it everywhere");
+}

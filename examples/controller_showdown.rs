@@ -1,0 +1,150 @@
+//! Controller showdown on the Figure 13/14 jump scenario.
+//!
+//! The paper's headline dynamic experiment: the workload's `k` jumps
+//! mid-run, moving the optimum MPL, and each controller must re-find the
+//! ridge. The paper compares IS (fast but sloppy) against PA (slower but
+//! accurate); this example adds the extensions built on top of them —
+//! the self-tuning outer loops (§5) and the IS→PA hybrid — and reports
+//! tracking error against the analytic optimum plus realized throughput.
+//!
+//! ```sh
+//! cargo run --release --example controller_showdown
+//! ```
+
+use adaptive_load_control::core::controller::{
+    Hybrid, HybridParams, IncrementalSteps, IsParams, LoadController, OuterParams, PaOuterParams,
+    PaParams, ParabolaApproximation, SelfTuningIs, SelfTuningPa,
+};
+use adaptive_load_control::des::dist::Dist;
+use adaptive_load_control::tpsim::config::{ArrivalProcess, CcKind, ControlConfig, SystemConfig};
+use adaptive_load_control::tpsim::experiment::run_trajectory;
+use adaptive_load_control::tpsim::workload::WorkloadConfig;
+
+const HORIZON_MS: f64 = 300_000.0;
+const JUMP_AT_MS: f64 = 150_000.0;
+
+fn sys() -> SystemConfig {
+    SystemConfig {
+        terminals: 120,
+        arrival: ArrivalProcess::Closed,
+        cpus: 8,
+        cpu_phase: Dist::exponential(4.0),
+        disk_access: Dist::constant(2.0),
+        disk_init_commit: Dist::constant(50.0),
+        think: Dist::exponential(300.0),
+        restart_delay: Dist::constant(5.0),
+        db_size: 500,
+        resample_on_restart: true,
+        seed: 0x1991,
+    }
+}
+
+fn is_params() -> IsParams {
+    IsParams {
+        initial_bound: 10,
+        min_bound: 1,
+        max_bound: 120,
+        beta: 2.0,
+        ..IsParams::default()
+    }
+}
+
+fn pa_params() -> PaParams {
+    PaParams {
+        initial_bound: 10,
+        min_bound: 1,
+        max_bound: 120,
+        dither_amplitude: 3.0,
+        alpha: 0.9,
+        ..PaParams::default()
+    }
+}
+
+fn contenders() -> Vec<(&'static str, Box<dyn LoadController>)> {
+    vec![
+        (
+            "incremental-steps",
+            Box::new(IncrementalSteps::new(is_params())),
+        ),
+        (
+            "parabola-approx",
+            Box::new(ParabolaApproximation::new(pa_params())),
+        ),
+        (
+            "self-tuning-is",
+            Box::new(SelfTuningIs::new(is_params(), OuterParams::default())),
+        ),
+        (
+            "self-tuning-pa",
+            Box::new(SelfTuningPa::new(pa_params(), PaOuterParams::default())),
+        ),
+        (
+            "hybrid-is-pa",
+            Box::new(Hybrid::new(HybridParams {
+                is: is_params(),
+                pa: pa_params(),
+                ..HybridParams::default()
+            })),
+        ),
+    ]
+}
+
+fn main() {
+    // k jumps 4 → 14 halfway: the optimum MPL drops sharply (Figure 13/14).
+    let workload = WorkloadConfig::k_jump(4.0, 14.0, JUMP_AT_MS);
+    let control = ControlConfig {
+        sample_interval_ms: 1000.0,
+        warmup_ms: 10_000.0,
+        ..ControlConfig::default()
+    };
+
+    println!(
+        "jump scenario: k 4 → 14 at t = {}s (optimum moves down), horizon {}s\n",
+        JUMP_AT_MS / 1000.0,
+        HORIZON_MS / 1000.0
+    );
+    println!(
+        "{:>18}  {:>12}  {:>14}  {:>14}  {:>10}",
+        "controller", "throughput/s", "track-err pre", "track-err post", "mean n*"
+    );
+
+    for (name, ctrl) in contenders() {
+        let (stats, traj) = run_trajectory(
+            &sys(),
+            &workload,
+            CcKind::Certification,
+            &control,
+            ctrl,
+            HORIZON_MS,
+            true,
+        );
+        // Tracking error = mean |n*(t) − n_opt(t)|, split at the jump.
+        let (mut pre_err, mut pre_n) = (0.0, 0u32);
+        let (mut post_err, mut post_n) = (0.0, 0u32);
+        for (&(t, bound), &(_, opt)) in traj.bound.points().iter().zip(traj.optimum.points()) {
+            if t < JUMP_AT_MS {
+                pre_err += (bound - opt).abs();
+                pre_n += 1;
+            } else if t > JUMP_AT_MS + 30_000.0 {
+                // Skip the 30 s reaction window: this measures *settling*,
+                // the paper's accuracy criterion, not reaction speed.
+                post_err += (bound - opt).abs();
+                post_n += 1;
+            }
+        }
+        println!(
+            "{:>18}  {:>12.1}  {:>14.1}  {:>14.1}  {:>10.1}",
+            name,
+            stats.throughput_per_sec,
+            pre_err / f64::from(pre_n.max(1)),
+            post_err / f64::from(post_n.max(1)),
+            stats.mean_bound,
+        );
+    }
+
+    println!(
+        "\nExpected shape (paper §9): IS reacts fast but hunts after the jump;\n\
+         PA settles slower but tighter; the outer loops and the hybrid keep\n\
+         PA-grade settling without hand-tuned gains."
+    );
+}

@@ -1,0 +1,103 @@
+//! Admission control in an *open* system — the extension of the paper's
+//! closed model to an external arrival stream.
+//!
+//! The closed model (Figure 11) bounds the offered load by construction:
+//! N terminals cannot submit more than N transactions. A real front door
+//! faces an open stream whose rate answers to nobody. This example sweeps
+//! a Poisson arrival rate across the system's capacity and compares the
+//! uncontrolled system against one whose gate is steered by the Parabola
+//! Approximation controller.
+//!
+//! ```sh
+//! cargo run --release --example open_system
+//! ```
+
+use adaptive_load_control::analytic::surface::Schedule;
+use adaptive_load_control::core::controller::{PaParams, ParabolaApproximation};
+use adaptive_load_control::des::dist::Dist;
+use adaptive_load_control::tpsim::config::{
+    ArrivalProcess, CcKind, ControlConfig, SystemConfig,
+};
+use adaptive_load_control::tpsim::experiment::{run_trajectory, stationary_run};
+use adaptive_load_control::tpsim::WorkloadConfig;
+
+fn main() {
+    let base = SystemConfig {
+        terminals: 400, // slot pool (connection limit) in open mode
+        cpus: 8,
+        db_size: 400,
+        think: Dist::exponential(400.0),
+        disk_access: Dist::constant(2.0),
+        disk_init_commit: Dist::constant(60.0),
+        seed: 0x0BE17,
+        ..SystemConfig::default()
+    };
+    let workload = WorkloadConfig {
+        write_frac: Schedule::Constant(0.5),
+        query_frac: Schedule::Constant(0.1),
+        ..WorkloadConfig::default()
+    };
+    let control = ControlConfig {
+        sample_interval_ms: 1000.0,
+        warmup_ms: 10_000.0,
+        ..ControlConfig::default()
+    };
+
+    println!(
+        "Poisson arrivals vs a ~capacity-limited TP system ({} slots).\n",
+        base.terminals
+    );
+    println!(
+        "{:>10}  {:>15}  {:>12}  {:>15}  {:>12}  {:>10}  {:>8}",
+        "offered/s", "T uncontrolled", "T with PA", "resp unc. (ms)", "resp PA (ms)", "lost unc.", "lost PA"
+    );
+
+    for rate in [25.0, 50.0, 75.0, 100.0, 150.0, 200.0] {
+        let sys = SystemConfig {
+            arrival: ArrivalProcess::Open {
+                interarrival: Dist::exponential(1000.0 / rate),
+            },
+            ..base
+        };
+        let uncontrolled = stationary_run(
+            &sys,
+            &workload,
+            CcKind::Certification,
+            u32::MAX,
+            &control,
+            90_000.0,
+        );
+        let pa = ParabolaApproximation::new(PaParams {
+            initial_bound: 10,
+            max_bound: 400,
+            dither_amplitude: 3.0,
+            ..PaParams::default()
+        });
+        let (with_pa, _) = run_trajectory(
+            &sys,
+            &workload,
+            CcKind::Certification,
+            &control,
+            Box::new(pa),
+            90_000.0,
+            false,
+        );
+        println!(
+            "{:>10.0}  {:>15.1}  {:>12.1}  {:>15.0}  {:>12.0}  {:>10}  {:>8}",
+            rate,
+            uncontrolled.throughput_per_sec,
+            with_pa.throughput_per_sec,
+            uncontrolled.mean_response_ms,
+            with_pa.mean_response_ms,
+            uncontrolled.lost,
+            with_pa.lost,
+        );
+    }
+
+    println!(
+        "\nBelow capacity the gate is invisible. Past it, the uncontrolled system\n\
+         lets every arrival in, data contention turns concurrency into aborted\n\
+         work, and goodput collapses; the controlled system keeps the MPL at the\n\
+         optimum, holds goodput at the peak, and sheds the excess as queueing."
+    );
+}

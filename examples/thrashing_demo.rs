@@ -1,0 +1,68 @@
+//! The thrashing curve (paper Figure 1), from the transaction processing
+//! simulator: sweep the fixed MPL bound and watch throughput rise through
+//! underload, flatten at saturation, and collapse in overload.
+//!
+//! Also prints the analytic prediction (MVA × self-limiting certification
+//! model) next to the simulation — the two agree within a few percent.
+//!
+//! ```sh
+//! cargo run --release --example thrashing_demo
+//! ```
+
+use adaptive_load_control::tpsim::config::{CcKind, ControlConfig, SystemConfig};
+use adaptive_load_control::tpsim::experiment::sweep_bounds;
+use adaptive_load_control::tpsim::WorkloadConfig;
+
+fn main() {
+    let sys = SystemConfig {
+        terminals: 600,
+        seed: 0xD_E401,
+        ..SystemConfig::default()
+    };
+    let workload = WorkloadConfig::default();
+    let control = ControlConfig::default();
+    let bounds = [10, 25, 50, 75, 100, 150, 200, 300, 400, 600];
+
+    println!("sweeping MPL bound on a {}-terminal closed system...", sys.terminals);
+    let points = sweep_bounds(
+        &sys,
+        &workload,
+        CcKind::Certification,
+        &bounds,
+        &control,
+        90_000.0,
+    );
+
+    let model = workload.occ_model_at(0.0, &sys);
+    let curve = model.curve(600);
+
+    println!("\n  bound   sim tx/s   model tx/s   abort%   phase");
+    let peak = points
+        .iter()
+        .map(|p| p.stats.throughput_per_sec)
+        .fold(f64::MIN, f64::max);
+    for p in &points {
+        let t = p.stats.throughput_per_sec;
+        let phase = if t > 0.95 * peak {
+            "≈ optimum"
+        } else if p.stats.cpu_utilization < 0.85 {
+            "underload"
+        } else if t > 0.8 * peak {
+            "saturation"
+        } else {
+            "THRASHING"
+        };
+        println!(
+            "  {:>5}   {:>8.1}   {:>10.1}   {:>5.1}%   {}",
+            p.x,
+            t,
+            curve.throughput(f64::from(p.x)) * 1000.0,
+            100.0 * p.stats.abort_ratio,
+            phase
+        );
+    }
+    println!(
+        "\nanalytic optimum: MPL {} — an admission bound there prevents the collapse",
+        curve.optimal_mpl()
+    );
+}

@@ -1,0 +1,23 @@
+//! Facade crate for the adaptive load control reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples, integration
+//! tests and downstream users can depend on a single package:
+//!
+//! * [`core`] (`alc-core`) — the paper's contribution: the Incremental
+//!   Steps and Parabola Approximation MPL controllers, the IS→PA hybrid,
+//!   the §5 self-tuning outer loops, the RLS estimator, baseline policies
+//!   and a thread-safe adaptive admission gate.
+//! * [`tpsim`] (`alc-tpsim`) — the transaction processing simulator
+//!   (closed terminals or open arrivals) with six CC protocols: OCC
+//!   certification, 2PL with deadlock detection, wound-wait, wait-die,
+//!   basic and multiversion timestamp ordering.
+//! * [`des`] (`alc-des`) — the discrete-event simulation kernel and the
+//!   §5 measurement-interval theory.
+//! * [`analytic`] (`alc-analytic`) — companion analytic models (M/M/m,
+//!   MVA, Tay locking model, OCC conflict model, Franaszek–Robinson
+//!   random graphs, synthetic performance surfaces).
+
+pub use alc_analytic as analytic;
+pub use alc_core as core;
+pub use alc_des as des;
+pub use alc_tpsim as tpsim;

@@ -1,0 +1,256 @@
+//! End-to-end integration tests: the full stack (simulator + measurement
+//! and controller + gate) must reproduce the paper's qualitative claims
+//! on a CI-scale configuration.
+
+use adaptive_load_control::core::controller::{
+    IncrementalSteps, IsParams, LoadController, PaParams, ParabolaApproximation,
+};
+use adaptive_load_control::tpsim::config::{CcKind, ControlConfig, SystemConfig};
+use adaptive_load_control::tpsim::experiment::{run_trajectory, sweep_bounds};
+use adaptive_load_control::tpsim::{Simulator, WorkloadConfig};
+
+fn ci_system(seed: u64) -> SystemConfig {
+    SystemConfig {
+        terminals: 120,
+        cpus: 8,
+        db_size: 400,
+        think: alc_des::dist::Dist::exponential(400.0),
+        disk_access: alc_des::dist::Dist::constant(2.0),
+        disk_init_commit: alc_des::dist::Dist::constant(60.0),
+        seed,
+        ..SystemConfig::default()
+    }
+}
+
+fn ci_control() -> ControlConfig {
+    ControlConfig {
+        sample_interval_ms: 1000.0,
+        warmup_ms: 5_000.0,
+        ..ControlConfig::default()
+    }
+}
+
+/// The uncontrolled system thrashes; a well-placed bound prevents it.
+#[test]
+fn thrashing_exists_and_admission_control_prevents_it() {
+    let sys = ci_system(101);
+    let workload = WorkloadConfig::default();
+    let pts = sweep_bounds(
+        &sys,
+        &workload,
+        CcKind::Certification,
+        &[5, 10, 20, 30, 45, 60, 90, 120],
+        &ci_control(),
+        60_000.0,
+    );
+    let peak = pts
+        .iter()
+        .max_by(|a, b| {
+            a.stats
+                .throughput_per_sec
+                .total_cmp(&b.stats.throughput_per_sec)
+        })
+        .unwrap();
+    let unlimited = pts.last().unwrap();
+    assert!(
+        unlimited.stats.throughput_per_sec < 0.85 * peak.stats.throughput_per_sec,
+        "no thrashing: peak {} at {}, unlimited {}",
+        peak.stats.throughput_per_sec,
+        peak.x,
+        unlimited.stats.throughput_per_sec
+    );
+    // The peak is interior: neither the smallest nor the largest bound.
+    assert!(peak.x > 5 && peak.x < 120, "peak at boundary: {}", peak.x);
+}
+
+/// Both controllers steer the bound to the throughput-optimal region and
+/// beat the uncontrolled system.
+#[test]
+fn controllers_prevent_thrashing_end_to_end() {
+    let sys = ci_system(102);
+    let workload = WorkloadConfig::default();
+    let uncontrolled = alc_tpsim::experiment::stationary_run(
+        &sys,
+        &workload,
+        CcKind::Certification,
+        u32::MAX,
+        &ci_control(),
+        90_000.0,
+    );
+    for ctrl in [
+        Box::new(IncrementalSteps::new(IsParams {
+            initial_bound: 10,
+            max_bound: 120,
+            ..IsParams::default()
+        })) as Box<dyn LoadController>,
+        Box::new(ParabolaApproximation::new(PaParams {
+            initial_bound: 10,
+            max_bound: 120,
+            dither_amplitude: 3.0,
+            ..PaParams::default()
+        })),
+    ] {
+        let name = ctrl.name();
+        let (stats, _) = run_trajectory(
+            &sys,
+            &workload,
+            CcKind::Certification,
+            &ci_control(),
+            ctrl,
+            90_000.0,
+            false,
+        );
+        assert!(
+            stats.throughput_per_sec > 1.1 * uncontrolled.throughput_per_sec,
+            "{name}: controlled {} not better than uncontrolled {}",
+            stats.throughput_per_sec,
+            uncontrolled.throughput_per_sec
+        );
+    }
+}
+
+/// Same seed ⇒ bit-identical trajectories across the whole stack.
+#[test]
+fn full_stack_determinism() {
+    let build = || {
+        Box::new(ParabolaApproximation::new(PaParams {
+            initial_bound: 10,
+            max_bound: 120,
+            ..PaParams::default()
+        }))
+    };
+    let run = || {
+        run_trajectory(
+            &ci_system(103),
+            &WorkloadConfig::k_jump(4.0, 10.0, 20_000.0),
+            CcKind::Certification,
+            &ci_control(),
+            build(),
+            40_000.0,
+            false,
+        )
+    };
+    let (stats_a, traj_a) = run();
+    let (stats_b, traj_b) = run();
+    assert_eq!(stats_a, stats_b);
+    assert_eq!(traj_a.bound.points(), traj_b.bound.points());
+    assert_eq!(traj_a.throughput.points(), traj_b.throughput.points());
+}
+
+/// The simulator agrees with the analytic model (MVA × self-limiting
+/// certification) within 15% over the whole bound range.
+#[test]
+fn simulator_matches_analytic_model() {
+    let sys = ci_system(104);
+    let workload = WorkloadConfig::default();
+    let grid = [5u32, 15, 30, 60, 100];
+    let pts = sweep_bounds(
+        &sys,
+        &workload,
+        CcKind::Certification,
+        &grid,
+        &ci_control(),
+        90_000.0,
+    );
+    let curve = workload.occ_model_at(0.0, &sys).curve(120);
+    for p in &pts {
+        let model = curve.throughput(f64::from(p.x)) * 1000.0;
+        let rel = (p.stats.throughput_per_sec - model).abs() / model;
+        assert!(
+            rel < 0.15,
+            "bound {}: sim {} vs model {} (rel {:.3})",
+            p.x,
+            p.stats.throughput_per_sec,
+            model,
+            rel
+        );
+    }
+}
+
+/// A k-jump moves the measured optimum, and the PA controller follows it
+/// downward (the Figure 14 behaviour, CI scale).
+#[test]
+fn pa_tracks_jump_downward() {
+    let sys = ci_system(105);
+    let horizon = 240_000.0;
+    let workload = WorkloadConfig::k_jump(6.0, 14.0, horizon / 2.0);
+    let ctl = ControlConfig {
+        warmup_ms: 0.0,
+        ..ci_control()
+    };
+    let pa = Box::new(ParabolaApproximation::new(PaParams {
+        initial_bound: 10,
+        max_bound: 150,
+        dither_amplitude: 3.0,
+        alpha: 0.9,
+        ..PaParams::default()
+    }));
+    let (_, traj) = run_trajectory(
+        &sys,
+        &workload,
+        CcKind::Certification,
+        &ctl,
+        pa,
+        horizon,
+        true,
+    );
+    let pts = traj.bound.points();
+    let pre: Vec<f64> = pts[pts.len() / 4..pts.len() / 2]
+        .iter()
+        .map(|&(_, b)| b)
+        .collect();
+    let post: Vec<f64> = pts[pts.len() * 7 / 8..].iter().map(|&(_, b)| b).collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let opt_after = traj.optimum.last_value().unwrap();
+    assert!(
+        mean(&post) < mean(&pre),
+        "bound failed to move down: pre {} post {}",
+        mean(&pre),
+        mean(&post)
+    );
+    assert!(
+        (mean(&post) - opt_after).abs() < 0.5 * opt_after,
+        "post-jump bound {} far from optimum {}",
+        mean(&post),
+        opt_after
+    );
+}
+
+/// Every public config type is serde-serializable and deserializable
+/// (compile-time check), so experiment configs can be stored and replayed.
+#[test]
+fn configs_are_serde_capable() {
+    fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+    assert_serde::<SystemConfig>();
+    assert_serde::<ControlConfig>();
+    assert_serde::<WorkloadConfig>();
+    assert_serde::<alc_tpsim::engine::RunStats>();
+    assert_serde::<alc_core::controller::IsParams>();
+    assert_serde::<alc_core::controller::PaParams>();
+    assert_serde::<alc_core::measure::Measurement>();
+}
+
+/// The gate bound is respected at every instant of a controlled run.
+#[test]
+fn gate_bound_never_exceeded_without_displacement() {
+    let mut sim = Simulator::new(
+        ci_system(106),
+        WorkloadConfig::default(),
+        CcKind::Certification,
+        ControlConfig {
+            initial_bound: 7,
+            warmup_ms: 0.0,
+            ..ci_control()
+        },
+        None,
+    );
+    sim.set_record_optimum(false);
+    for step in 1..=40 {
+        sim.run_until(f64::from(step) * 500.0);
+        assert!(
+            sim.gate().in_system() <= 7,
+            "in-system {} exceeds bound 7 at step {step}",
+            sim.gate().in_system()
+        );
+    }
+}
