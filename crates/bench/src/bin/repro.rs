@@ -15,6 +15,18 @@ use alc_bench::figures;
 use alc_bench::report::Report;
 use alc_bench::Scale;
 
+/// What gets written to `<out>/run_manifest.json`: enough to rerun the
+/// batch. Scale + experiment ids fully determine every run (each figure
+/// derives its system/seed from the scale); `control` is the shared
+/// measurement/control configuration at that scale, recorded for
+/// inspection (the serde derives on the config types make it storable).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct RunManifest {
+    scale: String,
+    experiments: Vec<String>,
+    control: alc_tpsim::config::ControlConfig,
+}
+
 type Runner = fn(Scale, Option<&std::path::Path>) -> Report;
 
 fn catalog() -> Vec<(&'static str, &'static str, Runner)> {
@@ -76,6 +88,15 @@ fn catalog() -> Vec<(&'static str, &'static str, Runner)> {
     ]
 }
 
+fn usage() {
+    println!("usage: repro [--quick] [--out DIR] <all | list | fig01 fig12 ...>");
+    println!();
+    println!("  --quick      CI-scale configuration (seconds instead of minutes)");
+    println!("  --out DIR    CSV output directory (default: results/)");
+    println!("  list         print the experiment catalog");
+    println!("  all          run every experiment");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Full;
@@ -84,6 +105,10 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
             "--quick" => scale = Scale::Quick,
             "--out" => {
                 out_dir = PathBuf::from(it.next().unwrap_or_else(|| {
@@ -106,17 +131,39 @@ fn main() {
         }
     }
     if selected.is_empty() {
-        eprintln!("usage: repro [--quick] [--out DIR] <all | list | fig01 fig12 ...>");
-        eprintln!("run `repro list` for the experiment catalog");
+        usage();
+        eprintln!("\nerror: no experiment selected");
         std::process::exit(2);
     }
 
+    // Resolve every selection before any output lands on disk.
     let catalog = catalog();
-    for want in &selected {
-        let Some((id, _, run)) = catalog.iter().find(|(id, _, _)| id == want) else {
-            eprintln!("unknown experiment `{want}` — try `repro list`");
-            std::process::exit(2);
-        };
+    let runs: Vec<_> = selected
+        .iter()
+        .map(|want| {
+            catalog
+                .iter()
+                .find(|(id, _, _)| id == want)
+                .unwrap_or_else(|| {
+                    eprintln!("unknown experiment `{want}` — try `repro list`");
+                    std::process::exit(2);
+                })
+        })
+        .collect();
+
+    let manifest = RunManifest {
+        scale: format!("{scale:?}"),
+        experiments: selected.clone(),
+        control: alc_bench::figures::control(scale),
+    };
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    std::fs::write(
+        out_dir.join("run_manifest.json"),
+        serde_json::to_string_pretty(&manifest).expect("serialize manifest"),
+    )
+    .expect("write run_manifest.json");
+
+    for (id, _, run) in runs {
         let start = std::time::Instant::now();
         let report = run(scale, Some(out_dir.as_path()));
         let csv = report.write_csv(&out_dir).expect("write csv");

@@ -28,6 +28,14 @@ fn main() {
     while let Some(a) = it.next() {
         let mut val = || it.next().expect("flag needs a value");
         match a.as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: sweep [--k K] [--write-frac W] [--query-frac Q] \
+                     [--terminals N]\n             [--db D] [--cc cert|2pl|to] \
+                     [--horizon-s S] [--bounds a,b,c,...]"
+                );
+                return;
+            }
             "--k" => k = val().parse().expect("k"),
             "--write-frac" => write_frac = val().parse().expect("write-frac"),
             "--query-frac" => query_frac = val().parse().expect("query-frac"),

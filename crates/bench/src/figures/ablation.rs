@@ -10,6 +10,7 @@ use alc_core::measure::Measurement;
 use alc_tpsim::config::{ArrivalProcess, CcKind, ControlConfig, SystemConfig, VictimPolicy};
 use alc_tpsim::experiment::{run_trajectory, sweep_bounds};
 use alc_tpsim::workload::WorkloadConfig;
+use rayon::prelude::*;
 
 use crate::report::Report;
 use crate::table::num;
@@ -53,25 +54,33 @@ pub fn abl_dither(scale: Scale) -> Report {
             "convex_fit_events",
         ],
     );
-    for amp in [0.0, 4.0, 8.0, 16.0] {
-        let params = alc_core::controller::PaParams {
-            dither_amplitude: amp,
-            ..pa_params(scale)
-        };
-        let pa = ParabolaApproximation::new(params);
-        let (stats, traj) = run_trajectory(
-            &sys,
-            &workload,
-            CcKind::Certification,
-            &ctl,
-            Box::new(pa),
-            horizon,
-            true,
-        );
+    // Amplitudes are independent trajectory runs; fan them out. The
+    // controller is built inside each worker so nothing crosses threads.
+    let rows: Vec<_> = [0.0, 4.0, 8.0, 16.0]
+        .par_iter()
+        .map(|&amp| {
+            let params = alc_core::controller::PaParams {
+                dither_amplitude: amp,
+                ..pa_params(scale)
+            };
+            let pa = ParabolaApproximation::new(params);
+            let (stats, traj) = run_trajectory(
+                &sys,
+                &workload,
+                CcKind::Certification,
+                &ctl,
+                Box::new(pa),
+                horizon,
+                true,
+            );
+            (amp, post_jump_tracking(&traj), stats.throughput_per_sec)
+        })
+        .collect();
+    for (amp, tracking, throughput) in rows {
         r.push_row(vec![
             num(amp),
-            num(post_jump_tracking(&traj)),
-            num(stats.throughput_per_sec),
+            num(tracking),
+            num(throughput),
             "-".to_string(),
         ]);
     }
@@ -428,17 +437,21 @@ pub fn abl_cc(scale: Scale) -> Report {
         "Load–throughput shape per CC protocol (all six)",
         &headers_ref,
     );
-    let mut curves = Vec::new();
-    for cc in CcKind::ALL {
-        curves.push(sweep_bounds(
-            &sys,
-            &workload,
-            cc,
-            &grid,
-            &ctl,
-            sweep_horizon(scale) * 0.6,
-        ));
-    }
+    // Six independent protocol sweeps: run them concurrently (each one
+    // also parallelizes over its bound grid).
+    let curves: Vec<_> = CcKind::ALL
+        .par_iter()
+        .map(|&cc| {
+            sweep_bounds(
+                &sys,
+                &workload,
+                cc,
+                &grid,
+                &ctl,
+                sweep_horizon(scale) * 0.6,
+            )
+        })
+        .collect();
     for (i, &b) in grid.iter().enumerate() {
         let mut row = vec![b.to_string()];
         row.extend(curves.iter().map(|c| num(c[i].stats.throughput_per_sec)));
@@ -503,22 +516,29 @@ pub fn abl_victim(scale: Scale) -> Report {
             "mean_response_ms",
         ],
     );
-    for policy in VictimPolicy::ALL {
-        let ctl = ControlConfig {
-            displacement: true,
-            victim_policy: policy,
-            ..ctl_base
-        };
-        let pa = ParabolaApproximation::new(pa_params(scale));
-        let (stats, _traj) = run_trajectory(
-            &sys,
-            &workload,
-            CcKind::Certification,
-            &ctl,
-            Box::new(pa),
-            horizon,
-            false,
-        );
+    // One independent trajectory run per victim policy — fan out.
+    let results: Vec<_> = VictimPolicy::ALL
+        .par_iter()
+        .map(|&policy| {
+            let ctl = ControlConfig {
+                displacement: true,
+                victim_policy: policy,
+                ..ctl_base
+            };
+            let pa = ParabolaApproximation::new(pa_params(scale));
+            let (stats, _traj) = run_trajectory(
+                &sys,
+                &workload,
+                CcKind::Certification,
+                &ctl,
+                Box::new(pa),
+                horizon,
+                false,
+            );
+            (policy, stats)
+        })
+        .collect();
+    for (policy, stats) in results {
         r.push_row(vec![
             format!("{policy:?}"),
             num(stats.throughput_per_sec),
@@ -621,31 +641,38 @@ pub fn abl_open(scale: Scale) -> Report {
             "lost_PA",
         ],
     );
-    for &rate in &rates_per_s {
-        let sys = SystemConfig {
-            arrival: ArrivalProcess::Open {
-                interarrival: alc_des::dist::Dist::exponential(1000.0 / rate),
-            },
-            ..sys_base
-        };
-        let uncontrolled = alc_tpsim::experiment::stationary_run(
-            &sys,
-            &workload,
-            CcKind::Certification,
-            u32::MAX,
-            &ctl,
-            horizon,
-        );
-        let pa = ParabolaApproximation::new(pa_params(scale));
-        let (with_pa, _) = run_trajectory(
-            &sys,
-            &workload,
-            CcKind::Certification,
-            &ctl,
-            Box::new(pa),
-            horizon,
-            false,
-        );
+    // Each offered rate is a pair of independent runs — fan the rates out.
+    let results: Vec<_> = rates_per_s
+        .par_iter()
+        .map(|&rate| {
+            let sys = SystemConfig {
+                arrival: ArrivalProcess::Open {
+                    interarrival: alc_des::dist::Dist::exponential(1000.0 / rate),
+                },
+                ..sys_base
+            };
+            let uncontrolled = alc_tpsim::experiment::stationary_run(
+                &sys,
+                &workload,
+                CcKind::Certification,
+                u32::MAX,
+                &ctl,
+                horizon,
+            );
+            let pa = ParabolaApproximation::new(pa_params(scale));
+            let (with_pa, _) = run_trajectory(
+                &sys,
+                &workload,
+                CcKind::Certification,
+                &ctl,
+                Box::new(pa),
+                horizon,
+                false,
+            );
+            (rate, uncontrolled, with_pa)
+        })
+        .collect();
+    for (rate, uncontrolled, with_pa) in results {
         r.push_row(vec![
             num(rate),
             num(uncontrolled.throughput_per_sec),

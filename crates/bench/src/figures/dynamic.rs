@@ -13,6 +13,7 @@ use alc_tpsim::config::CcKind;
 use alc_tpsim::engine::Trajectories;
 use alc_tpsim::experiment::run_trajectory;
 use alc_tpsim::workload::WorkloadConfig;
+use rayon::prelude::*;
 
 use crate::plot;
 use crate::report::Report;
@@ -189,14 +190,22 @@ pub fn fig07(scale: Scale, out_dir: Option<&Path>) -> Report {
             "tail_perf_%_of_peak",
         ],
     );
-    for (name, policy) in policies {
-        let mut pa = ParabolaApproximation::new(alc_core::controller::PaParams {
-            initial_bound: 40,
-            max_bound: 500,
-            fallback: policy,
-            ..pa_params(Scale::Full)
-        });
-        let (bounds, _) = drive_surface(&mut pa, &surface, steps, 2000.0);
+    // The three fallback-policy drives are independent and noise-free —
+    // run them concurrently, then do file I/O and row assembly in order.
+    let results: Vec<_> = policies
+        .par_iter()
+        .map(|&(name, policy)| {
+            let mut pa = ParabolaApproximation::new(alc_core::controller::PaParams {
+                initial_bound: 40,
+                max_bound: 500,
+                fallback: policy,
+                ..pa_params(Scale::Full)
+            });
+            let (bounds, _) = drive_surface(&mut pa, &surface, steps, 2000.0);
+            (name, bounds, pa.diagnostics())
+        })
+        .collect();
+    for (name, bounds, d) in results {
         if name == "gradient-probe" {
             if let Some(dir) = out_dir {
                 std::fs::create_dir_all(dir).expect("results dir");
@@ -205,7 +214,6 @@ pub fn fig07(scale: Scale, out_dir: Option<&Path>) -> Report {
                 bounds.write_csv(std::io::BufWriter::new(f)).expect("csv");
             }
         }
-        let d = pa.diagnostics();
         let total = d.convex_fits + d.vertex_updates;
         let tail = bounds.tail_mean(0.25);
         let perf_pct = 100.0 * surface.performance(tail, 0.0) / 120.0;
@@ -466,20 +474,38 @@ pub fn sinus(scale: Scale, out_dir: Option<&Path>) -> Report {
             "abort_ratio",
         ],
     );
-    let controllers: Vec<(&str, Box<dyn LoadController>)> = vec![
-        ("IS", Box::new(IncrementalSteps::new(is_params(scale)))),
-        ("PA", Box::new(ParabolaApproximation::new(pa_params(scale)))),
+    // IS and PA are independent runs on the same scenario. Controllers
+    // are built inside the workers via paired constructors (a boxed
+    // controller need not be Send, and pairing name with builder leaves
+    // no fallthrough to mislabel a future addition).
+    type Build = Box<dyn Fn() -> Box<dyn LoadController> + Sync>;
+    let controllers: Vec<(&str, Build)> = vec![
+        (
+            "IS",
+            Box::new(move || Box::new(IncrementalSteps::new(is_params(scale)))),
+        ),
+        (
+            "PA",
+            Box::new(move || Box::new(ParabolaApproximation::new(pa_params(scale)))),
+        ),
     ];
-    for (name, ctrl) in controllers {
-        let (stats, traj) = run_trajectory(
-            &sys,
-            &workload,
-            CcKind::Certification,
-            &ctl,
-            ctrl,
-            horizon,
-            true,
-        );
+    let results: Vec<_> = controllers
+        .par_iter()
+        .map(|(name, build)| {
+            let ctrl = build();
+            let (stats, traj) = run_trajectory(
+                &sys,
+                &workload,
+                CcKind::Certification,
+                &ctl,
+                ctrl,
+                horizon,
+                true,
+            );
+            (name, stats, traj)
+        })
+        .collect();
+    for (name, stats, traj) in results {
         if let Some(dir) = out_dir {
             write_trajectories(&format!("sinus_{name}"), &traj, Some(dir))
                 .expect("trajectory CSV");

@@ -7,6 +7,7 @@ use alc_core::measure::Measurement;
 use alc_tpsim::config::CcKind;
 use alc_tpsim::experiment::{sweep_bounds, sweep_terminals};
 use alc_tpsim::workload::WorkloadConfig;
+use rayon::prelude::*;
 
 use crate::plot;
 use crate::report::Report;
@@ -115,23 +116,25 @@ pub fn fig02(scale: Scale) -> Report {
         &header_refs,
     );
 
-    // One frozen-workload sweep per slice.
-    let mut columns = Vec::new();
-    for s in &slices {
-        let frozen = WorkloadConfig {
-            k: alc_analytic::surface::Schedule::Constant(workload.at(s * period).k as f64),
-            ..WorkloadConfig::default()
-        };
-        let pts = sweep_bounds(
-            &sys,
-            &frozen,
-            CcKind::Certification,
-            &grid,
-            &ctl,
-            sweep_horizon(scale) * 0.5,
-        );
-        columns.push(pts);
-    }
+    // One frozen-workload sweep per slice; slices are independent runs,
+    // so fan them out (each inner sweep parallelizes its bounds too).
+    let columns: Vec<_> = slices
+        .par_iter()
+        .map(|s| {
+            let frozen = WorkloadConfig {
+                k: alc_analytic::surface::Schedule::Constant(workload.at(s * period).k as f64),
+                ..WorkloadConfig::default()
+            };
+            sweep_bounds(
+                &sys,
+                &frozen,
+                CcKind::Certification,
+                &grid,
+                &ctl,
+                sweep_horizon(scale) * 0.5,
+            )
+        })
+        .collect();
     for (i, &b) in grid.iter().enumerate() {
         let mut row = vec![b.to_string()];
         for col in &columns {

@@ -353,8 +353,18 @@ mod tests {
                     }
                 });
                 // Give the inner thread time to enqueue before releasing
-                // the next spawner.
-                while gate.stats().waiting <= i {
+                // the next spawner. `waiting` alone is not a safe condition:
+                // it peaks at 5 only transiently, and on a single-core box
+                // this thread can miss that window entirely once the main
+                // thread drops the blocker and admissions begin. Admissions
+                // are monotonic, so `total_admitted > 1` (beyond the
+                // blocker's own) is a sticky "queue order already locked in"
+                // signal.
+                loop {
+                    let s = gate.stats();
+                    if s.waiting > i || s.total_admitted > 1 {
+                        break;
+                    }
                     std::thread::yield_now();
                 }
                 started.store(i + 1, Ordering::SeqCst);

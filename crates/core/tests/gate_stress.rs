@@ -22,7 +22,11 @@ fn limit_churn_never_overschedules() {
         std::thread::spawn(move || {
             let mut limit = 1u32;
             let mut up = true;
-            while running.load(Ordering::Relaxed) {
+            // SeqCst: this load is the first link in the chain that lets
+            // drain-admitted workers trust their own `running` read (store
+            // in main → this load → drain set_limit under the gate mutex →
+            // worker admission → worker load).
+            while running.load(Ordering::SeqCst) {
                 gate.set_limit(limit);
                 if up {
                     limit += 1;
@@ -53,8 +57,14 @@ fn limit_churn_never_overschedules() {
                 let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
                 // The limit is in motion; admission-only semantics allow
                 // in-flight work to exceed a *freshly lowered* limit, but
-                // never the historical maximum the limiter ever set.
-                if now > 12 {
+                // never the historical maximum the limiter ever set — while
+                // the churn is live. The final drain (`set_limit(64)` after
+                // shutdown) releases every blocked worker at once, so a
+                // worker admitted by it must not count its burst: re-check
+                // `running` after admission. SeqCst pairs with the store in
+                // the main thread so a worker admitted by the drain cannot
+                // observe a stale `true`.
+                if now > 12 && running.load(Ordering::SeqCst) {
                     violations.fetch_add(1, Ordering::SeqCst);
                 }
                 std::thread::yield_now();
@@ -65,7 +75,7 @@ fn limit_churn_never_overschedules() {
     }
 
     std::thread::sleep(Duration::from_millis(300));
-    running.store(false, Ordering::Relaxed);
+    running.store(false, Ordering::SeqCst);
     limiter.join().unwrap();
     for w in workers {
         w.join().unwrap();

@@ -3,8 +3,18 @@
 //! Each helper wraps [`Simulator`] with the warm-up / measurement-window
 //! discipline of §9's experiments and returns plain data (no printing —
 //! the `alc-bench` crate owns presentation).
+//!
+//! # Parallelism and determinism
+//!
+//! Sweeps and seed replications fan their independent runs out with
+//! `rayon`. Every run is fully determined by its own `(SystemConfig,
+//! WorkloadConfig, CcKind, ControlConfig)` — all RNG streams derive from
+//! `SystemConfig::seed`, nothing is shared between runs, and results are
+//! collected in input order — so parallel and serial execution produce
+//! identical output (`parallel_sweep_matches_serial` below pins this).
 
 use alc_core::controller::LoadController;
+use rayon::prelude::*;
 
 use crate::config::{CcKind, ControlConfig, SystemConfig};
 use crate::engine::{RunStats, Simulator, Trajectories};
@@ -45,6 +55,9 @@ pub fn stationary_run(
 
 /// Sweeps the fixed MPL bound over `bounds` under a stationary workload —
 /// the raw material of the Figure 1 load–throughput curve.
+///
+/// The per-bound runs are independent and execute in parallel; the
+/// returned points are in `bounds` order and identical to a serial sweep.
 pub fn sweep_bounds(
     sys: &SystemConfig,
     workload: &WorkloadConfig,
@@ -54,10 +67,34 @@ pub fn sweep_bounds(
     horizon_ms: f64,
 ) -> Vec<SweepPoint> {
     bounds
-        .iter()
+        .par_iter()
         .map(|&b| SweepPoint {
             x: b,
             stats: stationary_run(sys, workload, cc, b, control, horizon_ms),
+        })
+        .collect()
+}
+
+/// Replicates one stationary configuration across independent master
+/// seeds, in parallel — the raw material for confidence intervals over
+/// whole runs (batch-of-runs replication, complementing the §5
+/// within-run interval theory).
+///
+/// Results are in `seeds` order; identical to running serially.
+pub fn replicate_seeds(
+    sys: &SystemConfig,
+    workload: &WorkloadConfig,
+    cc: CcKind,
+    bound: u32,
+    control: &ControlConfig,
+    horizon_ms: f64,
+    seeds: &[u64],
+) -> Vec<RunStats> {
+    seeds
+        .par_iter()
+        .map(|&seed| {
+            let sys_seeded = SystemConfig { seed, ..*sys };
+            stationary_run(&sys_seeded, workload, cc, bound, control, horizon_ms)
         })
         .collect()
 }
@@ -66,6 +103,10 @@ pub fn sweep_bounds(
 /// `None` builds the uncontrolled system. This is Figure 12's experiment:
 /// "for different levels of concurrency a stationary simulation run was
 /// conducted", with and without control.
+///
+/// Stays serial: the `FnMut` factory is stateful by contract (callers may
+/// count or vary the controllers they hand out), so invocation order is
+/// part of the public API.
 pub fn sweep_terminals(
     sys: &SystemConfig,
     workload: &WorkloadConfig,
@@ -156,6 +197,62 @@ mod tests {
         assert!(pts.iter().all(|p| p.stats.commits > 0));
         // A bound of 2 on 30 terminals throttles far below bound 30.
         assert!(pts[0].stats.throughput_per_sec < pts[2].stats.throughput_per_sec);
+    }
+
+    /// The acceptance property of the parallel experiment layer: a
+    /// rayon-parallel sweep is byte-identical to the serial equivalent.
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let bounds = [2u32, 5, 8, 12, 20, 30];
+        let parallel = sweep_bounds(
+            &sys(),
+            &WorkloadConfig::default(),
+            CcKind::Certification,
+            &bounds,
+            &quick_control(),
+            8_000.0,
+        );
+        let serial: Vec<SweepPoint> = bounds
+            .iter()
+            .map(|&b| SweepPoint {
+                x: b,
+                stats: stationary_run(
+                    &sys(),
+                    &WorkloadConfig::default(),
+                    CcKind::Certification,
+                    b,
+                    &quick_control(),
+                    8_000.0,
+                ),
+            })
+            .collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn replicate_seeds_is_deterministic_and_seed_sensitive() {
+        let seeds = [1u64, 2, 3, 4];
+        let run = || {
+            replicate_seeds(
+                &sys(),
+                &WorkloadConfig::default(),
+                CcKind::Certification,
+                8,
+                &quick_control(),
+                8_000.0,
+                &seeds,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seeds must reproduce identical statistics");
+        assert_eq!(a.len(), seeds.len());
+        assert!(a.iter().all(|s| s.commits > 0));
+        // Different seeds give different realizations.
+        assert!(
+            a.windows(2).any(|w| w[0] != w[1]),
+            "independent seeds produced identical runs"
+        );
     }
 
     #[test]

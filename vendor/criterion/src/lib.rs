@@ -1,0 +1,196 @@
+//! A vendored, dependency-free subset of the `criterion` API.
+//!
+//! The build environment is hermetic (no crates.io access), so this shim
+//! keeps the workspace's benchmarks compiling and running: it calibrates
+//! an iteration count to a small time budget, times the routine, and
+//! prints a mean ns/iter line. It performs none of criterion's
+//! statistics (no outlier analysis, no HTML reports).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark, nanoseconds.
+const BUDGET_NS: u128 = 200_000_000;
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&name.into(), &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks (prefixes the group name).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name.into()), &mut f);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// How `iter_batched` amortizes setup; the shim runs one setup per
+/// routine call regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Passed to the benchmark closure; times the hot routine.
+pub struct Bencher {
+    /// Total time attributed to the routine across `iters` iterations.
+    elapsed: Duration,
+    /// Iterations executed by the measured pass.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Calibration pass: grow until the routine is measurable.
+        let mut n = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let spent = start.elapsed();
+            if spent.as_nanos() * 8 >= BUDGET_NS || n >= u64::MAX / 2 {
+                break;
+            }
+            n = n.saturating_mul(2);
+        }
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = n;
+    }
+
+    /// Times with caller-measured durations: `routine(iters)` must
+    /// return the time spent on `iters` iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        let mut n = 1u64;
+        loop {
+            let spent = routine(n);
+            if spent.as_nanos() * 8 >= BUDGET_NS || n >= u64::MAX / 2 {
+                self.elapsed = spent;
+                self.iters = n;
+                return;
+            }
+            n = n.saturating_mul(2);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut n = 1u64;
+        loop {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let spent = start.elapsed();
+            if spent.as_nanos() * 8 >= BUDGET_NS || n >= 1 << 20 {
+                self.elapsed = spent;
+                self.iters = n;
+                return;
+            }
+            n = n.saturating_mul(2);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("bench {name:<50} (no measurement)");
+        return;
+    }
+    let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    println!("bench {name:<50} {ns:>14.1} ns/iter ({} iters)", b.iters);
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

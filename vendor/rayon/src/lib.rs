@@ -1,0 +1,292 @@
+//! A vendored, dependency-free subset of the `rayon` API.
+//!
+//! The build environment is hermetic (no crates.io access), so this shim
+//! provides the data-parallel surface the experiment layer uses:
+//! `par_iter()` / `into_par_iter()` on slices, `Vec` and ranges, with
+//! `map`, `for_each` and order-preserving `collect`.
+//!
+//! Execution model: the item list is materialized, split into contiguous
+//! chunks (one per available core), and mapped on `std::thread::scope`
+//! threads. Chunks are rejoined in input order, so `collect` yields
+//! exactly the sequential result — parallel and serial runs of a
+//! deterministic workload are byte-identical, which the experiment layer
+//! relies on. There is no work stealing; uneven per-item cost degrades
+//! utilization, not correctness.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::thread;
+
+/// Everything a `use rayon::prelude::*;` caller needs.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// The number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` over `items` on scoped threads, returning results in input
+/// order. The chunking is contiguous, so ordering is trivially stable.
+fn execute<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if n <= 1 || threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            out.extend(handle.join().expect("rayon shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` (lazily; runs at `collect`/`for_each`).
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Applies `f` to every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        execute(self.items, f);
+    }
+
+    /// Collects the items in order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A parallel iterator with a pending map stage.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Chains another map stage.
+    pub fn map<R2, G>(self, g: G) -> ParMap<T, impl Fn(T) -> R2 + Sync>
+    where
+        R2: Send,
+        G: Fn(R) -> R2 + Sync,
+    {
+        let f = self.f;
+        ParMap {
+            items: self.items,
+            f: move |x| g(f(x)),
+        }
+    }
+
+    /// Runs the pipeline in parallel and collects results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        execute(self.items, self.f).into_iter().collect()
+    }
+
+    /// Runs the pipeline in parallel for its side effects.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(R) + Sync,
+    {
+        let f = self.f;
+        execute(self.items, move |x| g(f(x)));
+    }
+}
+
+/// Conversion into a by-value parallel iterator.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Materializes the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T> IntoParallelIterator for ParIter<T>
+where
+    T: Send,
+{
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter {
+                    items: self.collect(),
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(u32, u64, usize, i32, i64);
+
+macro_rules! impl_range_inclusive_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter {
+                    items: self.collect(),
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_inclusive_par_iter!(u32, u64, usize, i32, i64);
+
+/// Conversion into a by-reference parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type (a reference).
+    type Item: Send + 'data;
+    /// Materializes the parallel iterator over references.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        self.as_slice().par_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000u64).collect();
+        let serial: Vec<u64> = xs.iter().map(|&x| x * x).collect();
+        let parallel: Vec<u64> = xs.par_iter().map(|&x| x * x).collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges() {
+        let out: Vec<usize> = (0..17usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out, (1..18).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let out: Vec<String> = vec![1u32, 2, 3]
+            .into_par_iter()
+            .map(|x| x * 10)
+            .map(|x| x.to_string())
+            .collect();
+        assert_eq!(out, vec!["10", "20", "30"]);
+    }
+
+    #[test]
+    fn for_each_runs_every_item() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = AtomicU64::new(0);
+        (1..=100u64)
+            .into_par_iter()
+            .for_each(|x| {
+                sum.fetch_add(x, Ordering::Relaxed);
+            });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u32> = vec![7u32].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn uses_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        (0..64u32).into_par_iter().for_each(|_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        let seen = ids.lock().unwrap().len();
+        if super::current_num_threads() > 1 {
+            assert!(seen > 1, "expected parallel execution, saw {seen} thread");
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! The hermetic build has no `syn`/`quote`, so this crate parses the
+//! derive input by walking `proc_macro::TokenStream` directly and emits
+//! the generated impls as source strings. Supported shapes — which cover
+//! every derived type in this workspace — are non-generic structs
+//! (named, tuple, unit) and enums whose variants are unit, tuple or
+//! struct-like. Anything else produces a `compile_error!` naming the
+//! offending type so the gap is obvious at build time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    UnitStruct,
+    Enum { variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the shim's `serde::Serialize` (struct → map, tuple struct →
+/// seq, enum → externally tagged).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the shim's `serde::Deserialize`, the inverse of the derived
+/// `Serialize` representation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&str, &Shape) -> String) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => gen(&name, &shape)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("serde_derive: expected struct/enum, got {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("serde_derive: expected type name, got {other:?}")),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive shim: `{name}` is generic; write the Serialize/Deserialize impls by hand"
+        ));
+    }
+    match kw.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::NamedStruct {
+                    fields: parse_named_fields(g.stream())?,
+                }))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Shape::TupleStruct {
+                    arity: count_tuple_fields(g.stream()),
+                }))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            other => Err(format!("serde_derive: unexpected struct body {other:?}")),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum {
+                    variants: parse_variants(g.stream())?,
+                }))
+            }
+            other => Err(format!("serde_derive: unexpected enum body {other:?}")),
+        },
+        other => Err(format!("serde_derive: cannot derive for `{other}` items")),
+    }
+}
+
+type Toks = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips leading `#[...]` attributes and a `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(toks: &mut Toks) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    toks.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a `{ ... }` struct body.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut toks = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        match toks.next() {
+            None => return Ok(fields),
+            Some(TokenTree::Ident(i)) => {
+                fields.push(i.to_string());
+                match toks.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => return Err(format!("serde_derive: expected `:`, got {other:?}")),
+                }
+                skip_type_until_comma(&mut toks);
+            }
+            other => return Err(format!("serde_derive: expected field name, got {other:?}")),
+        }
+    }
+}
+
+/// Consumes type tokens up to (and including) the next comma at angle
+/// depth zero. Brackets/parens arrive as whole groups, so only `<`/`>`
+/// need explicit depth tracking.
+fn skip_type_until_comma(toks: &mut Toks) {
+    let mut angle_depth = 0i32;
+    for tok in toks.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Number of fields in a tuple-struct/tuple-variant body: one per
+/// top-level comma-separated segment that contains any tokens.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut toks = body.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        skip_type_until_comma(&mut toks);
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut toks = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        match toks.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(i)) => {
+                let name = i.to_string();
+                let kind = match toks.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = count_tuple_fields(g.stream());
+                        toks.next();
+                        VariantKind::Tuple(arity)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream())?;
+                        toks.next();
+                        VariantKind::Named(fields)
+                    }
+                    _ => VariantKind::Unit,
+                };
+                // Discriminants (`= expr`) and the separating comma.
+                skip_type_until_comma(&mut toks);
+                variants.push(Variant { name, kind });
+            }
+            other => return Err(format!("serde_derive: expected variant, got {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct { fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Map(::std::vec::Vec::from([{}]))",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::Value::Seq(::std::vec::Vec::from([{}]))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::serde::Value::Str(::std::string::String::from({name:?}))"),
+        Shape::Enum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from({vname:?}))"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__serde_f0) => tagged({vname:?}, \
+                             ::serde::Serialize::to_value(__serde_f0))"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("__serde_f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => tagged({vname:?}, \
+                                 ::serde::Value::Seq(::std::vec::Vec::from([{}])))",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => tagged({vname:?}, \
+                                 ::serde::Value::Map(::std::vec::Vec::from([{}])))",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "fn tagged(tag: &str, payload: ::serde::Value) -> ::serde::Value {{\
+                     ::serde::Value::Map(::std::vec::Vec::from([\
+                         (::std::string::String::from(tag), payload)]))\
+                 }}\
+                 match self {{ {} }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct { fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(__serde_v.get({f:?})\
+                         .ok_or_else(|| ::serde::Error::custom(\
+                             concat!(\"missing field `\", {f:?}, \"` in {name}\")))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(__serde_seq.get({i})\
+                         .ok_or_else(|| ::serde::Error::custom(\
+                             \"sequence too short for {name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __serde_seq = __serde_v.as_seq().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected sequence for {name}\"))?;\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum { variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{})",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname})"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_value(__serde_payload)?))"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(__serde_seq.get({i})\
+                                         .ok_or_else(|| ::serde::Error::custom(\
+                                             \"sequence too short for {name}::{vname}\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{vname:?} => {{\
+                                     let __serde_seq = __serde_payload.as_seq()\
+                                         .ok_or_else(|| ::serde::Error::custom(\
+                                             \"expected sequence for {name}::{vname}\"))?;\
+                                     ::std::result::Result::Ok({name}::{vname}({}))\
+                                 }}",
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                             __serde_payload.get({f:?}).ok_or_else(|| \
+                                             ::serde::Error::custom(concat!(\
+                                                 \"missing field `\", {f:?}, \
+                                                 \"` in {name}::{vname}\")))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {} }})",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            let str_arm = format!(
+                "::serde::Value::Str(__serde_s) => match __serde_s.as_str() {{\
+                     {}\
+                     __serde_other => ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"unknown {name} variant `{{__serde_other}}`\"))),\
+                 }}",
+                if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(", "))
+                }
+            );
+            let map_arm = format!(
+                "::serde::Value::Map(__serde_entries) if __serde_entries.len() == 1 => {{\
+                     let (__serde_tag, __serde_payload) = &__serde_entries[0];\
+                     let _ = __serde_payload;\
+                     match __serde_tag.as_str() {{\
+                         {}\
+                         __serde_other => ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"unknown {name} variant `{{__serde_other}}`\"))),\
+                     }}\
+                 }}",
+                if payload_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", payload_arms.join(", "))
+                }
+            );
+            format!(
+                "match __serde_v {{\
+                     {str_arm},\
+                     {map_arm},\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\
+                         \"expected string or single-entry map for {name}\")),\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(__serde_v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{ \
+                     let _ = &__serde_v; {body} }}\n\
+         }}"
+    )
+}
