@@ -1,0 +1,112 @@
+//! Frozen seed implementations, kept as performance baselines.
+//!
+//! [`SeedCalendar`] is the pre-rewrite future event list exactly as the
+//! seed shipped it: a `BinaryHeap` of scheduled entries plus a side
+//! `HashSet` of cancelled sequence numbers consulted on every pop. The
+//! `perfgate` binary races the slab-backed [`alc_des::Calendar`] against
+//! it on an identical event stream and asserts the required speedup —
+//! hardware-independent, unlike a recorded absolute number.
+//!
+//! Do not "improve" this module; its whole value is staying the seed.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use alc_des::SimTime;
+
+/// Token of the seed calendar (a bare sequence number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeedToken(u64);
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The seed future event list: `BinaryHeap` + lazy cancel-set.
+pub struct SeedCalendar<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    cancelled: HashSet<u64>,
+    now: SimTime,
+}
+
+impl<E> Default for SeedCalendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> SeedCalendar<E> {
+    /// Creates an empty calendar at time zero.
+    pub fn new() -> Self {
+        SeedCalendar {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> SeedToken {
+        assert!(at >= self.now, "event scheduled in the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+        SeedToken(seq)
+    }
+
+    /// Schedules `payload` to fire `delay` ms from now.
+    pub fn schedule_in(&mut self, delay: f64, payload: E) -> SeedToken {
+        self.schedule(self.now + delay, payload)
+    }
+
+    /// Lazily cancels a token (the seed leak: a stale token stays in the
+    /// set forever).
+    pub fn cancel(&mut self, token: SeedToken) {
+        self.cancelled.insert(token.0);
+    }
+
+    /// Pops the next live event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.now = ev.at;
+            return Some((ev.at, ev.payload));
+        }
+        None
+    }
+}

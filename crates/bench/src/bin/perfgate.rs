@@ -1,0 +1,331 @@
+//! `perfgate` — the repo's performance regression gate.
+//!
+//! ```text
+//! perfgate [--check] [--out PATH]
+//! ```
+//!
+//! Three measurements, written to `BENCH_02.json` (override with `--out`):
+//!
+//! 1. **Calendar race** — the slab-backed [`alc_des::Calendar`] against
+//!    the frozen seed implementation ([`alc_bench::baseline::SeedCalendar`])
+//!    on an identical simulator-shaped event stream (standing population,
+//!    schedule-per-pop, a slice of cancellations). The gate **asserts**
+//!    `events/sec(slab) ≥ 1.5 × events/sec(seed)` and exits non-zero
+//!    otherwise. Racing the seed code on the same machine makes the gate
+//!    hardware-independent, unlike a recorded absolute baseline.
+//! 2. **Simulator throughput** — simulated events/sec and committed
+//!    txns/sec of full engine runs per CC protocol (informational trend
+//!    numbers for the perf trajectory).
+//! 3. **Peak heap** — a counting global allocator reports peak live bytes
+//!    over the whole run (RSS proxy).
+//!
+//! `--check` runs a CI-sized variant (seconds, not minutes); the ratio
+//! assertion applies in both modes.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use alc_bench::baseline::SeedCalendar;
+use alc_bench::figures::quick_system;
+use alc_des::rng::RngStream;
+use alc_des::Calendar;
+use alc_tpsim::config::{CcKind, ControlConfig};
+use alc_tpsim::engine::Simulator;
+use alc_tpsim::workload::WorkloadConfig;
+
+// ---------------------------------------------------------------------
+// Peak-heap tracking (RSS proxy)
+// ---------------------------------------------------------------------
+
+struct PeakAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn note_alloc(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_alloc(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size > layout.size() {
+            note_alloc(new_size - layout.size());
+        } else {
+            LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: PeakAlloc = PeakAlloc;
+
+// ---------------------------------------------------------------------
+// Calendar race
+// ---------------------------------------------------------------------
+
+/// Simulator-shaped payload (the engine's event enum is two words).
+#[derive(Clone, Copy)]
+struct Payload {
+    _txn: u32,
+    _generation: u64,
+}
+
+/// The common event stream both calendars replay: a standing population
+/// of `MPL` events; every pop schedules a successor with a pseudo-random
+/// delay; every third pop also cancels a previously issued token (some
+/// live — displacement — and, for the seed design, the cancel-set cost),
+/// scheduling a replacement to keep the population standing.
+const MPL: usize = 256;
+const CANCEL_EVERY: usize = 3;
+
+macro_rules! drive {
+    ($cal:expr, $ops:expr, $seed:expr) => {{
+        let mut rng = RngStream::from_seed($seed);
+        let cal = $cal;
+        let mut tokens = Vec::with_capacity(MPL);
+        for i in 0..MPL {
+            tokens.push(cal.schedule_in(rng.uniform(1.0, 100.0), Payload {
+                _txn: i as u32,
+                _generation: 0,
+            }));
+        }
+        let mut pops = 0u64;
+        for i in 0..$ops {
+            let (_, _p) = cal.pop().expect("standing population");
+            pops += 1;
+            let tok = cal.schedule_in(rng.uniform(1.0, 100.0), Payload {
+                _txn: (i % MPL) as u32,
+                _generation: i as u64,
+            });
+            let slot = i % MPL;
+            if i % CANCEL_EVERY == 0 {
+                // Cancel the token previously parked in this slot (often
+                // already fired → stale path) and replace it if it was
+                // still pending so the population cannot drain.
+                cal.cancel(tokens[slot]);
+                tokens[slot] = cal.schedule_in(rng.uniform(1.0, 100.0), Payload {
+                    _txn: slot as u32,
+                    _generation: i as u64,
+                });
+                let _ = tok;
+            } else {
+                tokens[slot] = tok;
+            }
+        }
+        // Drain what is left so both implementations pay their reaping.
+        while cal.pop().is_some() {
+            pops += 1;
+        }
+        pops
+    }};
+}
+
+/// Best-of-`reps` wall time for `ops` operations; returns events/sec.
+/// The timing order alternates per rep so neither implementation
+/// systematically benefits from warmed caches/allocator state — the gate
+/// must pass on real headroom, not measurement-order bias.
+fn race_calendars(ops: usize, reps: usize) -> (f64, f64) {
+    let time_seed = |ops: usize, seed: u64| {
+        let t0 = Instant::now();
+        let mut cal: SeedCalendar<Payload> = SeedCalendar::new();
+        let pops = drive!(&mut cal, ops, seed);
+        (pops, t0.elapsed().as_secs_f64())
+    };
+    let time_slab = |ops: usize, seed: u64| {
+        let t0 = Instant::now();
+        let mut cal: Calendar<Payload> = Calendar::new();
+        let pops = drive!(&mut cal, ops, seed);
+        (pops, t0.elapsed().as_secs_f64())
+    };
+    // Untimed warm-up pass for both implementations.
+    time_seed(ops / 10, 0xC0FFEE);
+    time_slab(ops / 10, 0xC0FFEE);
+
+    let mut best_seed = f64::INFINITY;
+    let mut best_slab = f64::INFINITY;
+    let mut pops_seed = 0;
+    let mut pops_slab = 0;
+    for r in 0..reps {
+        let stream = 0xBEEF + r as u64;
+        if r % 2 == 0 {
+            let (p, t) = time_seed(ops, stream);
+            pops_seed = p;
+            best_seed = best_seed.min(t);
+            let (p, t) = time_slab(ops, stream);
+            pops_slab = p;
+            best_slab = best_slab.min(t);
+        } else {
+            let (p, t) = time_slab(ops, stream);
+            pops_slab = p;
+            best_slab = best_slab.min(t);
+            let (p, t) = time_seed(ops, stream);
+            pops_seed = p;
+            best_seed = best_seed.min(t);
+        }
+        assert_eq!(
+            pops_seed, pops_slab,
+            "the two calendars disagreed on the event stream"
+        );
+    }
+    (
+        pops_seed as f64 / best_seed,
+        pops_slab as f64 / best_slab,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Simulator throughput
+// ---------------------------------------------------------------------
+
+#[derive(serde::Serialize)]
+struct SimBench {
+    cc: String,
+    sim_horizon_ms: f64,
+    events: u64,
+    commits: u64,
+    events_per_sec: f64,
+    txns_per_sec: f64,
+}
+
+fn bench_simulator(cc: CcKind, horizon_ms: f64) -> SimBench {
+    let mut sim = Simulator::new(
+        quick_system(40, 7),
+        WorkloadConfig::default(),
+        cc,
+        ControlConfig {
+            initial_bound: u32::MAX,
+            warmup_ms: 0.0,
+            ..ControlConfig::default()
+        },
+        None,
+    );
+    sim.set_record_optimum(false);
+    let t0 = Instant::now();
+    let stats = sim.run_until(horizon_ms);
+    let wall = t0.elapsed().as_secs_f64();
+    SimBench {
+        cc: format!("{cc:?}"),
+        sim_horizon_ms: horizon_ms,
+        events: sim.events_processed(),
+        commits: stats.commits,
+        events_per_sec: sim.events_processed() as f64 / wall,
+        txns_per_sec: stats.commits as f64 / wall,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------
+
+#[derive(serde::Serialize)]
+struct CalendarRace {
+    ops: usize,
+    reps: usize,
+    seed_events_per_sec: f64,
+    slab_events_per_sec: f64,
+    speedup: f64,
+    required_speedup: f64,
+    pass: bool,
+}
+
+#[derive(serde::Serialize)]
+struct Bench02 {
+    bench: String,
+    mode: String,
+    calendar: CalendarRace,
+    simulator: Vec<SimBench>,
+    peak_heap_bytes: usize,
+}
+
+const REQUIRED_SPEEDUP: f64 = 1.5;
+
+fn main() {
+    let mut check = false;
+    let mut out = PathBuf::from("BENCH_02.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!("usage: perfgate [--check] [--out PATH]");
+                println!();
+                println!("  --check     CI-sized run (seconds); the speedup gate still applies");
+                println!("  --out PATH  where to write the JSON report (default BENCH_02.json)");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (ops, reps, horizon) = if check {
+        (400_000, 3, 5_000.0)
+    } else {
+        (4_000_000, 3, 30_000.0)
+    };
+
+    eprintln!("perfgate: racing calendars ({ops} ops x {reps} reps)…");
+    let (seed_eps, slab_eps) = race_calendars(ops, reps);
+    let speedup = slab_eps / seed_eps;
+    let pass = speedup >= REQUIRED_SPEEDUP;
+
+    eprintln!("perfgate: simulator throughput…");
+    let simulator = [
+        CcKind::Certification,
+        CcKind::TwoPhaseLocking,
+        CcKind::TimestampOrdering,
+    ]
+    .into_iter()
+    .map(|cc| bench_simulator(cc, horizon))
+    .collect();
+
+    let report = Bench02 {
+        bench: "BENCH_02 zero-allocation hot path".into(),
+        mode: if check { "check" } else { "full" }.into(),
+        calendar: CalendarRace {
+            ops,
+            reps,
+            seed_events_per_sec: seed_eps,
+            slab_events_per_sec: slab_eps,
+            speedup,
+            required_speedup: REQUIRED_SPEEDUP,
+            pass,
+        },
+        simulator,
+        peak_heap_bytes: PEAK.load(Ordering::Relaxed),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, &json).expect("write report");
+    println!("{json}");
+    eprintln!(
+        "perfgate: calendar {:.2}x over seed (gate {:.1}x) → {}",
+        speedup,
+        REQUIRED_SPEEDUP,
+        if pass { "PASS" } else { "FAIL" }
+    );
+    if !pass {
+        std::process::exit(1);
+    }
+}

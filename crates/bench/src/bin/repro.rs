@@ -12,7 +12,6 @@
 use std::path::PathBuf;
 
 use alc_bench::figures;
-use alc_bench::report::Report;
 use alc_bench::Scale;
 
 /// What gets written to `<out>/run_manifest.json`: enough to rerun the
@@ -27,66 +26,7 @@ struct RunManifest {
     control: alc_tpsim::config::ControlConfig,
 }
 
-type Runner = fn(Scale, Option<&std::path::Path>) -> Report;
-
-fn catalog() -> Vec<(&'static str, &'static str, Runner)> {
-    vec![
-        ("fig01", "load–throughput function with thrashing", |s, _| {
-            figures::fig01(s)
-        }),
-        ("fig02", "performance surface P(n,t) under sinusoidal k", |s, _| {
-            figures::fig02(s)
-        }),
-        ("fig03", "IS zig-zag trajectory (stationary)", figures::fig03),
-        ("fig04", "PA parabola fit vs true curve", |s, _| figures::fig04(s)),
-        ("fig06", "estimator memory shapes", |s, _| figures::fig06(s)),
-        ("fig07", "flat-hump pathology + fallbacks", figures::fig07),
-        ("fig08", "abrupt shape change + covariance reset", figures::fig08),
-        ("sec6", "overload indicator comparison", |s, _| figures::sec6(s)),
-        ("fig12", "throughput with vs without control", |s, _| {
-            figures::fig12(s)
-        }),
-        ("fig13", "IS trajectory under optimum jump", figures::fig13),
-        ("fig14", "PA trajectory under optimum jump", figures::fig14),
-        ("sinus", "sinusoidal workload tracking", figures::sinus),
-        ("abl-dither", "PA dither amplitude ablation", |s, _| {
-            figures::abl_dither(s)
-        }),
-        ("abl-alpha", "Δt vs α trade-off ablation", |s, _| {
-            figures::abl_alpha(s)
-        }),
-        ("abl-displacement", "admission-only vs displacement", |s, _| {
-            figures::abl_displacement(s)
-        }),
-        ("abl-restart", "restart resampling ablation", |s, _| {
-            figures::abl_restart(s)
-        }),
-        ("abl-rules", "feedback vs rules of thumb", |s, _| {
-            figures::abl_rules(s)
-        }),
-        ("abl-is-failure", "IS growing-height failure (§5.1)", |s, _| {
-            figures::abl_is_failure(s)
-        }),
-        ("abl-hotspot", "Zipf hot-spot extension", |s, _| {
-            figures::abl_hotspot(s)
-        }),
-        ("abl-cc", "thrashing across CC protocols", |s, _| {
-            figures::abl_cc(s)
-        }),
-        ("abl-victim", "displacement victim policies (§4.3)", |s, _| {
-            figures::abl_victim(s)
-        }),
-        ("abl-hybrid", "IS/PA/outer-loops/hybrid showdown", |s, _| {
-            figures::abl_hybrid(s)
-        }),
-        ("abl-interval", "§5 interval sizing + CI coverage", |s, _| {
-            figures::abl_interval(s)
-        }),
-        ("abl-open", "open arrivals: goodput/loss vs offered load", |s, _| {
-            figures::abl_open(s)
-        }),
-    ]
-}
+use figures::catalog;
 
 fn usage() {
     println!("usage: repro [--quick] [--out DIR] <all | list | fig01 fig12 ...>");

@@ -16,7 +16,64 @@ pub use stationary::{fig01, fig02, fig04, fig06, fig12, sec6};
 use alc_core::controller::{IsParams, PaParams};
 use alc_tpsim::config::{ControlConfig, SystemConfig};
 
+use crate::report::Report;
 use crate::Scale;
+
+/// A figure runner: takes the scale and an optional directory for
+/// trajectory CSVs, returns the printable/storable report.
+pub type Runner = fn(Scale, Option<&std::path::Path>) -> Report;
+
+/// The experiment catalog: `(id, title, runner)` for every figure and
+/// ablation the `repro` binary can regenerate. Shared between the CLI and
+/// the golden determinism tests so the two can never drift apart.
+pub fn catalog() -> Vec<(&'static str, &'static str, Runner)> {
+    vec![
+        ("fig01", "load–throughput function with thrashing", |s, _| {
+            fig01(s)
+        }),
+        ("fig02", "performance surface P(n,t) under sinusoidal k", |s, _| {
+            fig02(s)
+        }),
+        ("fig03", "IS zig-zag trajectory (stationary)", fig03),
+        ("fig04", "PA parabola fit vs true curve", |s, _| fig04(s)),
+        ("fig06", "estimator memory shapes", |s, _| fig06(s)),
+        ("fig07", "flat-hump pathology + fallbacks", fig07),
+        ("fig08", "abrupt shape change + covariance reset", fig08),
+        ("sec6", "overload indicator comparison", |s, _| sec6(s)),
+        ("fig12", "throughput with vs without control", |s, _| fig12(s)),
+        ("fig13", "IS trajectory under optimum jump", fig13),
+        ("fig14", "PA trajectory under optimum jump", fig14),
+        ("sinus", "sinusoidal workload tracking", sinus),
+        ("abl-dither", "PA dither amplitude ablation", |s, _| {
+            abl_dither(s)
+        }),
+        ("abl-alpha", "Δt vs α trade-off ablation", |s, _| abl_alpha(s)),
+        ("abl-displacement", "admission-only vs displacement", |s, _| {
+            abl_displacement(s)
+        }),
+        ("abl-restart", "restart resampling ablation", |s, _| {
+            abl_restart(s)
+        }),
+        ("abl-rules", "feedback vs rules of thumb", |s, _| abl_rules(s)),
+        ("abl-is-failure", "IS growing-height failure (§5.1)", |s, _| {
+            abl_is_failure(s)
+        }),
+        ("abl-hotspot", "Zipf hot-spot extension", |s, _| abl_hotspot(s)),
+        ("abl-cc", "thrashing across CC protocols", |s, _| abl_cc(s)),
+        ("abl-victim", "displacement victim policies (§4.3)", |s, _| {
+            abl_victim(s)
+        }),
+        ("abl-hybrid", "IS/PA/outer-loops/hybrid showdown", |s, _| {
+            abl_hybrid(s)
+        }),
+        ("abl-interval", "§5 interval sizing + CI coverage", |s, _| {
+            abl_interval(s)
+        }),
+        ("abl-open", "open arrivals: goodput/loss vs offered load", |s, _| {
+            abl_open(s)
+        }),
+    ]
+}
 
 /// The paper-scale physical configuration (calibration documented in
 /// DESIGN.md: Yu-et-al. trace parameters are not public, so values are

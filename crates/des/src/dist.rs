@@ -89,6 +89,7 @@ pub struct Erlang {
 }
 
 impl Sample for Erlang {
+    #[inline]
     fn sample(&self, rng: &mut RngStream) -> f64 {
         assert!(self.stages >= 1);
         let stage_mean = self.mean / f64::from(self.stages);
@@ -168,6 +169,7 @@ impl Sample for Dist {
             Dist::HyperExp(d) => d.sample(rng),
         }
     }
+    #[inline]
     fn mean(&self) -> f64 {
         match self {
             Dist::Constant(d) => d.mean(),
@@ -209,6 +211,7 @@ impl Zipf {
     }
 
     /// Draws one value in `[0, n)`; smaller values are more popular.
+    #[inline]
     pub fn sample(&self, rng: &mut RngStream) -> u64 {
         if self.theta == 0.0 {
             return rng.below(self.n);

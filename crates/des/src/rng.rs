@@ -111,27 +111,38 @@ impl RngStream {
         self.uniform01() < p
     }
 
-    /// Samples `count` distinct values from `[0, population)` via partial
-    /// Fisher–Yates on a virtual index map. Cost is O(count) expected.
+    /// Samples `count` distinct values from `[0, population)` via Floyd's
+    /// algorithm — O(count) draws. Convenience wrapper around
+    /// [`RngStream::distinct_below_into`] that allocates the result.
     ///
     /// This is how a transaction picks its `k` data items out of the `D`
     /// item database ("data items are selected randomly, no hot spots").
     pub fn distinct_below(&mut self, population: u64, count: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(count);
+        self.distinct_below_into(population, count, &mut out);
+        out
+    }
+
+    /// Allocation-free [`RngStream::distinct_below`]: replaces the
+    /// contents of `out` with the sample. `out` holds exactly the chosen
+    /// set at every step and `count` is small (a transaction's `k`), so
+    /// the duplicate probe is a linear scan — cheaper than hashing and
+    /// free of allocator traffic on the simulator's per-instance path.
+    /// Draws the same values in the same order as the seed `HashSet`
+    /// implementation.
+    #[inline]
+    pub fn distinct_below_into(&mut self, population: u64, count: usize, out: &mut Vec<u64>) {
         assert!(
             (count as u64) <= population,
             "cannot draw {count} distinct values from a population of {population}"
         );
-        // Floyd's algorithm: O(count) draws, O(count) memory.
-        let mut chosen = std::collections::HashSet::with_capacity(count);
-        let mut out = Vec::with_capacity(count);
+        out.clear();
         let start = population - count as u64;
         for j in start..population {
             let t = self.below(j + 1);
-            let pick = if chosen.contains(&t) { j } else { t };
-            chosen.insert(pick);
+            let pick = if out.contains(&t) { j } else { t };
             out.push(pick);
         }
-        out
     }
 
     /// Raw 64 random bits (exposed for the distributions module).

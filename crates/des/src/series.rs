@@ -17,10 +17,22 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// Creates an empty series with a display name.
     pub fn new(name: impl Into<String>) -> Self {
+        Self::with_capacity(name, 0)
+    }
+
+    /// Creates an empty series with room for `cap` samples — used by the
+    /// simulator to size trajectory buffers from the run configuration so
+    /// recording never reallocates mid-run.
+    pub fn with_capacity(name: impl Into<String>, cap: usize) -> Self {
         TimeSeries {
             name: name.into(),
-            points: Vec::new(),
+            points: Vec::with_capacity(cap),
         }
+    }
+
+    /// Ensures room for at least `additional` further samples.
+    pub fn reserve(&mut self, additional: usize) {
+        self.points.reserve(additional);
     }
 
     /// The series name.

@@ -10,7 +10,7 @@
 use crate::time::SimTime;
 
 /// Welford's online mean/variance accumulator.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
 pub struct Welford {
     n: u64,
     mean: f64,
@@ -80,7 +80,7 @@ impl Welford {
             return;
         }
         if self.n == 0 {
-            *self = other.clone();
+            *self = *other;
             return;
         }
         let n1 = self.n as f64;

@@ -15,15 +15,27 @@
 //! * an S→X upgrade by the sole holder succeeds in place; with other
 //!   readers present it waits at the *front* of the queue;
 //! * releases grant from the queue front while compatible.
+//!
+//! # Storage: entry arena, not per-item allocations
+//!
+//! Acquire/release sits on the per-access critical path of every 2PL
+//! simulation, so entries live in an arena (`Vec<LockEntry>` + free
+//! list) and are *recycled*, never dropped: holders use an inline
+//! two-element buffer ([`InlineVec`]) and wait queues retain their
+//! capacity across reuse. After warm-up the only per-operation map
+//! traffic is the `item → entry` index, which the `HashMap` serves from
+//! retained capacity — the allocator is out of the loop.
 
 use std::collections::{HashMap, VecDeque};
 
+use super::inline_vec::InlineVec;
 use super::TxnId;
 
 /// Lock mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Mode {
     /// Shared (read) lock.
+    #[default]
     Shared,
     /// Exclusive (write) lock.
     Exclusive,
@@ -38,12 +50,23 @@ pub(crate) enum RequestOutcome {
     Queued,
 }
 
-#[derive(Debug)]
+/// Most items are held by one transaction (occasionally a small read
+/// group), so two holders live inline in the entry.
+const INLINE_HOLDERS: usize = 2;
+
+#[derive(Debug, Default)]
 struct LockEntry {
     /// Current holders with their strongest granted mode.
-    holders: Vec<(TxnId, Mode)>,
-    /// FIFO wait queue. Upgrades enter at the front.
+    holders: InlineVec<(TxnId, Mode), INLINE_HOLDERS>,
+    /// FIFO wait queue. Upgrades enter at the front. Capacity is retained
+    /// when the entry cycles through the free list.
     queue: VecDeque<(TxnId, Mode)>,
+}
+
+impl LockEntry {
+    fn is_unused(&self) -> bool {
+        self.holders.is_empty() && self.queue.is_empty()
+    }
 }
 
 #[derive(Debug, Default, Clone)]
@@ -56,49 +79,118 @@ struct Slot {
 /// A strict shared/exclusive lock table over `u64` item ids.
 #[derive(Debug)]
 pub(crate) struct LockTable {
-    table: HashMap<u64, LockEntry>,
+    /// Locked item → arena entry. Entries leave the index the moment they
+    /// empty, so `index.len()` is the number of currently locked items.
+    index: HashMap<u64, u32>,
+    /// Entry arena; recycled through `free`, never shrunk.
+    entries: Vec<LockEntry>,
+    free: Vec<u32>,
     slots: Vec<Slot>,
+    /// Reusable buffer for the items released by `release_all_into`.
+    released_scratch: Vec<u64>,
 }
 
 impl LockTable {
     /// Creates a table for `slots` transaction slots.
     pub(crate) fn new(slots: usize) -> Self {
         LockTable {
-            table: HashMap::new(),
+            index: HashMap::new(),
+            entries: Vec::new(),
+            free: Vec::new(),
             slots: vec![Slot::default(); slots],
+            released_scratch: Vec::new(),
         }
     }
 
     /// Resets per-transaction bookkeeping at the start of a (re)run.
     pub(crate) fn begin(&mut self, txn: TxnId) {
+        let slot = &mut self.slots[txn];
         debug_assert!(
-            self.slots[txn].held.is_empty() && self.slots[txn].waiting_for_item.is_none(),
+            slot.held.is_empty() && slot.waiting_for_item.is_none(),
             "begin() on a transaction still holding locks"
         );
-        self.slots[txn] = Slot::default();
+        slot.held.clear();
+        slot.waiting_for_item = None;
+        slot.blocked_count = 0;
     }
 
-    fn compatible(holders: &[(TxnId, Mode)], requester: TxnId, mode: Mode) -> bool {
+    /// Clears all lock state, retaining every capacity (arena entries,
+    /// spill buffers, queues, the item index), so a caller re-driving
+    /// one protocol instance across runs pays no re-allocation. (The
+    /// stock experiment layer builds a fresh `Simulator` per replicate
+    /// and does not use this yet; see ROADMAP.)
+    pub(crate) fn reset(&mut self) {
+        self.index.clear();
+        self.free.clear();
+        for (i, entry) in self.entries.iter_mut().enumerate() {
+            entry.holders.clear();
+            entry.queue.clear();
+            self.free.push(i as u32);
+        }
+        for slot in &mut self.slots {
+            slot.held.clear();
+            slot.waiting_for_item = None;
+            slot.blocked_count = 0;
+        }
+    }
+
+    /// Arena entries ever created (high-water of concurrently locked
+    /// items). Exposed so tests can pin capacity retention.
+    #[cfg(test)]
+    pub(crate) fn arena_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The arena entry for `item`, creating (or recycling) one if the
+    /// item is currently unlocked.
+    fn entry_for(&mut self, item: u64) -> u32 {
+        if let Some(&idx) = self.index.get(&item) {
+            return idx;
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.entries.push(LockEntry::default());
+                (self.entries.len() - 1) as u32
+            }
+        };
+        debug_assert!(self.entries[idx as usize].is_unused());
+        self.index.insert(item, idx);
+        idx
+    }
+
+    /// Returns an emptied entry to the free list.
+    fn recycle_if_unused(&mut self, item: u64, idx: u32) {
+        if self.entries[idx as usize].is_unused() {
+            self.index.remove(&item);
+            self.free.push(idx);
+        }
+    }
+
+    fn compatible(
+        holders: &InlineVec<(TxnId, Mode), INLINE_HOLDERS>,
+        requester: TxnId,
+        mode: Mode,
+    ) -> bool {
         holders
             .iter()
-            .all(|&(h, m)| h == requester || (m == Mode::Shared && mode == Mode::Shared))
+            .all(|(h, m)| h == requester || (m == Mode::Shared && mode == Mode::Shared))
     }
 
     /// Requests `item` in `mode` for `txn`.
     pub(crate) fn request(&mut self, txn: TxnId, item: u64, mode: Mode) -> RequestOutcome {
-        let entry = self.table.entry(item).or_insert_with(|| LockEntry {
-            holders: Vec::new(),
-            queue: VecDeque::new(),
-        });
+        let idx = self.entry_for(item);
+        let entry = &mut self.entries[idx as usize];
 
         // Already holding in sufficient mode?
-        if let Some(&(_, held_mode)) = entry.holders.iter().find(|(h, _)| *h == txn) {
+        let held = entry.holders.iter().find(|(h, _)| *h == txn);
+        if let Some((_, held_mode)) = held {
             if held_mode == Mode::Exclusive || mode == Mode::Shared {
                 return RequestOutcome::Granted;
             }
             // Upgrade S→X: only if sole holder, else wait at queue front.
             if entry.holders.len() == 1 {
-                entry.holders[0].1 = Mode::Exclusive;
+                entry.holders.set(0, (txn, Mode::Exclusive));
                 return RequestOutcome::Granted;
             }
             entry.queue.push_front((txn, Mode::Exclusive));
@@ -120,18 +212,19 @@ impl LockTable {
     }
 
     /// Grants whatever the FIFO queue head(s) allow after a release or
-    /// abort. Returns the transactions granted.
-    fn grant_waiters(&mut self, item: u64) -> Vec<TxnId> {
-        let mut granted = Vec::new();
-        let Some(entry) = self.table.get_mut(&item) else {
-            return granted;
+    /// abort, appending the granted transactions to `granted`.
+    fn grant_waiters(&mut self, item: u64, granted: &mut Vec<TxnId>) {
+        let Some(&idx) = self.index.get(&item) else {
+            return;
         };
+        let entry = &mut self.entries[idx as usize];
         while let Some(&(txn, mode)) = entry.queue.front() {
             if Self::compatible(&entry.holders, txn, mode) {
                 entry.queue.pop_front();
                 // Upgrade if already holding, else add.
-                if let Some(h) = entry.holders.iter_mut().find(|(h, _)| *h == txn) {
-                    h.1 = mode;
+                if let Some(pos) = (0..entry.holders.len()).find(|&i| entry.holders.get(i).0 == txn)
+                {
+                    entry.holders.set(pos, (txn, mode));
                 } else {
                     entry.holders.push((txn, mode));
                     self.slots[txn].held.push(item);
@@ -145,35 +238,44 @@ impl LockTable {
                 break;
             }
         }
-        if entry.holders.is_empty() && entry.queue.is_empty() {
-            self.table.remove(&item);
-        }
-        granted
+        self.recycle_if_unused(item, idx);
     }
 
-    /// Releases everything `txn` holds and cancels its pending request.
-    /// Returns the transactions whose queued requests became granted —
-    /// cancelling a queue-head request can unblock the entry behind it,
-    /// so even a waiter's release may grant others.
+    /// Releases everything `txn` holds and cancels its pending request,
+    /// appending the transactions whose queued requests became granted to
+    /// `unblocked` — cancelling a queue-head request can unblock the
+    /// entry behind it, so even a waiter's release may grant others.
+    pub(crate) fn release_all_into(&mut self, txn: TxnId, unblocked: &mut Vec<TxnId>) {
+        // Move the held list into the scratch buffer so the borrow on the
+        // slot ends before granting; both keep their capacity.
+        debug_assert!(self.released_scratch.is_empty());
+        std::mem::swap(&mut self.slots[txn].held, &mut self.released_scratch);
+        if let Some(item) = self.slots[txn].waiting_for_item.take() {
+            if let Some(&idx) = self.index.get(&item) {
+                let entry = &mut self.entries[idx as usize];
+                entry.queue.retain(|&(t, _)| t != txn);
+                // No-ops on an empty queue and recycles an emptied entry.
+                self.grant_waiters(item, unblocked);
+            }
+        }
+        for i in 0..self.released_scratch.len() {
+            let item = self.released_scratch[i];
+            if let Some(&idx) = self.index.get(&item) {
+                self.entries[idx as usize]
+                    .holders
+                    .retain(|&(h, _)| h != txn);
+                self.grant_waiters(item, unblocked);
+            }
+        }
+        self.released_scratch.clear();
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`LockTable::release_all_into`], for tests.
+    #[cfg(test)]
     pub(crate) fn release_all(&mut self, txn: TxnId) -> Vec<TxnId> {
         let mut unblocked = Vec::new();
-        let held = std::mem::take(&mut self.slots[txn].held);
-        if let Some(item) = self.slots[txn].waiting_for_item.take() {
-            if let Some(entry) = self.table.get_mut(&item) {
-                entry.queue.retain(|&(t, _)| t != txn);
-                if entry.holders.is_empty() && entry.queue.is_empty() {
-                    self.table.remove(&item);
-                } else {
-                    unblocked.extend(self.grant_waiters(item));
-                }
-            }
-        }
-        for item in held {
-            if let Some(entry) = self.table.get_mut(&item) {
-                entry.holders.retain(|&(h, _)| h != txn);
-                unblocked.extend(self.grant_waiters(item));
-            }
-        }
+        self.release_all_into(txn, &mut unblocked);
         unblocked
     }
 
@@ -187,56 +289,287 @@ impl LockTable {
         self.slots[txn].blocked_count
     }
 
-    /// Current holders of `item` (empty if unlocked).
-    pub(crate) fn holders_of(&self, item: u64) -> Vec<TxnId> {
-        self.table
-            .get(&item)
-            .map(|e| e.holders.iter().map(|&(h, _)| h).collect())
-            .unwrap_or_default()
+    /// Appends the current holders of `item` to `out` (nothing if
+    /// unlocked).
+    pub(crate) fn holders_into(&self, item: u64, out: &mut Vec<TxnId>) {
+        if let Some(&idx) = self.index.get(&item) {
+            out.extend(self.entries[idx as usize].holders.iter().map(|(h, _)| h));
+        }
     }
 
-    /// Everything `txn`'s pending request directly waits on: holders that
-    /// conflict with the requested mode plus every waiter queued ahead
-    /// (FIFO means the whole prefix must drain first). Empty when `txn` is
-    /// not waiting. The queue-ahead part is conservative — a compatible
-    /// reader ahead would in fact be granted together — but conservatism
-    /// only costs extra wounds/dies, never correctness.
-    pub(crate) fn blocking_targets(&self, txn: TxnId) -> Vec<TxnId> {
+    /// Current holders of `item` (empty if unlocked), for tests.
+    #[cfg(test)]
+    pub(crate) fn holders_of(&self, item: u64) -> Vec<TxnId> {
+        let mut out = Vec::new();
+        self.holders_into(item, &mut out);
+        out
+    }
+
+    /// Appends everything `txn`'s pending request directly waits on:
+    /// holders that conflict with the requested mode plus every waiter
+    /// queued ahead (FIFO means the whole prefix must drain first).
+    /// Appends nothing when `txn` is not waiting. The queue-ahead part is
+    /// conservative — a compatible reader ahead would in fact be granted
+    /// together — but conservatism only costs extra wounds/dies, never
+    /// correctness.
+    pub(crate) fn blocking_targets_into(&self, txn: TxnId, targets: &mut Vec<TxnId>) {
         let Some(item) = self.slots[txn].waiting_for_item else {
-            return Vec::new();
+            return;
         };
-        let Some(entry) = self.table.get(&item) else {
-            return Vec::new();
+        let Some(&idx) = self.index.get(&item) else {
+            return;
         };
+        let entry = &self.entries[idx as usize];
         let Some(pos) = entry.queue.iter().position(|&(t, _)| t == txn) else {
-            return Vec::new();
+            return;
         };
         let mode = entry.queue[pos].1;
-        let mut targets: Vec<TxnId> = entry
-            .holders
-            .iter()
-            .filter(|&&(h, m)| {
-                h != txn && !(m == Mode::Shared && mode == Mode::Shared)
-            })
-            .map(|&(h, _)| h)
-            .collect();
+        let start = targets.len();
+        targets.extend(
+            entry
+                .holders
+                .iter()
+                .filter(|&(h, m)| h != txn && !(m == Mode::Shared && mode == Mode::Shared))
+                .map(|(h, _)| h),
+        );
         for &(t, _) in entry.queue.iter().take(pos) {
-            if t != txn && !targets.contains(&t) {
+            if t != txn && !targets[start..].contains(&t) {
                 targets.push(t);
             }
         }
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`LockTable::blocking_targets_into`], for tests.
+    #[cfg(test)]
+    pub(crate) fn blocking_targets(&self, txn: TxnId) -> Vec<TxnId> {
+        let mut targets = Vec::new();
+        self.blocking_targets_into(txn, &mut targets);
         targets
     }
 
-    /// Number of data items currently locked (table size), for tests.
+    /// Number of data items currently locked (index size), for tests.
     pub(crate) fn locked_items(&self) -> usize {
-        self.table.len()
+        self.index.len()
+    }
+}
+
+/// The seed (pre-arena) implementation, kept verbatim as a property-test
+/// oracle: per-item `HashMap` entries each owning a fresh `Vec` +
+/// `VecDeque`. Obviously correct, allocation-heavy — the arena table must
+/// be observationally identical to it.
+#[cfg(test)]
+mod seed_oracle {
+    use super::{Mode, RequestOutcome, TxnId};
+    use std::collections::{HashMap, VecDeque};
+
+    struct LockEntry {
+        holders: Vec<(TxnId, Mode)>,
+        queue: VecDeque<(TxnId, Mode)>,
+    }
+
+    #[derive(Default, Clone)]
+    struct Slot {
+        held: Vec<u64>,
+        waiting_for_item: Option<u64>,
+        blocked_count: u64,
+    }
+
+    pub(super) struct SeedLockTable {
+        table: HashMap<u64, LockEntry>,
+        slots: Vec<Slot>,
+    }
+
+    impl SeedLockTable {
+        pub(super) fn new(slots: usize) -> Self {
+            SeedLockTable {
+                table: HashMap::new(),
+                slots: vec![Slot::default(); slots],
+            }
+        }
+
+        pub(super) fn begin(&mut self, txn: TxnId) {
+            self.slots[txn] = Slot::default();
+        }
+
+        fn compatible(holders: &[(TxnId, Mode)], requester: TxnId, mode: Mode) -> bool {
+            holders
+                .iter()
+                .all(|&(h, m)| h == requester || (m == Mode::Shared && mode == Mode::Shared))
+        }
+
+        pub(super) fn request(&mut self, txn: TxnId, item: u64, mode: Mode) -> RequestOutcome {
+            let entry = self.table.entry(item).or_insert_with(|| LockEntry {
+                holders: Vec::new(),
+                queue: VecDeque::new(),
+            });
+            if let Some(&(_, held_mode)) = entry.holders.iter().find(|(h, _)| *h == txn) {
+                if held_mode == Mode::Exclusive || mode == Mode::Shared {
+                    return RequestOutcome::Granted;
+                }
+                if entry.holders.len() == 1 {
+                    entry.holders[0].1 = Mode::Exclusive;
+                    return RequestOutcome::Granted;
+                }
+                entry.queue.push_front((txn, Mode::Exclusive));
+                self.slots[txn].waiting_for_item = Some(item);
+                self.slots[txn].blocked_count += 1;
+                return RequestOutcome::Queued;
+            }
+            if entry.queue.is_empty() && Self::compatible(&entry.holders, txn, mode) {
+                entry.holders.push((txn, mode));
+                self.slots[txn].held.push(item);
+                return RequestOutcome::Granted;
+            }
+            entry.queue.push_back((txn, mode));
+            self.slots[txn].waiting_for_item = Some(item);
+            self.slots[txn].blocked_count += 1;
+            RequestOutcome::Queued
+        }
+
+        fn grant_waiters(&mut self, item: u64) -> Vec<TxnId> {
+            let mut granted = Vec::new();
+            let Some(entry) = self.table.get_mut(&item) else {
+                return granted;
+            };
+            while let Some(&(txn, mode)) = entry.queue.front() {
+                if Self::compatible(&entry.holders, txn, mode) {
+                    entry.queue.pop_front();
+                    if let Some(h) = entry.holders.iter_mut().find(|(h, _)| *h == txn) {
+                        h.1 = mode;
+                    } else {
+                        entry.holders.push((txn, mode));
+                        self.slots[txn].held.push(item);
+                    }
+                    self.slots[txn].waiting_for_item = None;
+                    granted.push(txn);
+                    if mode == Mode::Exclusive {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+            if entry.holders.is_empty() && entry.queue.is_empty() {
+                self.table.remove(&item);
+            }
+            granted
+        }
+
+        pub(super) fn release_all(&mut self, txn: TxnId) -> Vec<TxnId> {
+            let mut unblocked = Vec::new();
+            let held = std::mem::take(&mut self.slots[txn].held);
+            if let Some(item) = self.slots[txn].waiting_for_item.take() {
+                if let Some(entry) = self.table.get_mut(&item) {
+                    entry.queue.retain(|&(t, _)| t != txn);
+                    if entry.holders.is_empty() && entry.queue.is_empty() {
+                        self.table.remove(&item);
+                    } else {
+                        unblocked.extend(self.grant_waiters(item));
+                    }
+                }
+            }
+            for item in held {
+                if let Some(entry) = self.table.get_mut(&item) {
+                    entry.holders.retain(|&(h, _)| h != txn);
+                    unblocked.extend(self.grant_waiters(item));
+                }
+            }
+            unblocked
+        }
+
+        pub(super) fn waiting_item(&self, txn: TxnId) -> Option<u64> {
+            self.slots[txn].waiting_for_item
+        }
+
+        pub(super) fn blocked_count(&self, txn: TxnId) -> u64 {
+            self.slots[txn].blocked_count
+        }
+
+        pub(super) fn holders_of(&self, item: u64) -> Vec<TxnId> {
+            self.table
+                .get(&item)
+                .map(|e| e.holders.iter().map(|&(h, _)| h).collect())
+                .unwrap_or_default()
+        }
+
+        pub(super) fn blocking_targets(&self, txn: TxnId) -> Vec<TxnId> {
+            let Some(item) = self.slots[txn].waiting_for_item else {
+                return Vec::new();
+            };
+            let Some(entry) = self.table.get(&item) else {
+                return Vec::new();
+            };
+            let Some(pos) = entry.queue.iter().position(|&(t, _)| t == txn) else {
+                return Vec::new();
+            };
+            let mode = entry.queue[pos].1;
+            let mut targets: Vec<TxnId> = entry
+                .holders
+                .iter()
+                .filter(|&&(h, m)| h != txn && !(m == Mode::Shared && mode == Mode::Shared))
+                .map(|&(h, _)| h)
+                .collect();
+            for &(t, _) in entry.queue.iter().take(pos) {
+                if t != txn && !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+            targets
+        }
+
+        pub(super) fn locked_items(&self) -> usize {
+            self.table.len()
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The arena table must be observationally identical to the seed
+        /// `HashMap` implementation on arbitrary engine-legal
+        /// interleavings of request/release (a transaction never issues
+        /// a new request while queued — exactly the engine's discipline).
+        #[test]
+        fn arena_matches_seed_oracle(
+            ops in prop::collection::vec((0u8..3, 0usize..6, 0u64..8, any::<bool>()), 1..400),
+        ) {
+            const N: usize = 6;
+            let mut arena = LockTable::new(N);
+            let mut seed = seed_oracle::SeedLockTable::new(N);
+            for t in 0..N {
+                arena.begin(t);
+                seed.begin(t);
+            }
+            for (kind, txn, item, write) in ops {
+                if kind < 2 {
+                    if arena.waiting_item(txn).is_none() {
+                        let mode = if write { Mode::Exclusive } else { Mode::Shared };
+                        prop_assert_eq!(arena.request(txn, item, mode), seed.request(txn, item, mode));
+                    }
+                } else {
+                    let a = arena.release_all(txn);
+                    let b = seed.release_all(txn);
+                    prop_assert_eq!(a, b);
+                    arena.begin(txn);
+                    seed.begin(txn);
+                }
+                prop_assert_eq!(arena.locked_items(), seed.locked_items());
+                for t in 0..N {
+                    prop_assert_eq!(arena.waiting_item(t), seed.waiting_item(t));
+                    prop_assert_eq!(arena.blocked_count(t), seed.blocked_count(t));
+                    prop_assert_eq!(arena.blocking_targets(t), seed.blocking_targets(t));
+                }
+                for it in 0..8 {
+                    prop_assert_eq!(arena.holders_of(it), seed.holders_of(it));
+                }
+            }
+        }
+    }
 
     #[test]
     fn grant_and_queue_basics() {
@@ -317,5 +650,67 @@ mod tests {
         assert_eq!(lt.request(1, 1, Mode::Shared), RequestOutcome::Queued);
         assert_eq!(lt.blocked_count(1), 1);
         assert_eq!(lt.blocked_count(0), 0);
+    }
+
+    #[test]
+    fn arena_recycles_entries_instead_of_growing() {
+        let mut lt = LockTable::new(1);
+        lt.begin(0);
+        // Lock/unlock many distinct items sequentially: the arena must
+        // stay at the high-water of *concurrently* locked items (2).
+        for round in 0..100u64 {
+            lt.request(0, round * 2, Mode::Exclusive);
+            lt.request(0, round * 2 + 1, Mode::Shared);
+            lt.release_all(0);
+        }
+        assert_eq!(lt.locked_items(), 0);
+        assert!(
+            lt.arena_len() <= 2,
+            "arena grew to {} entries for 2 concurrent locks",
+            lt.arena_len()
+        );
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_arena() {
+        let mut lt = LockTable::new(2);
+        lt.begin(0);
+        lt.begin(1);
+        lt.request(0, 1, Mode::Exclusive);
+        lt.request(0, 2, Mode::Exclusive);
+        lt.request(1, 1, Mode::Shared);
+        let high_water = lt.arena_len();
+        lt.reset();
+        assert_eq!(lt.locked_items(), 0);
+        assert_eq!(lt.waiting_item(1), None);
+        assert_eq!(lt.blocked_count(1), 0);
+        assert_eq!(lt.arena_len(), high_water, "reset must keep the arena");
+        // And the table still works after reset.
+        lt.begin(0);
+        lt.begin(1);
+        assert_eq!(lt.request(0, 9, Mode::Exclusive), RequestOutcome::Granted);
+        assert_eq!(lt.request(1, 9, Mode::Shared), RequestOutcome::Queued);
+        assert_eq!(lt.release_all(0), vec![1]);
+        assert_eq!(lt.arena_len(), high_water);
+    }
+
+    #[test]
+    fn wide_read_groups_spill_and_recover() {
+        // More holders than the inline buffer: grant 8 readers, then
+        // upgrade-style churn, ensuring spill storage behaves.
+        let mut lt = LockTable::new(8);
+        for t in 0..8 {
+            lt.begin(t);
+            assert_eq!(lt.request(t, 42, Mode::Shared), RequestOutcome::Granted);
+        }
+        assert_eq!(lt.holders_of(42).len(), 8);
+        for t in 0..7 {
+            lt.release_all(t);
+        }
+        assert_eq!(lt.holders_of(42), vec![7]);
+        // Sole survivor upgrades in place.
+        assert_eq!(lt.request(7, 42, Mode::Exclusive), RequestOutcome::Granted);
+        lt.release_all(7);
+        assert_eq!(lt.locked_items(), 0);
     }
 }

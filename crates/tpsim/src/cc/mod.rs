@@ -19,6 +19,7 @@
 //! [`TxnId`].
 
 mod certification;
+mod inline_vec;
 mod locktable;
 mod mvto;
 mod prevention;
@@ -80,6 +81,22 @@ pub trait ConcurrencyControl {
     /// Aborts `txn`, releasing whatever it held. Returns unblocked
     /// transactions.
     fn abort(&mut self, txn: TxnId) -> Vec<TxnId>;
+
+    /// Allocation-free variant of [`ConcurrencyControl::commit`]: appends
+    /// the unblocked transactions to `unblocked` instead of returning a
+    /// fresh `Vec`. The engine's hot path calls this with a pooled
+    /// buffer; lock-based protocols override it to bypass the allocating
+    /// path entirely. The default forwards to `commit` (whose empty-`Vec`
+    /// returns never allocate for the non-blocking protocols).
+    fn commit_into(&mut self, txn: TxnId, unblocked: &mut Vec<TxnId>) {
+        unblocked.extend(self.commit(txn));
+    }
+
+    /// Allocation-free variant of [`ConcurrencyControl::abort`]; see
+    /// [`ConcurrencyControl::commit_into`].
+    fn abort_into(&mut self, txn: TxnId, unblocked: &mut Vec<TxnId>) {
+        unblocked.extend(self.abort(txn));
+    }
 
     /// After `requester` blocked: names a transaction that must be
     /// aborted for progress per the protocol's policy — a detected cycle's

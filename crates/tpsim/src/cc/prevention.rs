@@ -52,6 +52,8 @@ pub struct Prevention {
     policy: PreventionPolicy,
     table: LockTable,
     slots: Vec<Slot>,
+    /// Reusable buffer for the blocking-target scan of the wound/die rule.
+    targets_scratch: Vec<TxnId>,
 }
 
 impl Prevention {
@@ -61,6 +63,7 @@ impl Prevention {
             policy,
             table: LockTable::new(slots),
             slots: vec![Slot::default(); slots],
+            targets_scratch: Vec::new(),
         }
     }
 
@@ -68,6 +71,13 @@ impl Prevention {
     /// engine's run timestamp while an instance is being retried.
     pub fn effective_ts(&self, txn: TxnId) -> u64 {
         self.slots[txn].eff_ts
+    }
+
+    /// Clears all lock state, retaining arena/queue capacity, for
+    /// callers re-driving one protocol instance across runs.
+    pub fn reset(&mut self) {
+        self.table.reset();
+        self.slots.fill(Slot::default());
     }
 }
 
@@ -107,13 +117,25 @@ impl ConcurrencyControl for Prevention {
     }
 
     fn commit(&mut self, txn: TxnId) -> Vec<TxnId> {
-        self.slots[txn].restart_pending = false;
-        self.table.release_all(txn)
+        let mut unblocked = Vec::new();
+        self.commit_into(txn, &mut unblocked);
+        unblocked
     }
 
     fn abort(&mut self, txn: TxnId) -> Vec<TxnId> {
+        let mut unblocked = Vec::new();
+        self.abort_into(txn, &mut unblocked);
+        unblocked
+    }
+
+    fn commit_into(&mut self, txn: TxnId, unblocked: &mut Vec<TxnId>) {
+        self.slots[txn].restart_pending = false;
+        self.table.release_all_into(txn, unblocked);
+    }
+
+    fn abort_into(&mut self, txn: TxnId, unblocked: &mut Vec<TxnId>) {
         self.slots[txn].restart_pending = true;
-        self.table.release_all(txn)
+        self.table.release_all_into(txn, unblocked);
     }
 
     /// The prevention rule, evaluated against everything the requester's
@@ -121,21 +143,27 @@ impl ConcurrencyControl for Prevention {
     /// until `None`, so wound-wait can kill several younger blockers one
     /// by one.
     fn deadlock_victim(&mut self, requester: TxnId) -> Option<TxnId> {
-        let targets = self.table.blocking_targets(requester);
-        if targets.is_empty() {
-            return None; // granted meanwhile, or not waiting at all
-        }
+        let mut targets = std::mem::take(&mut self.targets_scratch);
+        targets.clear();
+        self.table.blocking_targets_into(requester, &mut targets);
         let my_ts = self.slots[requester].eff_ts;
-        match self.policy {
-            PreventionPolicy::WoundWait => targets
-                .into_iter()
-                .filter(|&t| self.slots[t].eff_ts > my_ts)
-                .max_by_key(|&t| self.slots[t].eff_ts),
-            PreventionPolicy::WaitDie => targets
-                .iter()
-                .any(|&t| self.slots[t].eff_ts < my_ts)
-                .then_some(requester),
-        }
+        let victim = if targets.is_empty() {
+            None // granted meanwhile, or not waiting at all
+        } else {
+            match self.policy {
+                PreventionPolicy::WoundWait => targets
+                    .iter()
+                    .copied()
+                    .filter(|&t| self.slots[t].eff_ts > my_ts)
+                    .max_by_key(|&t| self.slots[t].eff_ts),
+                PreventionPolicy::WaitDie => targets
+                    .iter()
+                    .any(|&t| self.slots[t].eff_ts < my_ts)
+                    .then_some(requester),
+            }
+        };
+        self.targets_scratch = targets;
+        victim
     }
 }
 
@@ -335,6 +363,18 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn reset_clears_locks_and_pending_restarts() {
+        let mut cc = wound_wait(2);
+        cc.begin(0, 10);
+        cc.access(0, 5, true);
+        cc.abort(0); // would normally preserve priority across the rerun
+        cc.reset();
+        cc.begin(0, 99);
+        assert_eq!(cc.effective_ts(0), 99, "reset must clear restart_pending");
+        assert_eq!(cc.access(0, 5, true), AccessOutcome::Granted);
     }
 
     #[test]

@@ -20,6 +20,8 @@ use super::{AccessOutcome, ConcurrencyControl, TxnId, ValidateOutcome};
 pub struct TwoPhaseLocking {
     table: LockTable,
     ts: Vec<u64>,
+    /// Reusable successor buffer for the waits-for DFS.
+    succ_scratch: Vec<TxnId>,
 }
 
 impl TwoPhaseLocking {
@@ -28,21 +30,26 @@ impl TwoPhaseLocking {
         TwoPhaseLocking {
             table: LockTable::new(slots),
             ts: vec![0; slots],
+            succ_scratch: Vec::new(),
         }
     }
 
     /// Everyone `txn` currently waits for: the holders of the item it is
     /// queued on (conservative waits-for; queue-ahead conflicts resolve
-    /// transitively through the holders).
-    fn waits_for(&self, txn: TxnId) -> Vec<TxnId> {
-        let Some(item) = self.table.waiting_item(txn) else {
-            return Vec::new();
-        };
-        self.table
-            .holders_of(item)
-            .into_iter()
-            .filter(|&h| h != txn)
-            .collect()
+    /// transitively through the holders). Replaces the contents of `out`.
+    fn waits_for_into(table: &LockTable, txn: TxnId, out: &mut Vec<TxnId>) {
+        out.clear();
+        if let Some(item) = table.waiting_item(txn) {
+            table.holders_into(item, out);
+            out.retain(|&h| h != txn);
+        }
+    }
+
+    /// Clears all lock state, retaining arena/queue capacity, for
+    /// callers re-driving one protocol instance across runs.
+    pub fn reset(&mut self) {
+        self.table.reset();
+        self.ts.fill(0);
     }
 
     /// Number of data items currently locked (table size), for tests.
@@ -79,27 +86,43 @@ impl ConcurrencyControl for TwoPhaseLocking {
     }
 
     fn commit(&mut self, txn: TxnId) -> Vec<TxnId> {
-        self.table.release_all(txn)
+        let mut unblocked = Vec::new();
+        self.commit_into(txn, &mut unblocked);
+        unblocked
     }
 
     fn abort(&mut self, txn: TxnId) -> Vec<TxnId> {
-        self.table.release_all(txn)
+        let mut unblocked = Vec::new();
+        self.abort_into(txn, &mut unblocked);
+        unblocked
+    }
+
+    fn commit_into(&mut self, txn: TxnId, unblocked: &mut Vec<TxnId>) {
+        self.table.release_all_into(txn, unblocked);
+    }
+
+    fn abort_into(&mut self, txn: TxnId, unblocked: &mut Vec<TxnId>) {
+        self.table.release_all_into(txn, unblocked);
     }
 
     fn deadlock_victim(&mut self, requester: TxnId) -> Option<TxnId> {
         // DFS over waits-for from the requester; a path back to the
         // requester is a cycle. Victim: youngest (largest ts) on the cycle.
+        let mut succs = std::mem::take(&mut self.succ_scratch);
         let mut stack = vec![(requester, vec![requester])];
         let mut visited = HashSet::new();
-        while let Some((node, path)) = stack.pop() {
-            for succ in self.waits_for(node) {
+        let mut victim = None;
+        'dfs: while let Some((node, path)) = stack.pop() {
+            Self::waits_for_into(&self.table, node, &mut succs);
+            for &succ in &succs {
                 if succ == requester {
-                    let victim = path
-                        .iter()
-                        .copied()
-                        .max_by_key(|&t| self.ts[t])
-                        .expect("cycle path is never empty");
-                    return Some(victim);
+                    victim = Some(
+                        path.iter()
+                            .copied()
+                            .max_by_key(|&t| self.ts[t])
+                            .expect("cycle path is never empty"),
+                    );
+                    break 'dfs;
                 }
                 if visited.insert(succ) {
                     let mut p = path.clone();
@@ -108,7 +131,8 @@ impl ConcurrencyControl for TwoPhaseLocking {
                 }
             }
         }
-        None
+        self.succ_scratch = succs;
+        victim
     }
 }
 
@@ -304,6 +328,17 @@ mod tests {
         assert_eq!(cc.locked_items(), 2);
         cc.commit(0);
         assert_eq!(cc.locked_items(), 0, "entries must be reclaimed");
+    }
+
+    #[test]
+    fn reset_clears_locks_for_replicate_runs() {
+        let mut cc = TwoPhaseLocking::new(2);
+        cc.begin(0, 1);
+        cc.access(0, 5, true);
+        cc.reset();
+        assert_eq!(cc.locked_items(), 0);
+        cc.begin(1, 2);
+        assert_eq!(cc.access(1, 5, true), AccessOutcome::Granted);
     }
 
     #[test]

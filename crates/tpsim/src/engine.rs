@@ -104,6 +104,15 @@ impl Trajectories {
             k: TimeSeries::new("k"),
         }
     }
+
+    /// Pre-sizes every series for `additional` further samples.
+    fn reserve(&mut self, additional: usize) {
+        self.bound.reserve(additional);
+        self.observed_mpl.reserve(additional);
+        self.throughput.reserve(additional);
+        self.optimum.reserve(additional);
+        self.k.reserve(additional);
+    }
 }
 
 struct Streams {
@@ -133,6 +142,15 @@ pub struct Simulator {
     /// Open mode: transaction slots currently unused (LIFO for cache
     /// friendliness; slot identity carries no semantics in open mode).
     free_slots: Vec<usize>,
+    /// Events processed so far (perf accounting; `perfgate` divides by
+    /// wall time).
+    events: u64,
+    /// Reusable buffer for access-set draws (cleared per instance).
+    access_scratch: Vec<u64>,
+    /// Pool of reusable id buffers for unblocked/admitted lists. Taken by
+    /// the handful of sites that need one; returned cleared. Depth equals
+    /// the deepest take nesting (2), so steady state allocates nothing.
+    scratch_pool: Vec<Vec<usize>>,
     // Aggregate statistics (reset at end of warm-up).
     commits: u64,
     aborts: u64,
@@ -167,12 +185,15 @@ impl Simulator {
         let initial_bound = controller
             .as_ref()
             .map_or(control.initial_bound, |c| c.current_bound());
+        let slots = sys.terminals as usize;
         let mut sim = Simulator {
-            cal: Calendar::new(),
+            // Every slot has at most one in-flight event plus a Sample and
+            // an Arrival; capacity beyond that only ever holds tombstones.
+            cal: Calendar::with_capacity(2 * slots + 8),
             txns: (0..sys.terminals).map(|_| Txn::new()).collect(),
-            cc: make_cc(cc_kind, sys.terminals as usize),
-            cpu: CpuStation::new(sys.cpus, t0),
-            gate: SimGate::new(initial_bound),
+            cc: make_cc(cc_kind, slots),
+            cpu: CpuStation::with_queue_capacity(sys.cpus, t0, slots),
+            gate: SimGate::with_queue_capacity(initial_bound, slots),
             rng: Streams {
                 think: seeds.stream("think"),
                 cpu: seeds.stream("cpu"),
@@ -185,7 +206,10 @@ impl Simulator {
             controller,
             sampler: IntervalSampler::new(control.indicator, 0.0, 0),
             ts_counter: 0,
-            free_slots: Vec::new(),
+            free_slots: Vec::with_capacity(slots),
+            events: 0,
+            access_scratch: Vec::with_capacity(16),
+            scratch_pool: Vec::with_capacity(4),
             commits: 0,
             aborts: 0,
             conflicts: 0,
@@ -243,15 +267,28 @@ impl Simulator {
         &self.trajectories
     }
 
+    /// Events processed since construction — the `perfgate` numerator.
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
     /// Runs until `until_ms`, then returns the statistics of the window
     /// since the last [`Simulator::reset_window`] (or construction).
     pub fn run_until(&mut self, until_ms: f64) -> RunStats {
         let t_end = SimTime::new(until_ms);
+        // Size the trajectory buffers for the whole stretch up front so
+        // sampling never grows them mid-run.
+        if self.control.sample_interval_ms > 0.0 {
+            let horizon = (until_ms - self.now().millis()).max(0.0);
+            let samples = (horizon / self.control.sample_interval_ms) as usize + 2;
+            self.trajectories.reserve(samples);
+        }
         while let Some(t) = self.cal.peek_time() {
             if t > t_end {
                 break;
             }
             let (_, ev) = self.cal.pop().expect("peeked event must pop");
+            self.events += 1;
             self.handle(ev);
         }
         self.stats_at(t_end)
@@ -314,6 +351,18 @@ impl Simulator {
     // Event handling
     // ------------------------------------------------------------------
 
+    /// Borrows a pooled id buffer (cleared). Return with
+    /// [`Simulator::put_scratch`] so its capacity is reused — after
+    /// warm-up no call site touches the allocator.
+    fn take_scratch(&mut self) -> Vec<usize> {
+        self.scratch_pool.pop().unwrap_or_default()
+    }
+
+    fn put_scratch(&mut self, mut buf: Vec<usize>) {
+        buf.clear();
+        self.scratch_pool.push(buf);
+    }
+
     fn handle(&mut self, ev: Event) {
         match ev {
             Event::Submit(i) => self.on_submit(i),
@@ -353,32 +402,36 @@ impl Simulator {
     }
 
     /// Admission: draw a fresh instance (access set, mix) from the
-    /// workload schedules at the current time and start running.
+    /// workload schedules at the current time and start running. The
+    /// slot's `items` buffer is refilled in place, so a warmed-up run
+    /// creates instances without touching the allocator.
     fn start_instance(&mut self, i: usize) {
         let now = self.now();
         let w = self.workload.at(now.millis());
         let is_query = self.rng.mix.chance(w.query_frac);
-        let items = self.draw_access_set(w.k as usize, w.access_skew);
-        let marked: Vec<(u64, bool)> = items
-            .into_iter()
-            .map(|item| {
-                let write = !is_query && self.rng.mix.chance(w.write_frac);
-                (item, write)
-            })
-            .collect();
-        let txn = &mut self.txns[i];
-        txn.items = marked;
-        txn.is_query = is_query;
-        txn.restarts = 0;
+        self.draw_access_set(w.k as usize, w.access_skew);
+        self.txns[i].items.clear();
+        for idx in 0..self.access_scratch.len() {
+            let item = self.access_scratch[idx];
+            let write = !is_query && self.rng.mix.chance(w.write_frac);
+            self.txns[i].items.push((item, write));
+        }
+        self.txns[i].is_query = is_query;
+        self.txns[i].restarts = 0;
         self.begin_run(i);
     }
 
-    /// Draws `k` distinct items: uniformly for `skew = 0` (the paper's
-    /// "no hot spots"), Zipf-skewed otherwise (hot-spot extension; the
-    /// paper's uniform model is the `skew = 0` special case).
-    fn draw_access_set(&mut self, k: usize, skew: f64) -> Vec<u64> {
+    /// Draws `k` distinct items into `self.access_scratch`: uniformly for
+    /// `skew = 0` (the paper's "no hot spots"), Zipf-skewed otherwise
+    /// (hot-spot extension; the paper's uniform model is the `skew = 0`
+    /// special case). Duplicate checks scan the scratch directly — `k` is
+    /// small, so that beats a hash set and keeps the draw allocation-free.
+    fn draw_access_set(&mut self, k: usize, skew: f64) {
         if skew <= 0.0 {
-            return self.rng.access.distinct_below(self.sys.db_size, k);
+            self.rng
+                .access
+                .distinct_below_into(self.sys.db_size, k, &mut self.access_scratch);
+            return;
         }
         let rebuild = match &self.zipf_cache {
             Some((theta, _)) => (theta - skew).abs() > 1e-12,
@@ -388,26 +441,25 @@ impl Simulator {
             self.zipf_cache = Some((skew, alc_des::dist::Zipf::new(self.sys.db_size, skew)));
         }
         let zipf = &self.zipf_cache.as_ref().expect("just built").1;
-        let mut set = std::collections::HashSet::with_capacity(k);
-        let mut out = Vec::with_capacity(k);
+        let out = &mut self.access_scratch;
+        out.clear();
         // Rejection on duplicates; under extreme skew fall back to filling
         // with the coldest untouched items so the draw always terminates.
         let mut attempts = 0;
         while out.len() < k && attempts < 64 * k {
             let item = zipf.sample(&mut self.rng.access);
             attempts += 1;
-            if set.insert(item) {
+            if !out.contains(&item) {
                 out.push(item);
             }
         }
         let mut fill = self.sys.db_size;
         while out.len() < k {
             fill -= 1;
-            if set.insert(fill) {
+            if !out.contains(&fill) {
                 out.push(fill);
             }
         }
-        out
     }
 
     /// (Re)starts execution of the current instance from phase 0.
@@ -547,7 +599,8 @@ impl Simulator {
         let now = self.now();
         let v = self.cc.validate(i);
         if v.ok {
-            let unblocked = self.cc.commit(i);
+            let mut unblocked = self.take_scratch();
+            self.cc.commit_into(i, &mut unblocked);
             self.conflicts += v.conflicts;
             self.sampler.on_conflicts(v.conflicts);
             let response = now - self.txns[i].submitted_at;
@@ -567,16 +620,19 @@ impl Simulator {
                 }
             }
             // Free the MPL slot and admit waiters.
-            let admitted = self.gate.depart();
+            let mut admitted = self.take_scratch();
+            self.gate.depart_into(&mut admitted);
             self.note_mpl();
-            for a in admitted {
+            for &a in &admitted {
                 self.txns[a].state = TxnState::Thinking; // transient
                 self.note_mpl();
                 self.start_instance(a);
             }
-            for u in unblocked {
+            for &u in &unblocked {
                 self.resume_unblocked(u);
             }
+            self.put_scratch(admitted);
+            self.put_scratch(unblocked);
         } else {
             self.sampler.on_abort(v.conflicts);
             self.conflicts += v.conflicts;
@@ -598,7 +654,8 @@ impl Simulator {
 
     fn abort_run(&mut self, i: usize, mode: RestartMode) {
         let now = self.now();
-        let unblocked = self.cc.abort(i);
+        let mut unblocked = self.take_scratch();
+        self.cc.abort_into(i, &mut unblocked);
         self.aborts += 1;
         self.txns[i].generation += 1; // kill in-flight events
         self.txns[i].restarts += 1;
@@ -618,9 +675,10 @@ impl Simulator {
                 let _ = now;
             }
         }
-        for u in unblocked {
+        for &u in &unblocked {
             self.resume_unblocked(u);
         }
+        self.put_scratch(unblocked);
     }
 
     fn on_restart(&mut self, i: usize, generation: u64) {
@@ -644,11 +702,13 @@ impl Simulator {
         if let Some(ctrl) = self.controller.as_mut() {
             let bound = ctrl.update(&m);
             self.bound_avg.set(now, f64::from(bound).min(1e9));
-            let admitted = self.gate.set_bound(bound);
+            let mut admitted = self.take_scratch();
+            self.gate.set_bound_into(bound, &mut admitted);
             self.note_mpl();
-            for a in admitted {
+            for &a in &admitted {
                 self.start_instance(a);
             }
+            self.put_scratch(admitted);
             if self.control.displacement {
                 // §4.3 displacement: abort in-system transactions per the
                 // configured victim policy until the new bound holds.

@@ -22,10 +22,18 @@ pub struct SimGate {
 impl SimGate {
     /// Creates a gate with the given initial bound.
     pub fn new(bound: u32) -> Self {
+        Self::with_queue_capacity(bound, 0)
+    }
+
+    /// Creates a gate with the admission queue pre-sized for `cap`
+    /// waiters (the engine passes the terminal count — the queue holds at
+    /// most one entry per transaction slot, so steady state never
+    /// reallocates).
+    pub fn with_queue_capacity(bound: u32, cap: usize) -> Self {
         SimGate {
             bound,
             in_system: 0,
-            queue: VecDeque::new(),
+            queue: VecDeque::with_capacity(cap),
             total_admitted: 0,
             total_displaced: 0,
         }
@@ -71,9 +79,17 @@ impl SimGate {
     /// A departure (commit or displacement-to-terminal): frees a slot and
     /// returns the transactions admitted from the queue as a result.
     pub fn depart(&mut self) -> Vec<usize> {
+        let mut admitted = Vec::new();
+        self.depart_into(&mut admitted);
+        admitted
+    }
+
+    /// Allocation-free [`SimGate::depart`]: appends the admitted slots to
+    /// `admitted` (the engine passes a pooled buffer).
+    pub fn depart_into(&mut self, admitted: &mut Vec<usize>) {
         debug_assert!(self.in_system > 0, "departure from an empty system");
         self.in_system = self.in_system.saturating_sub(1);
-        self.drain_queue()
+        self.drain_queue_into(admitted);
     }
 
     /// Applies a new bound. Returns the slots admitted from the queue if
@@ -82,8 +98,16 @@ impl SimGate {
     /// displacement is on, otherwise the population drains by normal
     /// departures.)
     pub fn set_bound(&mut self, bound: u32) -> Vec<usize> {
+        let mut admitted = Vec::new();
+        self.set_bound_into(bound, &mut admitted);
+        admitted
+    }
+
+    /// Allocation-free [`SimGate::set_bound`]: appends the admitted slots
+    /// to `admitted`.
+    pub fn set_bound_into(&mut self, bound: u32, admitted: &mut Vec<usize>) {
         self.bound = bound;
-        self.drain_queue()
+        self.drain_queue_into(admitted);
     }
 
     /// How many transactions must be displaced to honor the bound now.
@@ -100,8 +124,7 @@ impl SimGate {
         self.queue.push_front(txn);
     }
 
-    fn drain_queue(&mut self) -> Vec<usize> {
-        let mut admitted = Vec::new();
+    fn drain_queue_into(&mut self, admitted: &mut Vec<usize>) {
         while self.in_system < self.bound {
             match self.queue.pop_front() {
                 Some(txn) => {
@@ -112,7 +135,6 @@ impl SimGate {
                 None => break,
             }
         }
-        admitted
     }
 }
 

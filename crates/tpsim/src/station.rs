@@ -37,11 +37,18 @@ pub struct CpuStation {
 impl CpuStation {
     /// Creates a station with `servers` CPUs.
     pub fn new(servers: u32, t0: SimTime) -> Self {
+        Self::with_queue_capacity(servers, t0, 0)
+    }
+
+    /// Creates a station with the ready queue pre-sized for `cap` jobs
+    /// (the engine passes the terminal count: the queue can never exceed
+    /// the transaction population, so steady state never reallocates).
+    pub fn with_queue_capacity(servers: u32, t0: SimTime, cap: usize) -> Self {
         assert!(servers > 0);
         CpuStation {
             servers,
             busy: 0,
-            queue: VecDeque::new(),
+            queue: VecDeque::with_capacity(cap),
             utilization: TimeWeighted::new(t0, 0.0),
             queue_len: TimeWeighted::new(t0, 0.0),
         }
