@@ -48,6 +48,16 @@ pub enum Schedule {
     },
     /// Sample-and-hold over explicit `(time, value)` breakpoints.
     Piecewise(Vec<(f64, f64)>),
+    /// General piecewise composition: each `(start, shape)` segment
+    /// governs from `start` until the next segment's start (the last one
+    /// forever), and its shape is evaluated in *phase-local* time
+    /// `t − start` — so a sinusoid or ramp inside a phase begins at the
+    /// phase boundary regardless of where the phase sits on the global
+    /// axis. Before the first start the first shape applies (clamped to
+    /// local time 0). Segments must be in ascending start order. This is
+    /// the lowering target of the scenario DSL's phase lists; the other
+    /// variants are its primitives.
+    Profile(Vec<(f64, Schedule)>),
 }
 
 impl Schedule {
@@ -91,6 +101,20 @@ impl Schedule {
                     }
                 }
                 v
+            }
+            Schedule::Profile(segments) => {
+                let Some(first) = segments.first() else {
+                    return 0.0;
+                };
+                let mut active = first;
+                for seg in segments {
+                    if seg.0 <= t {
+                        active = seg;
+                    } else {
+                        break;
+                    }
+                }
+                active.1.value((t - active.0).max(0.0))
             }
         }
     }
@@ -238,6 +262,65 @@ mod tests {
         assert_eq!(s.value(15.0), 2.0);
         assert_eq!(s.value(20.0), 3.0);
         assert_eq!(s.value(-5.0), 1.0);
+    }
+
+    #[test]
+    fn schedule_profile_composes_in_local_time() {
+        // Constant 5 until t=100, then a ramp 5→15 over [0,50] local time,
+        // then a sinusoid around 20 from t=200.
+        let s = Schedule::Profile(vec![
+            (0.0, Schedule::Constant(5.0)),
+            (
+                100.0,
+                Schedule::Ramp {
+                    from: 5.0,
+                    to: 15.0,
+                    t_start: 0.0,
+                    t_end: 50.0,
+                },
+            ),
+            (
+                200.0,
+                Schedule::Sinusoid {
+                    mean: 20.0,
+                    amplitude: 4.0,
+                    period: 100.0,
+                },
+            ),
+        ]);
+        assert_eq!(s.value(0.0), 5.0);
+        assert_eq!(s.value(99.0), 5.0);
+        assert_eq!(s.value(100.0), 5.0); // ramp at local t=0
+        assert_eq!(s.value(125.0), 10.0); // ramp midpoint (local t=25)
+        assert_eq!(s.value(175.0), 15.0); // ramp done, holds
+        assert!((s.value(200.0) - 20.0).abs() < 1e-12); // sinusoid local t=0
+        assert!((s.value(225.0) - 24.0).abs() < 1e-12); // quarter period
+    }
+
+    #[test]
+    fn schedule_profile_before_first_segment_and_empty() {
+        let s = Schedule::Profile(vec![(100.0, Schedule::Jump {
+            at: 10.0,
+            before: 1.0,
+            after: 2.0,
+        })]);
+        // Before the first start the first shape applies at local time 0.
+        assert_eq!(s.value(0.0), 1.0);
+        assert_eq!(s.value(105.0), 1.0);
+        assert_eq!(s.value(110.0), 2.0);
+        assert_eq!(Schedule::Profile(vec![]).value(42.0), 0.0);
+    }
+
+    #[test]
+    fn schedule_profile_nests() {
+        // A profile inside a profile: the inner one sees local time too.
+        let inner = Schedule::Profile(vec![
+            (0.0, Schedule::Constant(1.0)),
+            (10.0, Schedule::Constant(2.0)),
+        ]);
+        let s = Schedule::Profile(vec![(50.0, inner)]);
+        assert_eq!(s.value(55.0), 1.0);
+        assert_eq!(s.value(60.0), 2.0);
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Distribution sampling cost — exponential draws (think, CPU, open
+//! arrivals) dominate the simulator's per-event RNG budget, so the
+//! inverse-CDF (`ln()` per draw) and ziggurat (`ln()`-free) samplers are
+//! raced here.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use alc_des::dist::{Dist, Sample as _};
+use alc_des::rng::RngStream;
+
+fn bench_dist(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dist");
+
+    g.bench_function("exponential_inverse_cdf", |b| {
+        let d = Dist::exponential(4.0);
+        let mut rng = RngStream::from_seed(1);
+        b.iter(|| black_box(d.sample(&mut rng)));
+    });
+
+    g.bench_function("exponential_ziggurat", |b| {
+        let d = Dist::exponential_fast(4.0);
+        let mut rng = RngStream::from_seed(1);
+        b.iter(|| black_box(d.sample(&mut rng)));
+    });
+
+    g.bench_function("erlang4", |b| {
+        let d = Dist::Erlang(alc_des::dist::Erlang {
+            stages: 4,
+            mean: 8.0,
+        });
+        let mut rng = RngStream::from_seed(1);
+        b.iter(|| black_box(d.sample(&mut rng)));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_dist);
+criterion_main!(benches);

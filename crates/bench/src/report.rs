@@ -1,6 +1,11 @@
 //! Experiment reports: a table, free-form notes, and optional CSV output.
+//!
+//! Rendering goes through a single reused `String` per report (one
+//! allocation, one `write_all`) instead of per-cell `format!` calls into
+//! the writer — the sweep binaries emit thousands of rows, and the
+//! output stage should never pay a syscall or realloc per row.
 
-use std::io::Write as _;
+use std::fmt::Write as _;
 use std::path::Path;
 
 use crate::table;
@@ -52,11 +57,12 @@ impl Report {
         self.notes.push(s.into());
     }
 
-    /// Renders the report as text.
-    pub fn render(&self) -> String {
+    /// Renders the report as text into `out` (appending), reusing the
+    /// caller's buffer across reports.
+    pub fn render_into(&self, out: &mut String) {
         let headers: Vec<&str> = self.headers.iter().map(|s| s.as_str()).collect();
-        let mut out = format!("== {} — {}\n\n", self.id, self.title);
-        out.push_str(&table::render(&headers, &self.rows));
+        let _ = write!(out, "== {} — {}\n\n", self.id, self.title);
+        table::render_into(out, &headers, &self.rows);
         for c in &self.charts {
             out.push('\n');
             out.push_str(c);
@@ -64,22 +70,43 @@ impl Report {
         if !self.notes.is_empty() {
             out.push('\n');
             for n in &self.notes {
-                out.push_str(&format!("  * {n}\n"));
+                let _ = writeln!(out, "  * {n}");
             }
         }
+    }
+
+    /// Renders the report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
         out
     }
 
-    /// Writes the table as `<dir>/<id>.csv`.
+    /// Renders the table as CSV into `out` (appending).
+    pub fn render_csv_into(&self, out: &mut String) {
+        out.reserve(self.rows.len() * 32 + 64);
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let mut first = true;
+            for cell in row {
+                if !first {
+                    out.push(',');
+                }
+                out.push_str(cell);
+                first = false;
+            }
+            out.push('\n');
+        }
+    }
+
+    /// Writes the table as `<dir>/<id>.csv` — rendered into one buffer
+    /// and written with a single call.
     pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.csv", self.id));
-        let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
-        writeln!(f, "{}", self.headers.join(","))?;
-        for row in &self.rows {
-            writeln!(f, "{}", row.join(","))?;
-        }
-        f.flush()?;
+        let mut buf = String::new();
+        self.render_csv_into(&mut buf);
+        std::fs::write(&path, buf.as_bytes())?;
         Ok(path)
     }
 }

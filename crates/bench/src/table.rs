@@ -1,7 +1,11 @@
 //! Plain-text table rendering for experiment output.
 
-/// Renders rows as an aligned text table with a header line.
-pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+use std::fmt::Write as _;
+
+/// Renders rows as an aligned text table with a header line, appended to
+/// `out` — all formatting lands in the caller's buffer directly, never in
+/// per-row intermediate strings.
+pub fn render_into(out: &mut String, headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -10,33 +14,40 @@ pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
             }
         }
     }
-    let mut out = String::new();
-    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-        let mut line = String::new();
-        for (i, cell) in cells.iter().enumerate() {
-            if i > 0 {
-                line.push_str("  ");
-            }
-            let w = widths.get(i).copied().unwrap_or(cell.len());
-            // Right-align numbers, left-align text.
-            if cell.parse::<f64>().is_ok() {
-                line.push_str(&format!("{cell:>w$}"));
-            } else {
-                line.push_str(&format!("{cell:<w$}"));
-            }
-        }
-        line
-    };
-    let headers_owned: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
-    out.push_str(&fmt_row(&headers_owned, &widths));
-    out.push('\n');
     let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
-    out.push_str(&"-".repeat(total));
+    out.reserve((rows.len() + 2) * (total + 1));
+    let fmt_cell = |out: &mut String, i: usize, cell: &str, widths: &[usize]| {
+        if i > 0 {
+            out.push_str("  ");
+        }
+        let w = widths.get(i).copied().unwrap_or(cell.len());
+        // Right-align numbers, left-align text.
+        if cell.parse::<f64>().is_ok() {
+            let _ = write!(out, "{cell:>w$}");
+        } else {
+            let _ = write!(out, "{cell:<w$}");
+        }
+    };
+    for (i, h) in headers.iter().enumerate() {
+        fmt_cell(out, i, h, &widths);
+    }
+    out.push('\n');
+    for _ in 0..total {
+        out.push('-');
+    }
     out.push('\n');
     for row in rows {
-        out.push_str(&fmt_row(row, &widths));
+        for (i, cell) in row.iter().enumerate() {
+            fmt_cell(out, i, cell, &widths);
+        }
         out.push('\n');
     }
+}
+
+/// Renders rows as an aligned text table with a header line.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    render_into(&mut out, headers, rows);
     out
 }
 

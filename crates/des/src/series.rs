@@ -115,41 +115,66 @@ impl TimeSeries {
         }
     }
 
-    /// Writes `t,value` CSV lines (with a header) to a writer.
-    pub fn write_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
-        writeln!(w, "t_ms,{}", self.name)?;
+    /// Renders `t,value` CSV lines (with a header) into a string buffer.
+    /// The buffer is *appended to*, so callers looping over many series
+    /// can reuse one allocation across calls.
+    pub fn render_csv_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        out.reserve(16 + self.points.len() * 16);
+        let _ = writeln!(out, "t_ms,{}", self.name);
         for &(t, v) in &self.points {
-            writeln!(w, "{t},{v}")?;
+            let _ = writeln!(out, "{t},{v}");
         }
-        Ok(())
+    }
+
+    /// Writes `t,value` CSV lines (with a header) to a writer: the whole
+    /// table is rendered into one buffer and written with a single call,
+    /// so per-row formatting never reaches the writer (or a syscall).
+    pub fn write_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        let mut buf = String::new();
+        self.render_csv_into(&mut buf);
+        w.write_all(buf.as_bytes())
     }
 }
 
-/// Writes several series sharing a time axis as one CSV table. Series are
-/// aligned on the time points of the first series using sample-and-hold.
+/// Renders several series sharing a time axis as one CSV table, appended
+/// to `out`. Series are aligned on the time points of the first series
+/// using sample-and-hold.
+pub fn render_aligned_csv_into(out: &mut String, series: &[&TimeSeries]) {
+    use std::fmt::Write as _;
+    let Some(first) = series.first() else {
+        return;
+    };
+    out.reserve(first.len() * 16 * series.len().max(1));
+    out.push_str("t_ms");
+    for s in series {
+        let _ = write!(out, ",{}", s.name());
+    }
+    out.push('\n');
+    for &(t, _) in first.points() {
+        let _ = write!(out, "{t}");
+        for s in series {
+            match s.value_at(SimTime::new(t)) {
+                Some(v) => {
+                    let _ = write!(out, ",{v}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+}
+
+/// Writes several series sharing a time axis as one CSV table (see
+/// [`render_aligned_csv_into`]); the whole table goes to the writer in a
+/// single call.
 pub fn write_aligned_csv<W: std::io::Write>(
     mut w: W,
     series: &[&TimeSeries],
 ) -> std::io::Result<()> {
-    let Some(first) = series.first() else {
-        return Ok(());
-    };
-    write!(w, "t_ms")?;
-    for s in series {
-        write!(w, ",{}", s.name())?;
-    }
-    writeln!(w)?;
-    for &(t, _) in first.points() {
-        write!(w, "{t}")?;
-        for s in series {
-            match s.value_at(SimTime::new(t)) {
-                Some(v) => write!(w, ",{v}")?,
-                None => write!(w, ",")?,
-            }
-        }
-        writeln!(w)?;
-    }
-    Ok(())
+    let mut buf = String::new();
+    render_aligned_csv_into(&mut buf, series);
+    w.write_all(buf.as_bytes())
 }
 
 #[cfg(test)]

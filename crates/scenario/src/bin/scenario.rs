@@ -1,0 +1,197 @@
+//! `scenario` — run declarative load-control experiments from JSON specs.
+//!
+//! ```text
+//! scenario run [--quick] [--out DIR] [--set path=value]... <spec.json>...
+//! scenario validate <spec.json>...
+//! scenario list [DIR]
+//! ```
+//!
+//! `run` prints each scenario's report table and writes `<name>.csv`
+//! (plus `<name>[_<variant>]_trajectory.csv` when the spec records
+//! trajectories) into `--out` (default `results/`). `validate` parses
+//! and compiles every spec (both full and quick scale) without running
+//! anything. `list` summarizes a directory of specs (default
+//! `scenarios/`).
+
+use std::path::PathBuf;
+
+use alc_scenario::{parse_set_arg, spec::StatColumn, LoadedSpec, SpecError};
+use serde::Value;
+
+fn usage() {
+    println!("usage: scenario <run | validate | list> ...");
+    println!();
+    println!("  run [--quick] [--out DIR] [--set path=value]... <spec.json>...");
+    println!("      execute specs; tables to stdout, CSVs to --out (default results/)");
+    println!("  validate <spec.json>...");
+    println!("      parse + compile each spec (full and quick scale); exit 1 on error");
+    println!("  list [DIR]");
+    println!("      summarize the specs in DIR (default scenarios/)");
+    println!();
+    println!("  --quick   apply each spec's `quick` overrides (CI scale)");
+    println!("  --set     override any spec field by dotted path, e.g.");
+    println!("            --set system.terminals=200 --set cc=2pl");
+    print!("  stat columns:");
+    for c in StatColumn::ALL {
+        print!(" {}", c.name());
+    }
+    println!();
+}
+
+fn fail(e: &SpecError) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(2);
+}
+
+fn cmd_run(args: &[String]) {
+    let mut quick = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut sets: Vec<(String, Value)> = Vec::new();
+    let mut specs: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_dir = PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--set" => {
+                let kv = it.next().unwrap_or_else(|| {
+                    eprintln!("--set needs path=value");
+                    std::process::exit(2);
+                });
+                sets.push(parse_set_arg(kv).unwrap_or_else(|e| fail(&e)));
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => specs.push(PathBuf::from(other)),
+        }
+    }
+    if specs.is_empty() {
+        usage();
+        eprintln!("\nerror: no spec selected");
+        std::process::exit(2);
+    }
+
+    // Compile everything before any output lands on disk.
+    let plans: Vec<_> = specs
+        .iter()
+        .map(|path| {
+            let mut loaded = LoadedSpec::read(path).unwrap_or_else(|e| fail(&e));
+            loaded.apply_sets(&sets).unwrap_or_else(|e| fail(&e));
+            loaded.compile(quick).unwrap_or_else(|e| fail(&e))
+        })
+        .collect();
+
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    for plan in &plans {
+        let start = std::time::Instant::now();
+        let records = alc_scenario::runner::run_plan(plan);
+        let report = alc_scenario::runner::build_report(plan, &records);
+        let csv = report.write_csv(&out_dir).expect("write csv");
+        let trajectories =
+            alc_scenario::runner::write_trajectories(plan, &records, &out_dir)
+                .expect("write trajectories");
+        println!("{}", report.render());
+        print!(
+            "  [{} in {:.1}s, table → {}",
+            plan.name,
+            start.elapsed().as_secs_f64(),
+            csv.display()
+        );
+        if !trajectories.is_empty() {
+            print!(", {} trajectory file(s)", trajectories.len());
+        }
+        println!("]\n");
+    }
+}
+
+fn cmd_validate(args: &[String]) {
+    if args.is_empty() {
+        eprintln!("validate needs at least one spec file");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in args {
+        let path = PathBuf::from(path);
+        let outcome = LoadedSpec::read(&path).and_then(|loaded| {
+            // A spec must compile at both scales: quick overrides are
+            // part of the contract, not a best-effort extra.
+            let full = loaded.compile(false)?;
+            loaded.compile(true)?;
+            Ok(full)
+        });
+        match outcome {
+            Ok(plan) => {
+                let runs: usize = plan.variants.iter().map(|v| v.seeds.len()).sum();
+                println!(
+                    "OK   {} — {} variant(s), {} run(s)",
+                    path.display(),
+                    plan.variants.len(),
+                    runs
+                );
+            }
+            Err(e) => {
+                println!("FAIL {} — {e}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_list(args: &[String]) {
+    let dir = args
+        .first()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("scenarios"));
+    let mut entries: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    };
+    entries.sort();
+    for path in entries {
+        match LoadedSpec::read(&path)
+            .and_then(|l| alc_scenario::spec::ScenarioSpec::from_value(&l.value))
+        {
+            Ok(spec) => {
+                let variants = if spec.variants.is_empty() {
+                    String::new()
+                } else {
+                    format!(" [{} variants]", spec.variants.len())
+                };
+                println!("{:<18} {}{}", spec.name, spec.description, variants);
+            }
+            Err(e) => println!("{:<18} (unreadable: {e})", path.display()),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--help" | "-h" | "help") | None => usage(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("list") => cmd_list(&args[1..]),
+        Some(other) => {
+            usage();
+            eprintln!("\nerror: unknown subcommand `{other}`");
+            std::process::exit(2);
+        }
+    }
+}

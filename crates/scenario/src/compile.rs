@@ -1,0 +1,261 @@
+//! The spec → run-plan compiler.
+//!
+//! Compilation is *deterministic*: the same spec tree (plus the same
+//! `--quick`/`--set` inputs and trace files) always lowers to the same
+//! [`RunPlan`], and the plan fully determines every simulator run (all
+//! randomness derives from the per-replication seeds recorded in it).
+//!
+//! Variants compile by cloning the spec's JSON tree, applying the
+//! variant's `set` overrides (then the quick overrides under `--quick`)
+//! and re-parsing — so a variant can change *anything* a spec can say,
+//! from one control flag to the whole controller object.
+
+use std::path::Path;
+
+use alc_tpsim::config::{CcKind, ControlConfig, SystemConfig};
+use alc_tpsim::workload::WorkloadConfig;
+use serde::Value;
+
+use crate::spec::{ControllerSpec, ScenarioSpec, StatColumn, VariantSpec};
+use crate::value_util::{from_overrides, set_path};
+use crate::SpecError;
+
+/// A fully lowered scenario: everything the runner needs, nothing left
+/// to resolve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunPlan {
+    /// Scenario id (CSV stem).
+    pub name: String,
+    /// Report title.
+    pub description: String,
+    /// Label column header.
+    pub label_header: String,
+    /// Stat columns of the report.
+    pub columns: Vec<StatColumn>,
+    /// One compiled variant per run group.
+    pub variants: Vec<VariantPlan>,
+}
+
+/// One compiled variant: a concrete engine configuration plus its
+/// replication seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantPlan {
+    /// Variant label ("" for the implicit single variant).
+    pub label: String,
+    /// Physical system (seed field is per-replication; see `seeds`).
+    pub sys: SystemConfig,
+    /// Lowered time-varying workload.
+    pub workload: WorkloadConfig,
+    /// CC protocol.
+    pub cc: CcKind,
+    /// Measurement/control wiring.
+    pub control: ControlConfig,
+    /// Controller to instantiate per replication.
+    pub controller: ControllerSpec,
+    /// Simulated horizon, ms.
+    pub horizon_ms: f64,
+    /// Master seed per replication (replication 0 uses the spec seed).
+    pub seeds: Vec<u64>,
+    /// Record the analytic-optimum trajectory.
+    pub record_optimum: bool,
+    /// Write trajectory CSVs.
+    pub trajectories: bool,
+}
+
+/// Derives the replication-`r` seed from the spec seed (replication 0 is
+/// the spec seed itself, so single-replication scenarios reproduce the
+/// bespoke figure runs exactly).
+pub fn replication_seed(seed: u64, r: u32) -> u64 {
+    seed.wrapping_add(u64::from(r).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Compiles a spec tree. `base_dir` resolves trace paths; `quick`
+/// applies the spec's CI-scale overrides.
+pub fn compile_value(base: &Value, base_dir: &Path, quick: bool) -> Result<RunPlan, SpecError> {
+    let spec = ScenarioSpec::from_value(base)?;
+    let implicit;
+    let variant_specs: &[VariantSpec] = if spec.variants.is_empty() {
+        implicit = [VariantSpec {
+            name: String::new(),
+            set: Vec::new(),
+            quick: Vec::new(),
+        }];
+        &implicit
+    } else {
+        &spec.variants
+    };
+
+    let mut variants = Vec::with_capacity(variant_specs.len());
+    for vs in variant_specs {
+        let mut tree = base.clone();
+        for (path, val) in &vs.set {
+            set_path(&mut tree, path, val.clone())
+                .map_err(|e| e.context(format!("variant `{}`", vs.name)))?;
+        }
+        if quick {
+            for (path, val) in &spec.quick {
+                set_path(&mut tree, path, val.clone())
+                    .map_err(|e| e.context("quick overrides"))?;
+            }
+            for (path, val) in &vs.quick {
+                set_path(&mut tree, path, val.clone())
+                    .map_err(|e| e.context(format!("variant `{}` quick", vs.name)))?;
+            }
+        }
+        let vspec = ScenarioSpec::from_value(&tree)
+            .map_err(|e| e.context(format!("variant `{}`", vs.name)))?;
+        variants.push(build_variant(&vspec, &vs.name, base_dir)?);
+    }
+
+    Ok(RunPlan {
+        name: spec.name,
+        description: spec.description,
+        label_header: spec.label_header,
+        columns: spec.columns,
+        variants,
+    })
+}
+
+fn build_variant(
+    spec: &ScenarioSpec,
+    label: &str,
+    base_dir: &Path,
+) -> Result<VariantPlan, SpecError> {
+    let mut sys: SystemConfig = from_overrides(&spec.system, "system")?;
+    sys.seed = spec.seed;
+    if sys.terminals == 0 {
+        return Err(SpecError::new("system.terminals must be ≥ 1"));
+    }
+    let control: ControlConfig = from_overrides(&spec.control, "control")?;
+    if control.sample_interval_ms <= 0.0 {
+        return Err(SpecError::new("control.sample_interval_ms must be positive"));
+    }
+    let workload = spec.workload.lower(base_dir)?;
+    let seeds = (0..spec.replications)
+        .map(|r| replication_seed(spec.seed, r))
+        .collect();
+    Ok(VariantPlan {
+        label: label.to_string(),
+        sys,
+        workload,
+        cc: spec.cc,
+        control,
+        controller: spec.controller.clone(),
+        horizon_ms: spec.horizon_ms,
+        seeds,
+        record_optimum: spec.record_optimum,
+        trajectories: spec.trajectories,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn parse(json: &str) -> Value {
+        serde_json::from_str(json).unwrap()
+    }
+
+    #[test]
+    fn compile_lowers_system_and_control() {
+        let v = parse(
+            r#"{
+            "name": "c1", "horizon_ms": 5000.0, "seed": 7,
+            "system": {"terminals": 30, "think": {"exponential": 250}},
+            "control": {"sample_interval_ms": 500.0, "displacement": true},
+            "workload": {"k": {"step": {"at": 2500.0, "before": 4, "after": 8}}},
+            "controller": {"is": {"initial_bound": 5, "max_bound": 60}}
+        }"#,
+        );
+        let plan = compile_value(&v, &PathBuf::from("."), false).unwrap();
+        assert_eq!(plan.variants.len(), 1);
+        let vp = &plan.variants[0];
+        assert_eq!(vp.sys.terminals, 30);
+        assert_eq!(vp.sys.seed, 7);
+        assert_eq!(vp.sys.think, alc_des::dist::Dist::exponential(250.0));
+        assert!(vp.control.displacement);
+        assert_eq!(vp.workload.at(0.0).k, 4);
+        assert_eq!(vp.workload.at(3000.0).k, 8);
+        // Untouched fields keep SystemConfig defaults.
+        assert_eq!(vp.sys.cpus, SystemConfig::default().cpus);
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let v = parse(
+            r#"{
+            "name": "det", "horizon_ms": 5000.0, "replications": 3,
+            "workload": {"k": {"phases": [[0, 8], [2000.0, {"sinusoid":
+                {"mean": 10, "amplitude": 4, "period": 1000.0}}]]}},
+            "variants": [
+                {"name": "a", "set": {"cc": "2pl"}},
+                {"name": "b", "set": {"controller": {"pa": {}}}}
+            ]
+        }"#,
+        );
+        let p1 = compile_value(&v, &PathBuf::from("."), false).unwrap();
+        let p2 = compile_value(&v, &PathBuf::from("."), false).unwrap();
+        assert_eq!(p1, p2, "same spec must compile to the same plan");
+        assert_eq!(p1.variants.len(), 2);
+        assert_eq!(p1.variants[0].cc, CcKind::TwoPhaseLocking);
+        assert!(matches!(
+            p1.variants[1].controller,
+            ControllerSpec::Pa(_)
+        ));
+        // Replication 0 uses the spec seed; later ones differ.
+        let seeds = &p1.variants[0].seeds;
+        assert_eq!(seeds.len(), 3);
+        assert_eq!(seeds[0], SystemConfig::default().seed);
+        assert_ne!(seeds[1], seeds[0]);
+        assert_ne!(seeds[2], seeds[1]);
+    }
+
+    #[test]
+    fn quick_overrides_apply_only_under_quick() {
+        let v = parse(
+            r#"{
+            "name": "q", "horizon_ms": 100000.0,
+            "system": {"terminals": 500},
+            "quick": {"horizon_ms": 1000.0, "system.terminals": 40}
+        }"#,
+        );
+        let full = compile_value(&v, &PathBuf::from("."), false).unwrap();
+        assert_eq!(full.variants[0].horizon_ms, 100_000.0);
+        assert_eq!(full.variants[0].sys.terminals, 500);
+        let quick = compile_value(&v, &PathBuf::from("."), true).unwrap();
+        assert_eq!(quick.variants[0].horizon_ms, 1_000.0);
+        assert_eq!(quick.variants[0].sys.terminals, 40);
+    }
+
+    #[test]
+    fn variant_set_typo_is_caught_by_strict_reparse() {
+        let v = parse(
+            r#"{
+            "name": "t", "horizon_ms": 1000.0,
+            "variants": [{"name": "bad", "set": {"controler": "unlimited"}}]
+        }"#,
+        );
+        let err = compile_value(&v, &PathBuf::from("."), false).unwrap_err();
+        assert!(
+            err.to_string().contains("controler"),
+            "unhelpful error: {err}"
+        );
+    }
+
+    #[test]
+    fn fixed_analytic_optimum_resolves_against_workload() {
+        let v = parse(
+            r#"{
+            "name": "fa", "horizon_ms": 1000.0,
+            "system": {"terminals": 40, "cpus": 4, "db_size": 300},
+            "controller": {"fixed_analytic_optimum": {"n_max": 60}}
+        }"#,
+        );
+        let plan = compile_value(&v, &PathBuf::from("."), false).unwrap();
+        let vp = &plan.variants[0];
+        let ctrl = vp.controller.build(&vp.sys, &vp.workload).unwrap();
+        let bound = ctrl.current_bound();
+        assert!((2..=60).contains(&bound), "implausible optimum {bound}");
+    }
+}

@@ -1,0 +1,521 @@
+//! The time-varying profile DSL.
+//!
+//! Every workload parameter in a scenario spec — `k`, the mix fractions,
+//! the access skew, the arrival-rate and think-time factors — is a
+//! [`Profile`]: a declarative description of how the value moves over
+//! simulated time. Profiles compose the vocabulary the nonstationary
+//! experiments of §8/§9 (and the related self-* overload-control work)
+//! need: steps, ramps, sinusoids, bursts (flash crowds / fault surges),
+//! replayed traces, and phase lists gluing any of those together.
+//!
+//! A profile *lowers* into an [`alc_analytic::surface::Schedule`] — the
+//! engine-side representation — via [`Profile::lower`]. Phase lists
+//! lower to [`Schedule::Profile`], whose segments evaluate their inner
+//! shape in phase-local time, so `{"phases": [[0, 8], [600000,
+//! {"ramp": …}]]}` behaves the same wherever the phase boundary sits.
+//!
+//! # JSON forms
+//!
+//! ```json
+//! 8.0
+//! {"step": {"at": 1000000, "before": 8, "after": 16}}
+//! {"ramp": {"from": 8, "to": 16, "t_start": 0, "t_end": 60000}}
+//! {"sinusoid": {"mean": 10, "amplitude": 4, "period": 600000}}
+//! {"burst": {"base": 1, "peak": 4, "at": 300000, "duration": 60000}}
+//! {"piecewise": [[0, 6], [150000, 18]]}
+//! {"trace": "traces/daily-load.jsonl"}
+//! {"phases": [[0, 8], [600000, {"sinusoid": {"mean": 10, "amplitude": 4, "period": 200000}}]]}
+//! ```
+
+use std::path::Path;
+
+use alc_analytic::surface::Schedule;
+use serde::Value;
+
+use crate::SpecError;
+
+/// A declarative time-varying value (see the module docs for the JSON
+/// forms).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Profile {
+    /// The same value forever.
+    Constant(f64),
+    /// Abrupt jump at `at`: the §8 "jump-like variation".
+    Step {
+        /// Time of the step, ms.
+        at: f64,
+        /// Value before the step.
+        before: f64,
+        /// Value from the step on.
+        after: f64,
+    },
+    /// Linear drift from `from` (at `t_start`) to `to` (at `t_end`).
+    Ramp {
+        /// Value before the ramp starts.
+        from: f64,
+        /// Value after the ramp ends.
+        to: f64,
+        /// Ramp start, ms.
+        t_start: f64,
+        /// Ramp end, ms.
+        t_end: f64,
+    },
+    /// `mean + amplitude·sin(2πt/period)`: the §9 gradual variation.
+    Sinusoid {
+        /// Mid value.
+        mean: f64,
+        /// Peak deviation.
+        amplitude: f64,
+        /// Period, ms.
+        period: f64,
+    },
+    /// A square surge: `base` except `peak` during `[at, at+duration)` —
+    /// the flash-crowd / fault-event primitive.
+    Burst {
+        /// Baseline value.
+        base: f64,
+        /// Value during the burst window.
+        peak: f64,
+        /// Burst start, ms.
+        at: f64,
+        /// Burst length, ms.
+        duration: f64,
+    },
+    /// Sample-and-hold over explicit `(t_ms, value)` breakpoints.
+    Piecewise(Vec<(f64, f64)>),
+    /// Replay of a JSONL trace file (one `{"t_ms": …, "value": …}` per
+    /// line, ascending times), resolved relative to the spec file.
+    Trace {
+        /// Path of the trace file, relative to the spec.
+        path: String,
+    },
+    /// Ordered phases: each `(start_ms, profile)` governs from its start
+    /// until the next phase, with the inner profile evaluated in
+    /// phase-local time.
+    Phases(Vec<(f64, Profile)>),
+}
+
+impl Profile {
+    /// Lowers the profile into the engine's [`Schedule`] representation,
+    /// reading trace files relative to `base_dir`.
+    pub fn lower(&self, base_dir: &Path) -> Result<Schedule, SpecError> {
+        Ok(match self {
+            Profile::Constant(v) => Schedule::Constant(*v),
+            Profile::Step { at, before, after } => Schedule::Jump {
+                at: *at,
+                before: *before,
+                after: *after,
+            },
+            Profile::Ramp {
+                from,
+                to,
+                t_start,
+                t_end,
+            } => {
+                if t_end <= t_start {
+                    return Err(SpecError::new(format!(
+                        "ramp t_end ({t_end}) must exceed t_start ({t_start})"
+                    )));
+                }
+                Schedule::Ramp {
+                    from: *from,
+                    to: *to,
+                    t_start: *t_start,
+                    t_end: *t_end,
+                }
+            }
+            Profile::Sinusoid {
+                mean,
+                amplitude,
+                period,
+            } => {
+                if *period <= 0.0 {
+                    return Err(SpecError::new("sinusoid period must be positive"));
+                }
+                Schedule::Sinusoid {
+                    mean: *mean,
+                    amplitude: *amplitude,
+                    period: *period,
+                }
+            }
+            Profile::Burst {
+                base,
+                peak,
+                at,
+                duration,
+            } => {
+                if *duration <= 0.0 {
+                    return Err(SpecError::new("burst duration must be positive"));
+                }
+                Schedule::Piecewise(vec![(0.0, *base), (*at, *peak), (at + duration, *base)])
+            }
+            Profile::Piecewise(points) => {
+                ensure_ascending(points.iter().map(|&(t, _)| t), "piecewise")?;
+                Schedule::Piecewise(points.clone())
+            }
+            Profile::Trace { path } => {
+                let full = base_dir.join(path);
+                let text = std::fs::read_to_string(&full).map_err(|e| {
+                    SpecError::new(format!("cannot read trace `{}`: {e}", full.display()))
+                })?;
+                let mut points = Vec::new();
+                for (lineno, line) in text.lines().enumerate() {
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let p: TracePoint = serde_json::from_str(line).map_err(|e| {
+                        SpecError::new(format!(
+                            "trace `{path}` line {}: {e}",
+                            lineno + 1
+                        ))
+                    })?;
+                    points.push((p.t_ms, p.value));
+                }
+                if points.is_empty() {
+                    return Err(SpecError::new(format!("trace `{path}` is empty")));
+                }
+                ensure_ascending(points.iter().map(|&(t, _)| t), path)?;
+                Schedule::Piecewise(points)
+            }
+            Profile::Phases(phases) => {
+                if phases.is_empty() {
+                    return Err(SpecError::new("phases list must not be empty"));
+                }
+                ensure_ascending(phases.iter().map(|&(t, _)| t), "phases")?;
+                let mut segments = Vec::with_capacity(phases.len());
+                for (start, inner) in phases {
+                    segments.push((*start, inner.lower(base_dir)?));
+                }
+                Schedule::Profile(segments)
+            }
+        })
+    }
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct TracePoint {
+    t_ms: f64,
+    value: f64,
+}
+
+fn ensure_ascending(
+    times: impl Iterator<Item = f64>,
+    what: &str,
+) -> Result<(), SpecError> {
+    let mut last = f64::NEG_INFINITY;
+    for t in times {
+        if t < last {
+            return Err(SpecError::new(format!(
+                "`{what}` times must be ascending (saw {t} after {last})"
+            )));
+        }
+        last = t;
+    }
+    Ok(())
+}
+
+impl serde::Serialize for Profile {
+    fn to_value(&self) -> Value {
+        fn obj(tag: &str, fields: Vec<(&str, f64)>) -> Value {
+            Value::Map(vec![(
+                tag.to_string(),
+                Value::Map(
+                    fields
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), Value::Num(v)))
+                        .collect(),
+                ),
+            )])
+        }
+        match self {
+            Profile::Constant(v) => Value::Num(*v),
+            Profile::Step { at, before, after } => obj(
+                "step",
+                vec![("at", *at), ("before", *before), ("after", *after)],
+            ),
+            Profile::Ramp {
+                from,
+                to,
+                t_start,
+                t_end,
+            } => obj(
+                "ramp",
+                vec![
+                    ("from", *from),
+                    ("to", *to),
+                    ("t_start", *t_start),
+                    ("t_end", *t_end),
+                ],
+            ),
+            Profile::Sinusoid {
+                mean,
+                amplitude,
+                period,
+            } => obj(
+                "sinusoid",
+                vec![("mean", *mean), ("amplitude", *amplitude), ("period", *period)],
+            ),
+            Profile::Burst {
+                base,
+                peak,
+                at,
+                duration,
+            } => obj(
+                "burst",
+                vec![
+                    ("base", *base),
+                    ("peak", *peak),
+                    ("at", *at),
+                    ("duration", *duration),
+                ],
+            ),
+            Profile::Piecewise(points) => Value::Map(vec![(
+                "piecewise".to_string(),
+                Value::Seq(
+                    points
+                        .iter()
+                        .map(|&(t, v)| Value::Seq(vec![Value::Num(t), Value::Num(v)]))
+                        .collect(),
+                ),
+            )]),
+            Profile::Trace { path } => Value::Map(vec![(
+                "trace".to_string(),
+                Value::Str(path.clone()),
+            )]),
+            Profile::Phases(phases) => Value::Map(vec![(
+                "phases".to_string(),
+                Value::Seq(
+                    phases
+                        .iter()
+                        .map(|(t, p)| Value::Seq(vec![Value::Num(*t), p.to_value()]))
+                        .collect(),
+                ),
+            )]),
+        }
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Profile {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        profile_from_value(value).map_err(|e| serde::Error::custom(e.to_string()))
+    }
+}
+
+fn num_field(map: &Value, key: &str, ctx: &str) -> Result<f64, SpecError> {
+    map.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| SpecError::new(format!("`{ctx}` profile needs numeric `{key}`")))
+}
+
+fn profile_from_value(value: &Value) -> Result<Profile, SpecError> {
+    if let Some(v) = value.as_f64() {
+        return Ok(Profile::Constant(v));
+    }
+    let Some([(tag, payload)]) = value.as_map() else {
+        return Err(SpecError::new(
+            "profile must be a number or a single-key object (step/ramp/sinusoid/burst/piecewise/trace/phases)",
+        ));
+    };
+    Ok(match tag.as_str() {
+        "constant" => Profile::Constant(
+            payload
+                .as_f64()
+                .ok_or_else(|| SpecError::new("`constant` profile needs a number"))?,
+        ),
+        "step" => Profile::Step {
+            at: num_field(payload, "at", "step")?,
+            before: num_field(payload, "before", "step")?,
+            after: num_field(payload, "after", "step")?,
+        },
+        "ramp" => Profile::Ramp {
+            from: num_field(payload, "from", "ramp")?,
+            to: num_field(payload, "to", "ramp")?,
+            t_start: num_field(payload, "t_start", "ramp")?,
+            t_end: num_field(payload, "t_end", "ramp")?,
+        },
+        "sinusoid" => Profile::Sinusoid {
+            mean: num_field(payload, "mean", "sinusoid")?,
+            amplitude: num_field(payload, "amplitude", "sinusoid")?,
+            period: num_field(payload, "period", "sinusoid")?,
+        },
+        "burst" => Profile::Burst {
+            base: num_field(payload, "base", "burst")?,
+            peak: num_field(payload, "peak", "burst")?,
+            at: num_field(payload, "at", "burst")?,
+            duration: num_field(payload, "duration", "burst")?,
+        },
+        "piecewise" => {
+            let pts = payload
+                .as_seq()
+                .ok_or_else(|| SpecError::new("`piecewise` needs a [[t, v], …] list"))?;
+            let mut points = Vec::with_capacity(pts.len());
+            for p in pts {
+                let pair = p.as_seq().filter(|s| s.len() == 2).ok_or_else(|| {
+                    SpecError::new("`piecewise` entries must be [t, value] pairs")
+                })?;
+                let t = pair[0]
+                    .as_f64()
+                    .ok_or_else(|| SpecError::new("`piecewise` time must be numeric"))?;
+                let v = pair[1]
+                    .as_f64()
+                    .ok_or_else(|| SpecError::new("`piecewise` value must be numeric"))?;
+                points.push((t, v));
+            }
+            Profile::Piecewise(points)
+        }
+        "trace" => Profile::Trace {
+            path: match payload {
+                Value::Str(s) => s.clone(),
+                _ => return Err(SpecError::new("`trace` needs a file path string")),
+            },
+        },
+        "phases" => {
+            let seq = payload
+                .as_seq()
+                .ok_or_else(|| SpecError::new("`phases` needs a [[t, profile], …] list"))?;
+            let mut phases = Vec::with_capacity(seq.len());
+            for p in seq {
+                let pair = p.as_seq().filter(|s| s.len() == 2).ok_or_else(|| {
+                    SpecError::new("`phases` entries must be [start_ms, profile] pairs")
+                })?;
+                let t = pair[0]
+                    .as_f64()
+                    .ok_or_else(|| SpecError::new("`phases` start must be numeric"))?;
+                phases.push((t, profile_from_value(&pair[1])?));
+            }
+            Profile::Phases(phases)
+        }
+        other => {
+            return Err(SpecError::new(format!("unknown profile kind `{other}`")));
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn roundtrip(p: &Profile) {
+        let json = serde_json::to_string(p).unwrap();
+        let back: Profile = serde_json::from_str(&json).unwrap();
+        assert_eq!(&back, p, "round-trip changed {json}");
+    }
+
+    #[test]
+    fn profiles_round_trip() {
+        roundtrip(&Profile::Constant(8.0));
+        roundtrip(&Profile::Step {
+            at: 1e6,
+            before: 8.0,
+            after: 16.0,
+        });
+        roundtrip(&Profile::Ramp {
+            from: 0.0,
+            to: 1.0,
+            t_start: 10.0,
+            t_end: 20.0,
+        });
+        roundtrip(&Profile::Sinusoid {
+            mean: 10.0,
+            amplitude: 4.0,
+            period: 1000.0,
+        });
+        roundtrip(&Profile::Burst {
+            base: 1.0,
+            peak: 4.0,
+            at: 100.0,
+            duration: 50.0,
+        });
+        roundtrip(&Profile::Piecewise(vec![(0.0, 6.0), (10.0, 18.0)]));
+        roundtrip(&Profile::Trace {
+            path: "traces/x.jsonl".into(),
+        });
+        roundtrip(&Profile::Phases(vec![
+            (0.0, Profile::Constant(8.0)),
+            (
+                100.0,
+                Profile::Sinusoid {
+                    mean: 10.0,
+                    amplitude: 4.0,
+                    period: 1000.0,
+                },
+            ),
+        ]));
+    }
+
+    #[test]
+    fn burst_lowers_to_square_pulse() {
+        let p = Profile::Burst {
+            base: 1.0,
+            peak: 3.0,
+            at: 100.0,
+            duration: 50.0,
+        };
+        let s = p.lower(&PathBuf::from(".")).unwrap();
+        assert_eq!(s.value(0.0), 1.0);
+        assert_eq!(s.value(100.0), 3.0);
+        assert_eq!(s.value(149.0), 3.0);
+        assert_eq!(s.value(150.0), 1.0);
+    }
+
+    #[test]
+    fn phases_lower_to_schedule_profile() {
+        let p = Profile::Phases(vec![
+            (0.0, Profile::Constant(8.0)),
+            (
+                100.0,
+                Profile::Ramp {
+                    from: 8.0,
+                    to: 16.0,
+                    t_start: 0.0,
+                    t_end: 50.0,
+                },
+            ),
+        ]);
+        let s = p.lower(&PathBuf::from(".")).unwrap();
+        assert_eq!(s.value(50.0), 8.0);
+        assert_eq!(s.value(125.0), 12.0); // ramp midpoint in local time
+        assert_eq!(s.value(200.0), 16.0);
+    }
+
+    #[test]
+    fn trace_lowering_reads_jsonl() {
+        let dir = std::env::temp_dir().join("alc_scenario_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("t.jsonl"),
+            "{\"t_ms\":0,\"value\":1.0}\n{\"t_ms\":100,\"value\":2.5}\n",
+        )
+        .unwrap();
+        let p = Profile::Trace {
+            path: "t.jsonl".into(),
+        };
+        let s = p.lower(&dir).unwrap();
+        assert_eq!(s.value(50.0), 1.0);
+        assert_eq!(s.value(100.0), 2.5);
+        // Missing file is a spec error, not a panic.
+        assert!(Profile::Trace {
+            path: "missing.jsonl".into()
+        }
+        .lower(&dir)
+        .is_err());
+    }
+
+    #[test]
+    fn invalid_profiles_are_rejected() {
+        assert!(serde_json::from_str::<Profile>("{\"nope\": 1}").is_err());
+        assert!(Profile::Ramp {
+            from: 0.0,
+            to: 1.0,
+            t_start: 10.0,
+            t_end: 10.0
+        }
+        .lower(&PathBuf::from("."))
+        .is_err());
+        assert!(Profile::Piecewise(vec![(10.0, 1.0), (0.0, 2.0)])
+            .lower(&PathBuf::from("."))
+            .is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! The scenario runner: executes a compiled [`RunPlan`] and emits the
+//! existing report/CSV artifacts.
+//!
+//! All `(variant, replication)` cells are independent simulator runs, so
+//! they fan out with `rayon` and are collected in input order — parallel
+//! execution is byte-identical to serial (each run is fully determined
+//! by its recorded seed). Trajectory CSVs use the same column set and
+//! naming convention as the bespoke figure generators
+//! (`<name>[_<variant>]_trajectory.csv`, columns `bound, observed_mpl,
+//! throughput, optimum, k`), which is what lets the golden port tests
+//! pin the ported scenarios byte-for-byte against the pre-port outputs.
+
+use std::path::Path;
+
+use alc_bench::report::Report;
+use alc_des::series::write_aligned_csv;
+use alc_tpsim::config::SystemConfig;
+use alc_tpsim::engine::{RunStats, Simulator, Trajectories};
+use rayon::prelude::*;
+
+use crate::compile::{RunPlan, VariantPlan};
+
+/// The outcome of one `(variant, replication)` cell.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Variant label ("" for the implicit variant).
+    pub label: String,
+    /// Replication index.
+    pub replication: u32,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Aggregate statistics.
+    pub stats: RunStats,
+    /// Recorded trajectories (when the plan asked for them).
+    pub trajectories: Option<Trajectories>,
+}
+
+/// Executes one cell of a plan.
+fn run_one(v: &VariantPlan, rep: usize) -> RunRecord {
+    let seed = v.seeds[rep];
+    let sys = SystemConfig { seed, ..v.sys };
+    let controller = v.controller.build(&sys, &v.workload);
+    let mut sim = Simulator::new(sys, v.workload.clone(), v.cc, v.control, controller);
+    sim.set_record_optimum(v.record_optimum);
+    let stats = sim.run(v.horizon_ms);
+    RunRecord {
+        label: v.label.clone(),
+        replication: rep as u32,
+        seed,
+        stats,
+        trajectories: v.trajectories.then(|| sim.trajectories().clone()),
+    }
+}
+
+/// Runs every `(variant, replication)` cell of the plan in parallel and
+/// returns the records in deterministic (variant-major) order.
+pub fn run_plan(plan: &RunPlan) -> Vec<RunRecord> {
+    let jobs: Vec<(usize, usize)> = plan
+        .variants
+        .iter()
+        .enumerate()
+        .flat_map(|(vi, v)| (0..v.seeds.len()).map(move |r| (vi, r)))
+        .collect();
+    jobs.par_iter()
+        .map(|&(vi, r)| run_one(&plan.variants[vi], r))
+        .collect()
+}
+
+/// The stem of a record's trajectory CSV (without the `_trajectory.csv`
+/// suffix): `<name>`, `<name>_<variant>`, plus `_rep<r>` when the plan
+/// replicates.
+fn trajectory_stem(plan: &RunPlan, rec: &RunRecord, replications: usize) -> String {
+    let mut stem = plan.name.clone();
+    if !rec.label.is_empty() {
+        stem.push('_');
+        stem.push_str(&rec.label);
+    }
+    if replications > 1 {
+        stem.push_str(&format!("_rep{}", rec.replication));
+    }
+    stem
+}
+
+/// Writes the trajectory CSVs of `records` into `dir` (same format as
+/// the figure generators) and returns the file names written.
+pub fn write_trajectories(
+    plan: &RunPlan,
+    records: &[RunRecord],
+    dir: &Path,
+) -> std::io::Result<Vec<String>> {
+    let mut written = Vec::new();
+    std::fs::create_dir_all(dir)?;
+    for rec in records {
+        let Some(traj) = &rec.trajectories else {
+            continue;
+        };
+        let reps = plan
+            .variants
+            .iter()
+            .find(|v| v.label == rec.label)
+            .map_or(1, |v| v.seeds.len());
+        let name = format!("{}_trajectory.csv", trajectory_stem(plan, rec, reps));
+        let f = std::fs::File::create(dir.join(&name))?;
+        write_aligned_csv(
+            std::io::BufWriter::new(f),
+            &[
+                &traj.bound,
+                &traj.observed_mpl,
+                &traj.throughput,
+                &traj.optimum,
+                &traj.k,
+            ],
+        )?;
+        written.push(name);
+    }
+    Ok(written)
+}
+
+/// Builds the report table (one row per record) from a finished run.
+pub fn build_report(plan: &RunPlan, records: &[RunRecord]) -> Report {
+    let mut headers: Vec<String> = vec![plan.label_header.clone()];
+    headers.extend(plan.columns.iter().map(|c| c.name().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut report = Report::new(&plan.name, &plan.description, &header_refs);
+    let multi_rep = plan.variants.iter().any(|v| v.seeds.len() > 1);
+    for rec in records {
+        let mut label = if rec.label.is_empty() {
+            "run".to_string()
+        } else {
+            rec.label.clone()
+        };
+        if multi_rep {
+            label.push_str(&format!("#{}", rec.replication));
+        }
+        let mut row = vec![label];
+        row.extend(plan.columns.iter().map(|c| c.format(&rec.stats)));
+        report.push_row(row);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_value;
+    use std::path::PathBuf;
+
+    fn quick_plan(json: &str) -> RunPlan {
+        let v: serde::Value = serde_json::from_str(json).unwrap();
+        compile_value(&v, &PathBuf::from("."), false).unwrap()
+    }
+
+    #[test]
+    fn run_plan_is_deterministic_and_ordered() {
+        let plan = quick_plan(
+            r#"{
+            "name": "rdet", "horizon_ms": 6000.0, "replications": 2,
+            "system": {"terminals": 20, "cpus": 4, "db_size": 300,
+                       "think": {"exponential": 200}},
+            "control": {"sample_interval_ms": 500.0, "warmup_ms": 1000.0},
+            "controller": {"is": {"initial_bound": 5, "max_bound": 40}},
+            "variants": [
+                {"name": "cert", "set": {"cc": "certification"}},
+                {"name": "2pl", "set": {"cc": "2pl"}}
+            ]
+        }"#,
+        );
+        let a = run_plan(&plan);
+        let b = run_plan(&plan);
+        assert_eq!(a.len(), 4);
+        let order: Vec<(String, u32)> = a
+            .iter()
+            .map(|r| (r.label.clone(), r.replication))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("cert".to_string(), 0),
+                ("cert".to_string(), 1),
+                ("2pl".to_string(), 0),
+                ("2pl".to_string(), 1)
+            ]
+        );
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.stats, y.stats, "{}#{}", x.label, x.replication);
+        }
+        // Replications use distinct seeds and realize differently.
+        assert_ne!(a[0].seed, a[1].seed);
+        assert_ne!(a[0].stats, a[1].stats);
+        assert!(a.iter().all(|r| r.stats.commits > 0));
+    }
+
+    #[test]
+    fn report_and_trajectories_are_emitted() {
+        let plan = quick_plan(
+            r#"{
+            "name": "remit", "horizon_ms": 5000.0,
+            "system": {"terminals": 15, "cpus": 4, "db_size": 300,
+                       "think": {"exponential": 200}},
+            "control": {"sample_interval_ms": 500.0, "warmup_ms": 0.0},
+            "controller": {"is": {"initial_bound": 5, "max_bound": 40}},
+            "record_optimum": true,
+            "trajectories": true,
+            "columns": ["throughput_per_s", "commits"]
+        }"#,
+        );
+        let records = run_plan(&plan);
+        let report = build_report(&plan, &records);
+        assert_eq!(report.headers, vec!["variant", "throughput_per_s", "commits"]);
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0][0], "run");
+
+        let dir = std::env::temp_dir().join("alc_scenario_runner_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let written = write_trajectories(&plan, &records, &dir).unwrap();
+        assert_eq!(written, vec!["remit_trajectory.csv".to_string()]);
+        let text = std::fs::read_to_string(dir.join("remit_trajectory.csv")).unwrap();
+        assert!(text.starts_with("t_ms,bound,observed_mpl,throughput,optimum,k\n"));
+        assert!(text.lines().count() > 5);
+    }
+}

@@ -1,0 +1,921 @@
+//! The typed scenario spec and its strict JSON (de)serialization.
+//!
+//! A spec is one experiment: a workload trajectory, a system/control
+//! configuration, a controller, and optionally a list of *variants* —
+//! named override sets run against the same base (ablation axes). Every
+//! unknown key is an error: a typo'd field must never silently keep its
+//! default.
+//!
+//! ```json
+//! {
+//!   "name": "fig13",
+//!   "description": "IS under an abrupt jump of the optimum",
+//!   "seed": 987654,
+//!   "horizon_ms": 2000000.0,
+//!   "cc": "certification",
+//!   "system": {"terminals": 500},
+//!   "control": {"sample_interval_ms": 2000.0, "warmup_ms": 0.0},
+//!   "workload": {"k": {"step": {"at": 1000000.0, "before": 8, "after": 16}}},
+//!   "controller": {"is": {"initial_bound": 50, "max_bound": 800}},
+//!   "trajectories": true
+//! }
+//! ```
+
+use alc_core::controller::{
+    FixedBound, IncrementalSteps, IsParams, IyerRule, IyerRuleParams, LoadController,
+    ParabolaApproximation, PaParams, TayRule, Unlimited,
+};
+use alc_tpsim::config::{CcKind, SystemConfig};
+use alc_tpsim::engine::RunStats;
+use alc_tpsim::workload::WorkloadConfig;
+use serde::Value;
+
+use crate::profile::Profile;
+use crate::value_util::{normalize_arrival, normalize_dist, override_pairs};
+use crate::SpecError;
+
+/// One scenario: the declarative form the `scenario` binary runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario id — also the stem of every emitted CSV.
+    pub name: String,
+    /// One-line description (report title).
+    pub description: String,
+    /// Master seed of replication 0; later replications derive from it.
+    pub seed: u64,
+    /// Independent replications per variant (different derived seeds).
+    pub replications: u32,
+    /// Simulated horizon, ms.
+    pub horizon_ms: f64,
+    /// Concurrency-control protocol.
+    pub cc: CcKind,
+    /// Shallow overrides on [`SystemConfig`] (dist shorthands allowed;
+    /// `seed` is set by the top-level field, not here).
+    pub system: Vec<(String, Value)>,
+    /// Shallow overrides on [`alc_tpsim::config::ControlConfig`].
+    pub control: Vec<(String, Value)>,
+    /// The time-varying workload.
+    pub workload: WorkloadSpec,
+    /// The load controller (or a static/baseline policy).
+    pub controller: ControllerSpec,
+    /// Record the analytic optimum trajectory `n_opt(t)`.
+    pub record_optimum: bool,
+    /// Write per-run trajectory CSVs.
+    pub trajectories: bool,
+    /// Header of the label column in the report table.
+    pub label_header: String,
+    /// Stat columns of the report table.
+    pub columns: Vec<StatColumn>,
+    /// Named override sets producing one run group each.
+    pub variants: Vec<VariantSpec>,
+    /// Path → value overrides applied under `--quick` (CI scale).
+    pub quick: Vec<(String, Value)>,
+}
+
+/// One variant: a named set of overrides on the base spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantSpec {
+    /// Variant label (row label, trajectory-file suffix).
+    pub name: String,
+    /// Path → value overrides applied for this variant.
+    pub set: Vec<(String, Value)>,
+    /// Additional path → value overrides applied under `--quick`, after
+    /// the spec-level quick overrides.
+    pub quick: Vec<(String, Value)>,
+}
+
+/// The workload section: one [`Profile`] per time-varying parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Items accessed per transaction, `k(t)`.
+    pub k: Profile,
+    /// Read-only fraction `q(t)`.
+    pub query_frac: Profile,
+    /// Updater write-access fraction `w(t)`.
+    pub write_frac: Profile,
+    /// Zipf access skew θ(t) (hot-spot drift).
+    pub access_skew: Profile,
+    /// Open-mode arrival-rate multiplier `a(t)` (surges, flash crowds).
+    pub arrival_rate_factor: Profile,
+    /// Closed-mode think-time multiplier `h(t)`.
+    pub think_time_factor: Profile,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            k: Profile::Constant(8.0),
+            query_frac: Profile::Constant(0.2),
+            write_frac: Profile::Constant(0.25),
+            access_skew: Profile::Constant(0.0),
+            arrival_rate_factor: Profile::Constant(1.0),
+            think_time_factor: Profile::Constant(1.0),
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Lowers every profile into the engine's [`WorkloadConfig`].
+    pub fn lower(&self, base_dir: &std::path::Path) -> Result<WorkloadConfig, SpecError> {
+        Ok(WorkloadConfig {
+            k: self.k.lower(base_dir)?,
+            query_frac: self.query_frac.lower(base_dir)?,
+            write_frac: self.write_frac.lower(base_dir)?,
+            access_skew: self.access_skew.lower(base_dir)?,
+            arrival_rate_factor: self.arrival_rate_factor.lower(base_dir)?,
+            think_time_factor: self.think_time_factor.lower(base_dir)?,
+        })
+    }
+}
+
+/// The controller section: the §4 feedback controllers, the self-tuning
+/// baselines and the static rules of thumb, each with full parameter
+/// control (omitted parameters keep their crate defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerSpec {
+    /// No controller: the gate stays at `control.initial_bound`.
+    None,
+    /// No admission limit at all (`Unlimited` baseline).
+    Unlimited,
+    /// A fixed static bound.
+    Fixed {
+        /// The bound.
+        bound: u32,
+    },
+    /// A fixed bound pinned to the *analytic* optimum of the compiled
+    /// workload at `at_ms` — the "perfectly informed DBA" baseline.
+    FixedAnalyticOptimum {
+        /// Workload time the optimum is computed at, ms.
+        at_ms: f64,
+        /// Scan limit for the optimum search.
+        n_max: u32,
+    },
+    /// Incremental Steps (§4.1).
+    Is(IsParams),
+    /// Parabola Approximation (§4.2).
+    Pa(PaParams),
+    /// Iyer's conflict-rate rule as a feedback baseline.
+    Iyer(IyerRuleParams),
+    /// Tay's static `k²n/D < 1.5` rule of thumb.
+    Tay {
+        /// The (assumed) locks per transaction.
+        k: u32,
+        /// Static lower bound.
+        min_bound: u32,
+        /// Static upper bound.
+        max_bound: u32,
+    },
+}
+
+impl ControllerSpec {
+    /// Instantiates the controller against the compiled system/workload
+    /// (`None` means "run with the static initial bound").
+    pub fn build(
+        &self,
+        sys: &SystemConfig,
+        workload: &WorkloadConfig,
+    ) -> Option<Box<dyn LoadController>> {
+        match self {
+            ControllerSpec::None => None,
+            ControllerSpec::Unlimited => Some(Box::new(Unlimited)),
+            ControllerSpec::Fixed { bound } => Some(Box::new(FixedBound::new(*bound))),
+            ControllerSpec::FixedAnalyticOptimum { at_ms, n_max } => Some(Box::new(
+                FixedBound::new(workload.analytic_optimum(*at_ms, sys, *n_max)),
+            )),
+            ControllerSpec::Is(p) => Some(Box::new(IncrementalSteps::new(*p))),
+            ControllerSpec::Pa(p) => Some(Box::new(ParabolaApproximation::new(*p))),
+            ControllerSpec::Iyer(p) => Some(Box::new(IyerRule::new(*p))),
+            ControllerSpec::Tay {
+                k,
+                min_bound,
+                max_bound,
+            } => Some(Box::new(TayRule::new(
+                *k,
+                sys.db_size,
+                *min_bound,
+                *max_bound,
+            ))),
+        }
+    }
+}
+
+/// A raw-statistics column of the report table. Integer counters format
+/// via `to_string`, continuous values via the shared `num` table format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatColumn {
+    /// Commits per second.
+    ThroughputPerS,
+    /// Aborted / finished runs.
+    AbortRatio,
+    /// Mean response time, ms.
+    MeanResponseMs,
+    /// Time-averaged observed MPL.
+    MeanMpl,
+    /// Time-averaged gate bound.
+    MeanBound,
+    /// Committed transactions.
+    Commits,
+    /// Aborted runs.
+    Aborts,
+    /// Displacement victims.
+    Displaced,
+    /// Open-mode lost arrivals.
+    Lost,
+    /// Data conflicts per commit.
+    ConflictsPerCommit,
+    /// Mean CPU utilization.
+    CpuUtilization,
+}
+
+impl StatColumn {
+    /// Every column, for `scenario --help` listings.
+    pub const ALL: [StatColumn; 11] = [
+        StatColumn::ThroughputPerS,
+        StatColumn::AbortRatio,
+        StatColumn::MeanResponseMs,
+        StatColumn::MeanMpl,
+        StatColumn::MeanBound,
+        StatColumn::Commits,
+        StatColumn::Aborts,
+        StatColumn::Displaced,
+        StatColumn::Lost,
+        StatColumn::ConflictsPerCommit,
+        StatColumn::CpuUtilization,
+    ];
+
+    /// The column's spec/CSV name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StatColumn::ThroughputPerS => "throughput_per_s",
+            StatColumn::AbortRatio => "abort_ratio",
+            StatColumn::MeanResponseMs => "mean_response_ms",
+            StatColumn::MeanMpl => "mean_mpl",
+            StatColumn::MeanBound => "mean_bound",
+            StatColumn::Commits => "commits",
+            StatColumn::Aborts => "aborts",
+            StatColumn::Displaced => "displaced",
+            StatColumn::Lost => "lost",
+            StatColumn::ConflictsPerCommit => "conflicts_per_commit",
+            StatColumn::CpuUtilization => "cpu_utilization",
+        }
+    }
+
+    /// Parses a spec/CSV name.
+    pub fn parse(s: &str) -> Result<Self, SpecError> {
+        StatColumn::ALL
+            .into_iter()
+            .find(|c| c.name() == s)
+            .ok_or_else(|| SpecError::new(format!("unknown stat column `{s}`")))
+    }
+
+    /// Formats the column's value from run statistics.
+    pub fn format(&self, stats: &RunStats) -> String {
+        use alc_bench::table::num;
+        match self {
+            StatColumn::ThroughputPerS => num(stats.throughput_per_sec),
+            StatColumn::AbortRatio => num(stats.abort_ratio),
+            StatColumn::MeanResponseMs => num(stats.mean_response_ms),
+            StatColumn::MeanMpl => num(stats.mean_mpl),
+            StatColumn::MeanBound => num(stats.mean_bound),
+            StatColumn::Commits => stats.commits.to_string(),
+            StatColumn::Aborts => stats.aborts.to_string(),
+            StatColumn::Displaced => stats.displaced.to_string(),
+            StatColumn::Lost => stats.lost.to_string(),
+            StatColumn::ConflictsPerCommit => num(stats.conflicts_per_commit),
+            StatColumn::CpuUtilization => num(stats.cpu_utilization),
+        }
+    }
+}
+
+/// Default report columns.
+fn default_columns() -> Vec<StatColumn> {
+    vec![
+        StatColumn::ThroughputPerS,
+        StatColumn::AbortRatio,
+        StatColumn::MeanResponseMs,
+        StatColumn::MeanMpl,
+        StatColumn::MeanBound,
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Parses a u32 field, rejecting non-integers and values that would
+/// truncate (a silent `as u32` wrap could turn a typo into bound 0).
+fn u32_from(v: &Value, what: &str) -> Result<u32, SpecError> {
+    v.as_u64()
+        .filter(|&x| x <= u64::from(u32::MAX))
+        .map(|x| x as u32)
+        .ok_or_else(|| SpecError::new(format!("`{what}` must be an integer ≤ u32::MAX")))
+}
+
+/// Parses a CC protocol: canonical variant names plus the CLI aliases.
+fn cc_from_value(v: &Value) -> Result<CcKind, SpecError> {
+    if let Value::Str(s) = v {
+        let alias = match s.as_str() {
+            "certification" | "cert" | "occ" => Some(CcKind::Certification),
+            "2pl" | "two-phase-locking" => Some(CcKind::TwoPhaseLocking),
+            "timestamp-ordering" | "to" => Some(CcKind::TimestampOrdering),
+            "wound-wait" => Some(CcKind::WoundWait),
+            "wait-die" => Some(CcKind::WaitDie),
+            "mvto" | "multiversion" => Some(CcKind::Multiversion),
+            _ => None,
+        };
+        if let Some(cc) = alias {
+            return Ok(cc);
+        }
+    }
+    <CcKind as serde::Deserialize>::from_value(v)
+        .map_err(|e| SpecError::new(format!("invalid `cc`: {e}")))
+}
+
+fn controller_from_value(v: &Value) -> Result<ControllerSpec, SpecError> {
+    if let Value::Str(s) = v {
+        return match s.as_str() {
+            "none" => Ok(ControllerSpec::None),
+            "unlimited" => Ok(ControllerSpec::Unlimited),
+            other => Err(SpecError::new(format!(
+                "unknown controller `{other}` (want none/unlimited or an object)"
+            ))),
+        };
+    }
+    let Some([(tag, payload)]) = v.as_map() else {
+        return Err(SpecError::new(
+            "controller must be a string or a single-key object",
+        ));
+    };
+    let params = |what: &str| -> Result<Vec<(String, Value)>, SpecError> {
+        override_pairs(payload, what)
+    };
+    Ok(match tag.as_str() {
+        "fixed" => {
+            let bound = payload
+                .get("bound")
+                .ok_or_else(|| SpecError::new("`fixed` controller needs `bound`"))?;
+            for (key, _) in payload.as_map().unwrap_or(&[]) {
+                if key != "bound" {
+                    return Err(SpecError::new(format!("unknown `fixed` field `{key}`")));
+                }
+            }
+            ControllerSpec::Fixed {
+                bound: u32_from(bound, "fixed.bound")?,
+            }
+        }
+        "fixed_analytic_optimum" => {
+            // Present-but-mistyped optional fields must error, never
+            // silently fall back to the default.
+            let at_ms = match payload.get("at_ms") {
+                None => 0.0,
+                Some(v) => v.as_f64().ok_or_else(|| {
+                    SpecError::new("`fixed_analytic_optimum.at_ms` must be numeric")
+                })?,
+            };
+            let n_max = payload
+                .get("n_max")
+                .ok_or_else(|| SpecError::new("`fixed_analytic_optimum` needs `n_max`"))?;
+            for (k, _) in payload.as_map().unwrap_or(&[]) {
+                if k != "at_ms" && k != "n_max" {
+                    return Err(SpecError::new(format!(
+                        "unknown `fixed_analytic_optimum` field `{k}`"
+                    )));
+                }
+            }
+            ControllerSpec::FixedAnalyticOptimum {
+                at_ms,
+                n_max: u32_from(n_max, "fixed_analytic_optimum.n_max")?,
+            }
+        }
+        "is" => ControllerSpec::Is(crate::value_util::from_overrides(
+            &params("IS controller")?,
+            "IS controller",
+        )?),
+        "pa" => ControllerSpec::Pa(crate::value_util::from_overrides(
+            &params("PA controller")?,
+            "PA controller",
+        )?),
+        "iyer" => ControllerSpec::Iyer(crate::value_util::from_overrides(
+            &params("Iyer controller")?,
+            "Iyer controller",
+        )?),
+        "tay" => {
+            let k = payload
+                .get("k")
+                .ok_or_else(|| SpecError::new("`tay` controller needs `k`"))?;
+            let min_bound = match payload.get("min_bound") {
+                None => 1,
+                Some(v) => u32_from(v, "tay.min_bound")?,
+            };
+            let max_bound = payload
+                .get("max_bound")
+                .ok_or_else(|| SpecError::new("`tay` controller needs `max_bound`"))?;
+            for (key, _) in payload.as_map().unwrap_or(&[]) {
+                if !matches!(key.as_str(), "k" | "min_bound" | "max_bound") {
+                    return Err(SpecError::new(format!("unknown `tay` field `{key}`")));
+                }
+            }
+            ControllerSpec::Tay {
+                k: u32_from(k, "tay.k")?,
+                min_bound,
+                max_bound: u32_from(max_bound, "tay.max_bound")?,
+            }
+        }
+        other => {
+            return Err(SpecError::new(format!("unknown controller kind `{other}`")));
+        }
+    })
+}
+
+fn workload_from_value(v: &Value) -> Result<WorkloadSpec, SpecError> {
+    let entries = v
+        .as_map()
+        .ok_or_else(|| SpecError::new("`workload` must be an object"))?;
+    let mut w = WorkloadSpec::default();
+    for (k, pv) in entries {
+        let p = <Profile as serde::Deserialize>::from_value(pv)
+            .map_err(|e| SpecError::new(format!("workload `{k}`: {e}")))?;
+        match k.as_str() {
+            "k" => w.k = p,
+            "query_frac" => w.query_frac = p,
+            "write_frac" => w.write_frac = p,
+            "access_skew" => w.access_skew = p,
+            "arrival_rate_factor" => w.arrival_rate_factor = p,
+            "think_time_factor" => w.think_time_factor = p,
+            other => {
+                return Err(SpecError::new(format!("unknown workload field `{other}`")));
+            }
+        }
+    }
+    Ok(w)
+}
+
+fn variant_from_value(v: &Value) -> Result<VariantSpec, SpecError> {
+    let entries = v
+        .as_map()
+        .ok_or_else(|| SpecError::new("variant must be an object"))?;
+    let mut name = None;
+    let mut set = Vec::new();
+    let mut quick = Vec::new();
+    for (k, val) in entries {
+        match k.as_str() {
+            "name" => match val {
+                Value::Str(s) => name = Some(s.clone()),
+                _ => return Err(SpecError::new("variant `name` must be a string")),
+            },
+            "set" => set = override_pairs(val, "variant set")?,
+            "quick" => quick = override_pairs(val, "variant quick")?,
+            other => {
+                return Err(SpecError::new(format!("unknown variant field `{other}`")));
+            }
+        }
+    }
+    Ok(VariantSpec {
+        name: name.ok_or_else(|| SpecError::new("variant needs a `name`"))?,
+        set,
+        quick,
+    })
+}
+
+/// Normalizes the `system` override map: dist-valued fields accept the
+/// shorthands, `arrival` accepts its shorthands, and `seed` is rejected
+/// (the top-level `seed` field owns it).
+fn system_overrides_from_value(v: &Value) -> Result<Vec<(String, Value)>, SpecError> {
+    const DIST_FIELDS: [&str; 5] = [
+        "cpu_phase",
+        "disk_access",
+        "disk_init_commit",
+        "think",
+        "restart_delay",
+    ];
+    let mut out = Vec::new();
+    for (k, val) in override_pairs(v, "system")? {
+        let norm = if DIST_FIELDS.contains(&k.as_str()) {
+            normalize_dist(&val).map_err(|e| SpecError::new(format!("system `{k}`: {e}")))?
+        } else if k == "arrival" {
+            normalize_arrival(&val)?
+        } else if k == "seed" {
+            return Err(SpecError::new(
+                "set the top-level `seed` field, not `system.seed`",
+            ));
+        } else {
+            val
+        };
+        out.push((k, norm));
+    }
+    Ok(out)
+}
+
+impl ScenarioSpec {
+    /// Strictly parses a spec from its JSON tree. Unknown keys anywhere
+    /// are errors.
+    pub fn from_value(v: &Value) -> Result<Self, SpecError> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| SpecError::new("scenario spec must be a JSON object"))?;
+        let mut name = None;
+        let mut description = String::new();
+        let mut seed = SystemConfig::default().seed;
+        let mut replications = 1u32;
+        let mut horizon_ms = None;
+        let mut cc = CcKind::Certification;
+        let mut system = Vec::new();
+        let mut control = Vec::new();
+        let mut workload = WorkloadSpec::default();
+        let mut controller = ControllerSpec::None;
+        let mut record_optimum = false;
+        let mut trajectories = false;
+        let mut label_header = "variant".to_string();
+        let mut columns = default_columns();
+        let mut variants = Vec::new();
+        let mut quick = Vec::new();
+
+        for (k, val) in entries {
+            match k.as_str() {
+                "name" => match val {
+                    Value::Str(s) => name = Some(s.clone()),
+                    _ => return Err(SpecError::new("`name` must be a string")),
+                },
+                "description" => match val {
+                    Value::Str(s) => description = s.clone(),
+                    _ => return Err(SpecError::new("`description` must be a string")),
+                },
+                "seed" => {
+                    seed = val
+                        .as_u64()
+                        .ok_or_else(|| SpecError::new("`seed` must be a u64"))?;
+                }
+                "replications" => {
+                    replications = u32_from(val, "replications")?;
+                    if replications == 0 {
+                        return Err(SpecError::new("`replications` must be ≥ 1"));
+                    }
+                }
+                "horizon_ms" => {
+                    horizon_ms = Some(
+                        val.as_f64()
+                            .filter(|&h| h > 0.0)
+                            .ok_or_else(|| SpecError::new("`horizon_ms` must be positive"))?,
+                    );
+                }
+                "cc" => cc = cc_from_value(val)?,
+                "system" => system = system_overrides_from_value(val)?,
+                "control" => control = override_pairs(val, "control")?,
+                "workload" => workload = workload_from_value(val)?,
+                "controller" => controller = controller_from_value(val)?,
+                "record_optimum" => match val {
+                    Value::Bool(b) => record_optimum = *b,
+                    _ => return Err(SpecError::new("`record_optimum` must be a bool")),
+                },
+                "trajectories" => match val {
+                    Value::Bool(b) => trajectories = *b,
+                    _ => return Err(SpecError::new("`trajectories` must be a bool")),
+                },
+                "label_header" => match val {
+                    Value::Str(s) => label_header = s.clone(),
+                    _ => return Err(SpecError::new("`label_header` must be a string")),
+                },
+                "columns" => {
+                    let seq = val
+                        .as_seq()
+                        .ok_or_else(|| SpecError::new("`columns` must be a list"))?;
+                    columns = seq
+                        .iter()
+                        .map(|c| match c {
+                            Value::Str(s) => StatColumn::parse(s),
+                            _ => Err(SpecError::new("`columns` entries must be strings")),
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "variants" => {
+                    let seq = val
+                        .as_seq()
+                        .ok_or_else(|| SpecError::new("`variants` must be a list"))?;
+                    variants = seq
+                        .iter()
+                        .map(variant_from_value)
+                        .collect::<Result<_, _>>()?;
+                }
+                "quick" => quick = override_pairs(val, "quick")?,
+                other => {
+                    return Err(SpecError::new(format!("unknown spec field `{other}`")));
+                }
+            }
+        }
+        let spec = ScenarioSpec {
+            name: name.ok_or_else(|| SpecError::new("spec needs a `name`"))?,
+            description,
+            seed,
+            replications,
+            horizon_ms: horizon_ms
+                .ok_or_else(|| SpecError::new("spec needs a positive `horizon_ms`"))?,
+            cc,
+            system,
+            control,
+            workload,
+            controller,
+            record_optimum,
+            trajectories,
+            label_header,
+            columns,
+            variants,
+            quick,
+        };
+        if spec.name.is_empty()
+            || !spec
+                .name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(SpecError::new(
+                "`name` must be non-empty [A-Za-z0-9_-] (it names output files)",
+            ));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for v in &spec.variants {
+            if !seen.insert(v.name.as_str()) {
+                return Err(SpecError::new(format!("duplicate variant `{}`", v.name)));
+            }
+            // Variant names land in trajectory file names, so they get
+            // the same charset discipline as the spec name (plus `.`,
+            // for labels like `iyer-0.75`).
+            if v.name.is_empty()
+                || !v
+                    .name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+            {
+                return Err(SpecError::new(format!(
+                    "variant name `{}` must be non-empty [A-Za-z0-9._-] (it names output files)",
+                    v.name
+                )));
+            }
+        }
+        // Eagerly dry-run the override merges so a typo'd system/control
+        // key fails at parse time, not only at compile time.
+        let _: SystemConfig = crate::value_util::from_overrides(&spec.system, "system")?;
+        let _: alc_tpsim::config::ControlConfig =
+            crate::value_util::from_overrides(&spec.control, "control")?;
+        Ok(spec)
+    }
+}
+
+impl serde::Serialize for ScenarioSpec {
+    fn to_value(&self) -> Value {
+        let pairs_value =
+            |pairs: &[(String, Value)]| Value::Map(pairs.to_vec());
+        let mut m: Vec<(String, Value)> = vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            ("description".into(), Value::Str(self.description.clone())),
+            ("seed".into(), Value::U64(self.seed)),
+            ("replications".into(), Value::U64(u64::from(self.replications))),
+            ("horizon_ms".into(), Value::Num(self.horizon_ms)),
+            ("cc".into(), self.cc.to_value()),
+            ("system".into(), pairs_value(&self.system)),
+            ("control".into(), pairs_value(&self.control)),
+            ("workload".into(), self.workload.to_value()),
+            ("controller".into(), self.controller.to_value()),
+            ("record_optimum".into(), Value::Bool(self.record_optimum)),
+            ("trajectories".into(), Value::Bool(self.trajectories)),
+            ("label_header".into(), Value::Str(self.label_header.clone())),
+            (
+                "columns".into(),
+                Value::Seq(
+                    self.columns
+                        .iter()
+                        .map(|c| Value::Str(c.name().to_string()))
+                        .collect(),
+                ),
+            ),
+        ];
+        if !self.variants.is_empty() {
+            m.push((
+                "variants".into(),
+                Value::Seq(self.variants.iter().map(|v| v.to_value()).collect()),
+            ));
+        }
+        if !self.quick.is_empty() {
+            m.push(("quick".into(), pairs_value(&self.quick)));
+        }
+        Value::Map(m)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for ScenarioSpec {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        ScenarioSpec::from_value(value).map_err(|e| serde::Error::custom(e.to_string()))
+    }
+}
+
+impl serde::Serialize for VariantSpec {
+    fn to_value(&self) -> Value {
+        let mut m = vec![("name".to_string(), Value::Str(self.name.clone()))];
+        if !self.set.is_empty() {
+            m.push(("set".into(), Value::Map(self.set.clone())));
+        }
+        if !self.quick.is_empty() {
+            m.push(("quick".into(), Value::Map(self.quick.clone())));
+        }
+        Value::Map(m)
+    }
+}
+
+impl serde::Serialize for WorkloadSpec {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("k".into(), self.k.to_value()),
+            ("query_frac".into(), self.query_frac.to_value()),
+            ("write_frac".into(), self.write_frac.to_value()),
+            ("access_skew".into(), self.access_skew.to_value()),
+            (
+                "arrival_rate_factor".into(),
+                self.arrival_rate_factor.to_value(),
+            ),
+            (
+                "think_time_factor".into(),
+                self.think_time_factor.to_value(),
+            ),
+        ])
+    }
+}
+
+impl serde::Serialize for ControllerSpec {
+    fn to_value(&self) -> Value {
+        let tag = |t: &str, payload: Value| Value::Map(vec![(t.to_string(), payload)]);
+        match self {
+            ControllerSpec::None => Value::Str("none".into()),
+            ControllerSpec::Unlimited => Value::Str("unlimited".into()),
+            ControllerSpec::Fixed { bound } => tag(
+                "fixed",
+                Value::Map(vec![("bound".into(), Value::U64(u64::from(*bound)))]),
+            ),
+            ControllerSpec::FixedAnalyticOptimum { at_ms, n_max } => tag(
+                "fixed_analytic_optimum",
+                Value::Map(vec![
+                    ("at_ms".into(), Value::Num(*at_ms)),
+                    ("n_max".into(), Value::U64(u64::from(*n_max))),
+                ]),
+            ),
+            ControllerSpec::Is(p) => tag("is", p.to_value()),
+            ControllerSpec::Pa(p) => tag("pa", p.to_value()),
+            ControllerSpec::Iyer(p) => tag("iyer", p.to_value()),
+            ControllerSpec::Tay {
+                k,
+                min_bound,
+                max_bound,
+            } => tag(
+                "tay",
+                Value::Map(vec![
+                    ("k".into(), Value::U64(u64::from(*k))),
+                    ("min_bound".into(), Value::U64(u64::from(*min_bound))),
+                    ("max_bound".into(), Value::U64(u64::from(*max_bound))),
+                ]),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_spec_parses_with_defaults() {
+        let spec: ScenarioSpec = serde_json::from_str(
+            r#"{"name": "mini", "horizon_ms": 1000.0}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.name, "mini");
+        assert_eq!(spec.replications, 1);
+        assert_eq!(spec.cc, CcKind::Certification);
+        assert_eq!(spec.controller, ControllerSpec::None);
+        assert_eq!(spec.workload, WorkloadSpec::default());
+        assert!(!spec.record_optimum);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_everywhere() {
+        for bad in [
+            r#"{"name": "x", "horizon_ms": 1.0, "horizn": 2.0}"#,
+            r#"{"name": "x", "horizon_ms": 1.0, "workload": {"kk": 8}}"#,
+            r#"{"name": "x", "horizon_ms": 1.0, "system": {"terminal": 4}}"#,
+            r#"{"name": "x", "horizon_ms": 1.0, "controller": {"is": {"beta2": 1}}}"#,
+            r#"{"name": "x", "horizon_ms": 1.0, "columns": ["throughputt"]}"#,
+        ] {
+            let r: Result<ScenarioSpec, _> = serde_json::from_str(bad);
+            assert!(r.is_err(), "accepted bad spec {bad}");
+        }
+    }
+
+    #[test]
+    fn controller_specs_parse_with_partial_params() {
+        let spec: ScenarioSpec = serde_json::from_str(
+            r#"{"name": "c", "horizon_ms": 1.0,
+                "controller": {"is": {"initial_bound": 5, "max_bound": 60}}}"#,
+        )
+        .unwrap();
+        let ControllerSpec::Is(p) = spec.controller else {
+            panic!("wrong controller");
+        };
+        assert_eq!(p.initial_bound, 5);
+        assert_eq!(p.max_bound, 60);
+        // Unspecified fields keep the crate defaults.
+        assert_eq!(p.beta, IsParams::default().beta);
+    }
+
+    #[test]
+    fn cc_aliases_parse() {
+        for (alias, want) in [
+            ("certification", CcKind::Certification),
+            ("2pl", CcKind::TwoPhaseLocking),
+            ("wound-wait", CcKind::WoundWait),
+            ("mvto", CcKind::Multiversion),
+            ("Certification", CcKind::Certification),
+        ] {
+            let json = format!(r#"{{"name": "c", "horizon_ms": 1.0, "cc": "{alias}"}}"#);
+            let spec: ScenarioSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(spec.cc, want, "{alias}");
+        }
+    }
+
+    #[test]
+    fn truncating_and_mistyped_integers_are_rejected() {
+        for bad in [
+            // u32 truncation: 2^32 would silently become 0.
+            r#"{"name": "x", "horizon_ms": 1.0, "replications": 4294967296}"#,
+            r#"{"name": "x", "horizon_ms": 1.0, "controller": {"fixed": {"bound": 4294967296}}}"#,
+            r#"{"name": "x", "horizon_ms": 1.0,
+                "controller": {"fixed_analytic_optimum": {"n_max": 4294967296}}}"#,
+            r#"{"name": "x", "horizon_ms": 1.0,
+                "controller": {"tay": {"k": 4294967296, "max_bound": 60}}}"#,
+            // Present-but-mistyped optional fields must error, not
+            // silently keep their defaults.
+            r#"{"name": "x", "horizon_ms": 1.0,
+                "controller": {"fixed_analytic_optimum": {"at_ms": "1e6", "n_max": 100}}}"#,
+            r#"{"name": "x", "horizon_ms": 1.0,
+                "controller": {"tay": {"k": 4, "min_bound": "two", "max_bound": 60}}}"#,
+        ] {
+            let r: Result<ScenarioSpec, _> = serde_json::from_str(bad);
+            assert!(r.is_err(), "accepted bad spec {bad}");
+        }
+    }
+
+    #[test]
+    fn variant_names_are_filename_safe() {
+        for bad in ["cc/2pl", "", "a b"] {
+            let json = format!(
+                r#"{{"name": "x", "horizon_ms": 1.0, "variants": [{{"name": "{bad}"}}]}}"#
+            );
+            let r: Result<ScenarioSpec, _> = serde_json::from_str(&json);
+            assert!(r.is_err(), "accepted variant name `{bad}`");
+        }
+        // The dot stays legal: `iyer-0.75` is a real ported label.
+        let ok: ScenarioSpec = serde_json::from_str(
+            r#"{"name": "x", "horizon_ms": 1.0, "variants": [{"name": "iyer-0.75"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(ok.variants[0].name, "iyer-0.75");
+    }
+
+    #[test]
+    fn open_arrival_rejects_stray_keys() {
+        let r: Result<ScenarioSpec, _> = serde_json::from_str(
+            r#"{"name": "x", "horizon_ms": 1.0,
+                "system": {"arrival": {"open": {
+                    "interarrival": {"exponential": 5}, "rate_per_s": 200}}}}"#,
+        );
+        assert!(r.is_err(), "stray `rate_per_s` key silently dropped");
+    }
+
+    #[test]
+    fn seed_belongs_at_top_level() {
+        let r: Result<ScenarioSpec, _> = serde_json::from_str(
+            r#"{"name": "x", "horizon_ms": 1.0, "system": {"seed": 42}}"#,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn stat_columns_cover_run_stats() {
+        let stats = RunStats {
+            duration_ms: 1000.0,
+            commits: 10,
+            aborts: 2,
+            throughput_per_sec: 10.0,
+            mean_response_ms: 55.5,
+            mean_mpl: 3.3,
+            mean_bound: 8.0,
+            abort_ratio: 1.0 / 6.0,
+            cpu_utilization: 0.5,
+            displaced: 1,
+            conflicts_per_commit: 0.2,
+            lost: 0,
+        };
+        assert_eq!(StatColumn::Commits.format(&stats), "10");
+        assert_eq!(StatColumn::Displaced.format(&stats), "1");
+        assert_eq!(StatColumn::ThroughputPerS.format(&stats), "10.0");
+        for c in StatColumn::ALL {
+            assert_eq!(StatColumn::parse(c.name()).unwrap(), c);
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! JSON-tree plumbing for the scenario DSL.
+//!
+//! Scenario specs live as [`serde::Value`] trees so that variants,
+//! `--set key=value` CLI overrides and quick-scale overrides can all be
+//! expressed the same way: a dotted path plus a replacement value applied
+//! to the tree *before* the typed parse. The typed parse (strict —
+//! unknown keys are errors) then catches any path typo that invented a
+//! bogus key, so path application itself can be insert-friendly.
+
+use serde::Value;
+
+use crate::SpecError;
+
+/// Sets `path` (dot-separated map keys) in `root` to `new`. Missing
+/// terminal keys are inserted; missing intermediate keys become empty
+/// maps on the way down (the strict typed parse rejects inventions).
+/// Descending into a non-map is an error.
+pub fn set_path(root: &mut Value, path: &str, new: Value) -> Result<(), SpecError> {
+    if path.is_empty() {
+        return Err(SpecError::new("override path must not be empty"));
+    }
+    let mut cur = root;
+    let mut it = path.split('.').peekable();
+    while let Some(part) = it.next() {
+        if part.is_empty() {
+            return Err(SpecError::new(format!(
+                "override path `{path}` has an empty segment"
+            )));
+        }
+        let Value::Map(entries) = cur else {
+            return Err(SpecError::new(format!(
+                "override path `{path}`: `{part}` is not inside an object"
+            )));
+        };
+        let pos = match entries.iter().position(|(k, _)| k == part) {
+            Some(pos) => pos,
+            None => {
+                entries.push((part.to_string(), Value::Map(Vec::new())));
+                entries.len() - 1
+            }
+        };
+        if it.peek().is_none() {
+            entries[pos].1 = new;
+            return Ok(());
+        }
+        cur = &mut entries[pos].1;
+    }
+    unreachable!("split('.') yields at least one segment");
+}
+
+/// Builds a `T` by overlaying `overrides` (key → value, shallow) on top
+/// of `T::default()`'s serialized form. Unknown keys are rejected with
+/// the `what` context, so config typos surface as errors instead of
+/// silently keeping the default.
+pub fn from_overrides<T>(overrides: &[(String, Value)], what: &str) -> Result<T, SpecError>
+where
+    T: Default + serde::Serialize + serde::de::DeserializeOwned,
+{
+    let Value::Map(mut entries) = T::default().to_value() else {
+        unreachable!("override targets serialize to maps");
+    };
+    for (k, v) in overrides {
+        match entries.iter_mut().find(|(ek, _)| ek == k) {
+            Some(e) => e.1 = v.clone(),
+            None => {
+                return Err(SpecError::new(format!("unknown {what} field `{k}`")));
+            }
+        }
+    }
+    T::from_value(&Value::Map(entries))
+        .map_err(|e| SpecError::new(format!("invalid {what}: {e}")))
+}
+
+/// Normalizes the DSL's distribution shorthands into the canonical
+/// (externally tagged) `alc_des::dist::Dist` representation:
+///
+/// * a bare number → `{"Constant": [x]}`
+/// * `{"constant": x}`, `{"exponential": mean}`,
+///   `{"exponential_fast": mean}` (ziggurat), `{"uniform": [lo, hi]}`,
+///   `{"erlang": {"stages", "mean"}}`,
+///   `{"hyperexp": {"p", "mean_a", "mean_b"}}`
+/// * already-canonical tags pass through unchanged.
+pub fn normalize_dist(v: &Value) -> Result<Value, SpecError> {
+    if let Some(x) = v.as_f64() {
+        return Ok(tagged("Constant", Value::Seq(vec![Value::Num(x)])));
+    }
+    let Some([(tag, payload)]) = v.as_map() else {
+        return Err(SpecError::new(
+            "distribution must be a number or a single-key object",
+        ));
+    };
+    let num = |what: &str| {
+        payload.as_f64().ok_or_else(|| {
+            SpecError::new(format!("`{what}` distribution needs a numeric value"))
+        })
+    };
+    Ok(match tag.as_str() {
+        "constant" => tagged("Constant", Value::Seq(vec![Value::Num(num("constant")?)])),
+        "exponential" => tagged(
+            "Exponential",
+            Value::Map(vec![("mean".into(), Value::Num(num("exponential")?))]),
+        ),
+        "exponential_fast" => tagged(
+            "ExpZig",
+            Value::Map(vec![("mean".into(), Value::Num(num("exponential_fast")?))]),
+        ),
+        "uniform" => {
+            let seq = payload.as_seq().filter(|s| s.len() == 2).ok_or_else(|| {
+                SpecError::new("`uniform` distribution needs a [lo, hi] pair")
+            })?;
+            let lo = seq[0]
+                .as_f64()
+                .ok_or_else(|| SpecError::new("`uniform` lo must be numeric"))?;
+            let hi = seq[1]
+                .as_f64()
+                .ok_or_else(|| SpecError::new("`uniform` hi must be numeric"))?;
+            tagged(
+                "Uniform",
+                Value::Map(vec![
+                    ("lo".into(), Value::Num(lo)),
+                    ("hi".into(), Value::Num(hi)),
+                ]),
+            )
+        }
+        "erlang" => tagged("Erlang", payload.clone()),
+        "hyperexp" => tagged("HyperExp", payload.clone()),
+        // Canonical tags pass through.
+        "Constant" | "Uniform" | "Exponential" | "ExpZig" | "Erlang" | "HyperExp" => v.clone(),
+        other => {
+            return Err(SpecError::new(format!(
+                "unknown distribution kind `{other}`"
+            )));
+        }
+    })
+}
+
+/// Normalizes the DSL's arrival-process shorthands into the canonical
+/// `ArrivalProcess` representation:
+///
+/// * `"closed"` → `"Closed"`
+/// * `{"open": {"interarrival": <dist>}}` → `{"Open": …}`
+/// * `{"open_rate_per_s": λ}` → an `Open` exponential stream with mean
+///   `1000/λ` ms
+/// * canonical forms pass through (with the inner dist normalized).
+pub fn normalize_arrival(v: &Value) -> Result<Value, SpecError> {
+    match v {
+        Value::Str(s) if s == "closed" || s == "Closed" => Ok(Value::Str("Closed".into())),
+        Value::Map(entries) if entries.len() == 1 => {
+            let (tag, payload) = &entries[0];
+            match tag.as_str() {
+                "open" | "Open" => {
+                    let dist = payload.get("interarrival").ok_or_else(|| {
+                        SpecError::new("`open` arrival needs an `interarrival` distribution")
+                    })?;
+                    for (k, _) in payload.as_map().unwrap_or(&[]) {
+                        if k != "interarrival" {
+                            return Err(SpecError::new(format!(
+                                "unknown `open` arrival field `{k}`"
+                            )));
+                        }
+                    }
+                    Ok(tagged(
+                        "Open",
+                        Value::Map(vec![("interarrival".into(), normalize_dist(dist)?)]),
+                    ))
+                }
+                "open_rate_per_s" => {
+                    let rate = payload.as_f64().filter(|&r| r > 0.0).ok_or_else(|| {
+                        SpecError::new("`open_rate_per_s` needs a positive rate")
+                    })?;
+                    Ok(tagged(
+                        "Open",
+                        Value::Map(vec![(
+                            "interarrival".into(),
+                            tagged(
+                                "Exponential",
+                                Value::Map(vec![("mean".into(), Value::Num(1000.0 / rate))]),
+                            ),
+                        )]),
+                    ))
+                }
+                other => Err(SpecError::new(format!(
+                    "unknown arrival process `{other}` (want `closed`, `open`, or `open_rate_per_s`)"
+                ))),
+            }
+        }
+        _ => Err(SpecError::new(
+            "arrival must be `\"closed\"` or a single-key object",
+        )),
+    }
+}
+
+fn tagged(tag: &str, payload: Value) -> Value {
+    Value::Map(vec![(tag.to_string(), payload)])
+}
+
+/// Extracts ordered `(path, value)` pairs from an override map value.
+pub fn override_pairs(v: &Value, what: &str) -> Result<Vec<(String, Value)>, SpecError> {
+    v.as_map()
+        .map(|m| m.to_vec())
+        .ok_or_else(|| SpecError::new(format!("`{what}` must be an object of path → value")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_path_replaces_and_inserts() {
+        let mut v = Value::Map(vec![(
+            "a".into(),
+            Value::Map(vec![("b".into(), Value::U64(1))]),
+        )]);
+        set_path(&mut v, "a.b", Value::U64(2)).unwrap();
+        assert_eq!(v.get("a").unwrap().get("b"), Some(&Value::U64(2)));
+        set_path(&mut v, "a.c", Value::Str("x".into())).unwrap();
+        assert_eq!(v.get("a").unwrap().get("c"), Some(&Value::Str("x".into())));
+        // Descending into a scalar fails.
+        assert!(set_path(&mut v, "a.b.d", Value::Null).is_err());
+    }
+
+    #[test]
+    fn dist_shorthands_normalize() {
+        let exp = normalize_dist(&Value::Map(vec![("exponential".into(), Value::U64(300))]))
+            .unwrap();
+        let d: alc_des::dist::Dist = serde::Deserialize::from_value(&exp).unwrap();
+        assert_eq!(d, alc_des::dist::Dist::exponential(300.0));
+
+        let c = normalize_dist(&Value::U64(40)).unwrap();
+        let d: alc_des::dist::Dist = serde::Deserialize::from_value(&c).unwrap();
+        assert_eq!(d, alc_des::dist::Dist::constant(40.0));
+
+        let z = normalize_dist(&Value::Map(vec![(
+            "exponential_fast".into(),
+            Value::Num(5.0),
+        )]))
+        .unwrap();
+        let d: alc_des::dist::Dist = serde::Deserialize::from_value(&z).unwrap();
+        assert_eq!(d, alc_des::dist::Dist::exponential_fast(5.0));
+
+        assert!(normalize_dist(&Value::Str("nope".into())).is_err());
+    }
+
+    #[test]
+    fn arrival_shorthands_normalize() {
+        use alc_tpsim::config::ArrivalProcess;
+        let closed = normalize_arrival(&Value::Str("closed".into())).unwrap();
+        let a: ArrivalProcess = serde::Deserialize::from_value(&closed).unwrap();
+        assert_eq!(a, ArrivalProcess::Closed);
+
+        let open = normalize_arrival(&Value::Map(vec![(
+            "open_rate_per_s".into(),
+            Value::Num(200.0),
+        )]))
+        .unwrap();
+        let a: ArrivalProcess = serde::Deserialize::from_value(&open).unwrap();
+        assert_eq!(
+            a,
+            ArrivalProcess::Open {
+                interarrival: alc_des::dist::Dist::exponential(5.0)
+            }
+        );
+    }
+
+    #[test]
+    fn from_overrides_rejects_unknown_keys() {
+        use alc_tpsim::config::ControlConfig;
+        let good: ControlConfig = from_overrides(
+            &[("displacement".to_string(), Value::Bool(true))],
+            "control",
+        )
+        .unwrap();
+        assert!(good.displacement);
+        let bad: Result<ControlConfig, _> = from_overrides(
+            &[("displacment".to_string(), Value::Bool(true))],
+            "control",
+        );
+        assert!(bad.is_err());
+    }
+}

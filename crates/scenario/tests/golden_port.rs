@@ -1,0 +1,152 @@
+//! Golden-port pins: the checked-in scenario specs that port the bespoke
+//! dynamic/ablation figure generators must reproduce the **pre-port**
+//! golden outputs byte-identically at quick (CI) scale.
+//!
+//! The golden files under `crates/bench/tests/golden/` were recorded
+//! from the hand-written figure generators before the scenario subsystem
+//! existed and are still pinned against those generators by
+//! `crates/bench/tests/golden.rs`. Matching them from the *declarative*
+//! specs proves the DSL subsumes the bespoke Rust: same seeds, same
+//! configuration lowering, same engine runs, same bytes.
+//!
+//! * `fig13` / `fig14` / `sinus` — trajectory CSVs (the run-level pin:
+//!   every sample of bound/MPL/throughput/optimum/k identical);
+//! * `abl-victim` / `abl-rules` — the report stats tables (per-variant
+//!   throughput, abort ratio, displacement counts… identical).
+
+use std::path::{Path, PathBuf};
+
+use alc_scenario::LoadedSpec;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../bench/tests/golden")
+}
+
+fn golden_bytes(name: &str) -> Vec<u8> {
+    let path = golden_dir().join(name);
+    std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()))
+}
+
+/// Runs a checked-in spec at quick scale, returning (plan, records).
+fn run_quick(
+    spec_name: &str,
+) -> (
+    alc_scenario::compile::RunPlan,
+    Vec<alc_scenario::runner::RunRecord>,
+) {
+    let path = scenarios_dir().join(format!("{spec_name}.json"));
+    let loaded = LoadedSpec::read(&path).expect("read spec");
+    let plan = loaded.compile(true).expect("compile quick");
+    let records = alc_scenario::runner::run_plan(&plan);
+    (plan, records)
+}
+
+fn assert_trajectories_match(spec_name: &str, golden_names: &[&str], out_tag: &str) {
+    let (plan, records) = run_quick(spec_name);
+    let out = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(out_tag);
+    let _ = std::fs::remove_dir_all(&out);
+    let written =
+        alc_scenario::runner::write_trajectories(&plan, &records, &out).expect("write csvs");
+    assert_eq!(
+        written,
+        golden_names
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        "{spec_name}: unexpected trajectory file set"
+    );
+    for name in golden_names {
+        let actual = std::fs::read(out.join(name)).expect("read actual");
+        assert!(
+            actual == golden_bytes(name),
+            "{name} diverged from the pre-port golden output — the scenario \
+             port no longer reproduces the bespoke figure generator's run"
+        );
+    }
+}
+
+fn assert_report_matches(spec_name: &str, golden_csv: &str, out_tag: &str) {
+    let (plan, records) = run_quick(spec_name);
+    let report = alc_scenario::runner::build_report(&plan, &records);
+    let out = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(out_tag);
+    let _ = std::fs::remove_dir_all(&out);
+    let path = report.write_csv(Path::new(&out)).expect("write csv");
+    let actual = std::fs::read(&path).expect("read actual");
+    assert!(
+        actual == golden_bytes(golden_csv),
+        "{golden_csv} diverged from the pre-port golden output — the scenario \
+         port no longer reproduces the bespoke ablation's stats table"
+    );
+}
+
+#[test]
+fn fig13_port_reproduces_golden_trajectory() {
+    assert_trajectories_match("fig13", &["fig13_trajectory.csv"], "port-fig13");
+}
+
+#[test]
+fn fig14_port_reproduces_golden_trajectory() {
+    assert_trajectories_match("fig14", &["fig14_trajectory.csv"], "port-fig14");
+}
+
+#[test]
+fn sinus_port_reproduces_both_golden_trajectories() {
+    assert_trajectories_match(
+        "sinus",
+        &["sinus_IS_trajectory.csv", "sinus_PA_trajectory.csv"],
+        "port-sinus",
+    );
+}
+
+#[test]
+fn abl_victim_port_reproduces_golden_table() {
+    assert_report_matches("abl-victim", "abl-victim.csv", "port-abl-victim");
+}
+
+#[test]
+fn abl_rules_port_reproduces_golden_table() {
+    assert_report_matches("abl-rules", "abl-rules.csv", "port-abl-rules");
+}
+
+/// Every checked-in spec must compile (full + quick) and the whole
+/// catalog must run end-to-end at quick scale — the acceptance floor for
+/// "a new experiment is a JSON file".
+#[test]
+fn all_checked_in_specs_run_end_to_end_quick() {
+    let mut names: Vec<PathBuf> = std::fs::read_dir(scenarios_dir())
+        .expect("scenarios dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    names.sort();
+    assert!(
+        names.len() >= 6,
+        "expected at least 6 checked-in scenario specs, found {}",
+        names.len()
+    );
+    for path in names {
+        let loaded = LoadedSpec::read(&path).expect("read spec");
+        loaded.compile(false).unwrap_or_else(|e| {
+            panic!("{} does not compile at full scale: {e}", path.display())
+        });
+        let plan = loaded.compile(true).unwrap_or_else(|e| {
+            panic!("{} does not compile at quick scale: {e}", path.display())
+        });
+        let records = alc_scenario::runner::run_plan(&plan);
+        assert!(!records.is_empty(), "{}: no runs", path.display());
+        for r in &records {
+            assert!(
+                r.stats.commits > 0,
+                "{}: variant `{}` starved (0 commits)",
+                path.display(),
+                r.label
+            );
+        }
+    }
+}

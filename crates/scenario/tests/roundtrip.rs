@@ -1,0 +1,285 @@
+//! Property tests: scenario specs survive a spec → JSON → spec round
+//! trip exactly, and compilation is deterministic.
+//!
+//! The round trip is the contract that makes specs *data*: anything the
+//! typed layer can express serializes to canonical JSON that parses back
+//! to the identical value (floats included — the JSON writer emits
+//! shortest round-trip representations).
+
+use alc_scenario::compile::compile_value;
+use alc_scenario::profile::Profile;
+use alc_scenario::spec::{ControllerSpec, ScenarioSpec, StatColumn, VariantSpec, WorkloadSpec};
+use alc_tpsim::config::CcKind;
+use proptest::prelude::*;
+use proptest::{boxed, collection, Union};
+use serde::{Serialize as _, Value};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    collection::vec(0u32..26, 1..8).prop_map(|v| {
+        v.into_iter()
+            .map(|i| char::from(b'a' + i as u8))
+            .collect::<String>()
+    })
+}
+
+fn arb_time() -> std::ops::Range<f64> {
+    0.0..2_000_000.0
+}
+
+fn arb_level() -> std::ops::Range<f64> {
+    0.0..64.0
+}
+
+fn sorted_by_time<T>(mut v: Vec<(f64, T)>) -> Vec<(f64, T)> {
+    v.sort_by(|a, b| a.0.total_cmp(&b.0));
+    v
+}
+
+fn arb_profile_leaf() -> Union<Profile> {
+    prop_oneof![
+        arb_level().prop_map(Profile::Constant),
+        (arb_time(), arb_level(), arb_level()).prop_map(|(at, before, after)| Profile::Step {
+            at,
+            before,
+            after
+        }),
+        (arb_level(), arb_level(), arb_time(), 1.0..500_000.0).prop_map(
+            |(from, to, t_start, d)| Profile::Ramp {
+                from,
+                to,
+                t_start,
+                t_end: t_start + d,
+            }
+        ),
+        (arb_level(), 0.0..16.0, 1.0..1_000_000.0).prop_map(|(mean, amplitude, period)| {
+            Profile::Sinusoid {
+                mean,
+                amplitude,
+                period,
+            }
+        }),
+        (arb_level(), arb_level(), arb_time(), 1.0..500_000.0).prop_map(
+            |(base, peak, at, duration)| Profile::Burst {
+                base,
+                peak,
+                at,
+                duration,
+            }
+        ),
+        collection::vec((arb_time(), arb_level()), 1..6)
+            .prop_map(|pts| Profile::Piecewise(sorted_by_time(pts))),
+        arb_name().prop_map(|n| Profile::Trace {
+            path: format!("traces/{n}.jsonl"),
+        }),
+    ]
+}
+
+fn arb_profile(depth: u32) -> Union<Profile> {
+    if depth == 0 {
+        return arb_profile_leaf();
+    }
+    Union::new(vec![
+        (3, boxed(arb_profile_leaf())),
+        (
+            1,
+            boxed(
+                collection::vec((arb_time(), arb_profile(depth - 1)), 1..4)
+                    .prop_map(|ps| Profile::Phases(sorted_by_time(ps))),
+            ),
+        ),
+    ])
+}
+
+fn arb_controller() -> Union<ControllerSpec> {
+    use alc_core::controller::{IsParams, IyerRuleParams, PaParams};
+    prop_oneof![
+        Just(ControllerSpec::None),
+        Just(ControllerSpec::Unlimited),
+        (1u32..900).prop_map(|bound| ControllerSpec::Fixed { bound }),
+        (arb_time(), 2u32..900).prop_map(|(at_ms, n_max)| {
+            ControllerSpec::FixedAnalyticOptimum { at_ms, n_max }
+        }),
+        (1u32..64, 64u32..900, 0.1..8.0, 0.1..64.0).prop_map(|(lo, hi, beta, max_step)| {
+            ControllerSpec::Is(IsParams {
+                initial_bound: lo,
+                min_bound: 1,
+                max_bound: hi,
+                beta,
+                max_step,
+                ..IsParams::default()
+            })
+        }),
+        (1u32..64, 64u32..900, 0.5..0.999, 0.0..16.0).prop_map(
+            |(lo, hi, alpha, dither_amplitude)| {
+                ControllerSpec::Pa(PaParams {
+                    initial_bound: lo,
+                    max_bound: hi,
+                    alpha,
+                    dither_amplitude,
+                    ..PaParams::default()
+                })
+            }
+        ),
+        (1u32..64, 64u32..900, 0.1..4.0).prop_map(|(lo, hi, target)| {
+            ControllerSpec::Iyer(IyerRuleParams {
+                initial_bound: lo,
+                max_bound: hi,
+                target,
+                ..IyerRuleParams::default()
+            })
+        }),
+        (1u32..32, 16u32..900).prop_map(|(k, max_bound)| ControllerSpec::Tay {
+            k,
+            min_bound: 1,
+            max_bound,
+        }),
+    ]
+}
+
+fn arb_cc() -> impl Strategy<Value = CcKind> {
+    (0usize..CcKind::ALL.len()).prop_map(|i| CcKind::ALL[i])
+}
+
+fn arb_columns() -> impl Strategy<Value = Vec<StatColumn>> {
+    collection::vec(0usize..StatColumn::ALL.len(), 1..6).prop_map(|idx| {
+        let mut cols: Vec<StatColumn> = idx.into_iter().map(|i| StatColumn::ALL[i]).collect();
+        cols.dedup();
+        cols
+    })
+}
+
+/// System/control override pairs drawn from a menu of valid settings.
+fn arb_system_overrides() -> impl Strategy<Value = Vec<(String, Value)>> {
+    (2u64..64, 100u64..4000, 1u64..17).prop_map(|(cpus, db, think_scale)| {
+        vec![
+            ("cpus".to_string(), Value::U64(cpus)),
+            ("db_size".to_string(), Value::U64(db)),
+            (
+                "think".to_string(),
+                Value::Map(vec![(
+                    "Exponential".to_string(),
+                    Value::Map(vec![("mean".to_string(), Value::Num(think_scale as f64 * 50.0))]),
+                )]),
+            ),
+        ]
+    })
+}
+
+fn arb_variants() -> impl Strategy<Value = Vec<VariantSpec>> {
+    collection::vec((arb_name(), any::<bool>()), 0..4).prop_map(|raw| {
+        let mut out: Vec<VariantSpec> = Vec::new();
+        for (i, (name, displacement)) in raw.into_iter().enumerate() {
+            // Deduplicate names (the spec rejects duplicates).
+            let name = format!("{name}{i}");
+            out.push(VariantSpec {
+                name,
+                set: vec![(
+                    "control.displacement".to_string(),
+                    Value::Bool(displacement),
+                )],
+                quick: vec![("horizon_ms".to_string(), Value::Num(5_000.0))],
+            });
+        }
+        out
+    })
+}
+
+fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        (
+            arb_name(),
+            any::<u64>(),
+            1u32..5,
+            1_000.0..3_000_000.0f64,
+            arb_cc(),
+            arb_system_overrides(),
+        ),
+        (
+            arb_profile(2),
+            arb_profile(1),
+            arb_controller(),
+            any::<bool>(),
+            any::<bool>(),
+            arb_columns(),
+        ),
+        arb_variants(),
+    )
+        .prop_map(
+            |(
+                (name, seed, replications, horizon_ms, cc, system),
+                (k, factor, controller, record_optimum, trajectories, columns),
+                variants,
+            )| {
+                ScenarioSpec {
+                    name,
+                    description: "generated spec".to_string(),
+                    seed,
+                    replications,
+                    horizon_ms,
+                    cc,
+                    system,
+                    control: vec![(
+                        "sample_interval_ms".to_string(),
+                        Value::Num(500.0),
+                    )],
+                    workload: WorkloadSpec {
+                        k,
+                        arrival_rate_factor: factor,
+                        ..WorkloadSpec::default()
+                    },
+                    controller,
+                    record_optimum,
+                    trajectories,
+                    label_header: "variant".to_string(),
+                    columns,
+                    variants,
+                    quick: vec![("horizon_ms".to_string(), Value::Num(2_000.0))],
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Spec → JSON string → spec is the identity.
+    #[test]
+    fn spec_round_trips_through_json(spec in arb_spec()) {
+        let json = serde_json::to_string_pretty(&spec).expect("serialize");
+        let back: ScenarioSpec = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{json}"));
+        prop_assert_eq!(back, spec, "round trip changed the spec:\n{}", json);
+    }
+
+    /// Profile → JSON string → profile is the identity (deeper nesting
+    /// than the spec-level test exercises).
+    #[test]
+    fn profile_round_trips_through_json(p in arb_profile(3)) {
+        let json = serde_json::to_string(&p).expect("serialize");
+        let back: Profile = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{json}"));
+        prop_assert_eq!(back, p, "round trip changed the profile:\n{}", json);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Compiling the same spec twice yields the identical plan
+    /// (trace-free specs: generated traces have no backing files).
+    #[test]
+    fn compilation_is_deterministic(spec in arb_spec()) {
+        let tree = spec.to_value();
+        let dir = std::path::PathBuf::from(".");
+        let a = compile_value(&tree, &dir, false);
+        let b = compile_value(&tree, &dir, false);
+        prop_assert_eq!(&a, &b);
+        if let Ok(plan) = a {
+            let quick_a = compile_value(&tree, &dir, true);
+            let quick_b = compile_value(&tree, &dir, true);
+            prop_assert_eq!(quick_a, quick_b);
+            let groups = if spec.variants.is_empty() { 1 } else { spec.variants.len() };
+            prop_assert_eq!(plan.variants.len(), groups);
+        }
+    }
+}

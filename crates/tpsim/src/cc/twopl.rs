@@ -11,8 +11,6 @@
 //! §4.3 aside: "victim selection may be based on the same criteria as for
 //! deadlock breaking").
 
-use std::collections::HashSet;
-
 use super::locktable::{LockTable, Mode, RequestOutcome};
 use super::{AccessOutcome, ConcurrencyControl, TxnId, ValidateOutcome};
 
@@ -22,6 +20,17 @@ pub struct TwoPhaseLocking {
     ts: Vec<u64>,
     /// Reusable successor buffer for the waits-for DFS.
     succ_scratch: Vec<TxnId>,
+    /// Reusable DFS stack (node ids, not paths — see `deadlock_victim`).
+    dfs_stack: Vec<TxnId>,
+    /// Per-slot visited stamp: a slot is visited in the current search
+    /// iff its mark equals `dfs_epoch`. Bumping the epoch "clears" the
+    /// whole array in O(1), so no per-call allocation or memset.
+    dfs_mark: Vec<u64>,
+    /// Per-slot DFS-tree parent, valid only when the mark is current.
+    /// Walking parents from the cycle-closing node back to the requester
+    /// reconstructs the path the old path-cloning DFS carried explicitly.
+    dfs_parent: Vec<TxnId>,
+    dfs_epoch: u64,
 }
 
 impl TwoPhaseLocking {
@@ -31,6 +40,10 @@ impl TwoPhaseLocking {
             table: LockTable::new(slots),
             ts: vec![0; slots],
             succ_scratch: Vec::new(),
+            dfs_stack: Vec::new(),
+            dfs_mark: vec![0; slots],
+            dfs_parent: vec![0; slots],
+            dfs_epoch: 0,
         }
     }
 
@@ -107,27 +120,41 @@ impl ConcurrencyControl for TwoPhaseLocking {
 
     fn deadlock_victim(&mut self, requester: TxnId) -> Option<TxnId> {
         // DFS over waits-for from the requester; a path back to the
-        // requester is a cycle. Victim: youngest (largest ts) on the cycle.
+        // requester is a cycle. Victim: youngest (largest ts) on the
+        // cycle. Parent pointers over epoch-stamped per-slot buffers
+        // replace the old per-node path clones + visited `HashSet`: the
+        // DFS tree path from the cycle-closing node up to the requester
+        // *is* the cycle, so nothing needs copying and a warmed-up
+        // instance never touches the allocator here.
         let mut succs = std::mem::take(&mut self.succ_scratch);
-        let mut stack = vec![(requester, vec![requester])];
-        let mut visited = HashSet::new();
+        self.dfs_epoch += 1;
+        self.dfs_stack.clear();
+        self.dfs_stack.push(requester);
+        self.dfs_parent[requester] = requester;
         let mut victim = None;
-        'dfs: while let Some((node, path)) = stack.pop() {
+        'dfs: while let Some(node) = self.dfs_stack.pop() {
             Self::waits_for_into(&self.table, node, &mut succs);
             for &succ in &succs {
                 if succ == requester {
-                    victim = Some(
-                        path.iter()
-                            .copied()
-                            .max_by_key(|&t| self.ts[t])
-                            .expect("cycle path is never empty"),
-                    );
+                    // Walk node → … → requester. The old forward
+                    // `max_by_key` kept the *last* maximal ts; walking
+                    // the same path backwards, strict `>` keeps the
+                    // *first* — the identical element.
+                    let mut best = node;
+                    let mut cur = node;
+                    while cur != requester {
+                        cur = self.dfs_parent[cur];
+                        if self.ts[cur] > self.ts[best] {
+                            best = cur;
+                        }
+                    }
+                    victim = Some(best);
                     break 'dfs;
                 }
-                if visited.insert(succ) {
-                    let mut p = path.clone();
-                    p.push(succ);
-                    stack.push((succ, p));
+                if self.dfs_mark[succ] != self.dfs_epoch {
+                    self.dfs_mark[succ] = self.dfs_epoch;
+                    self.dfs_parent[succ] = node;
+                    self.dfs_stack.push(succ);
                 }
             }
         }

@@ -231,14 +231,16 @@ impl Simulator {
             ArrivalProcess::Closed => {
                 // Terminals start thinking; their first submissions
                 // stagger naturally through the think-time distribution.
+                let factor = sim.workload.think_time_factor_at(t0.millis());
                 for i in 0..sim.sys.terminals as usize {
-                    let delay = sim.sys.think.sample(&mut sim.rng.think);
+                    let delay = sim.sys.think.sample(&mut sim.rng.think) * factor;
                     sim.cal.schedule(t0 + delay, Event::Submit(i));
                 }
             }
             ArrivalProcess::Open { interarrival } => {
                 sim.free_slots = (0..sim.sys.terminals as usize).rev().collect();
-                let delay = interarrival.sample(&mut sim.rng.arrival);
+                let delay = interarrival.sample(&mut sim.rng.arrival)
+                    / sim.workload.arrival_rate_factor_at(t0.millis());
                 sim.cal.schedule(t0 + delay, Event::Arrival);
             }
         }
@@ -385,7 +387,10 @@ impl Simulator {
             Some(i) => self.on_submit(i),
             None => self.lost += 1,
         }
-        let delay = interarrival.sample(&mut self.rng.arrival);
+        // The workload's arrival-rate factor modulates the offered load:
+        // dividing the delay by a(t) multiplies the instantaneous rate.
+        let delay = interarrival.sample(&mut self.rng.arrival)
+            / self.workload.arrival_rate_factor_at(self.now().millis());
         self.cal.schedule_in(delay, Event::Arrival);
     }
 
@@ -612,7 +617,8 @@ impl Simulator {
             self.txns[i].state = TxnState::Thinking;
             match self.sys.arrival {
                 ArrivalProcess::Closed => {
-                    let think = self.sys.think.sample(&mut self.rng.think);
+                    let think = self.sys.think.sample(&mut self.rng.think)
+                        * self.workload.think_time_factor_at(now.millis());
                     self.cal.schedule_in(think, Event::Submit(i));
                 }
                 ArrivalProcess::Open { .. } => {
@@ -1417,6 +1423,70 @@ mod tests {
             "admission control did not help the open system: gated {} vs open {}",
             gated.throughput_per_sec,
             uncontrolled.throughput_per_sec
+        );
+    }
+
+    #[test]
+    fn think_time_factor_modulates_closed_load() {
+        // Halving think time roughly doubles the offered load, so an
+        // uncontested system commits substantially more.
+        let run = |factor: f64| {
+            let workload = WorkloadConfig {
+                think_time_factor: alc_analytic::surface::Schedule::Constant(factor),
+                ..WorkloadConfig::default()
+            };
+            run_fixed(20, u32::MAX, CcKind::Certification, workload, 30_000.0, 41)
+        };
+        let nominal = run(1.0);
+        let eager = run(0.25);
+        assert!(
+            eager.commits as f64 > 1.3 * nominal.commits as f64,
+            "shorter think should raise throughput: {} vs {}",
+            eager.commits,
+            nominal.commits
+        );
+        // The identity factor must reproduce the default workload exactly
+        // (the scenario DSL relies on this to subsume stationary specs).
+        let default_run = run_fixed(
+            20,
+            u32::MAX,
+            CcKind::Certification,
+            WorkloadConfig::default(),
+            30_000.0,
+            41,
+        );
+        assert_eq!(nominal, default_run);
+    }
+
+    #[test]
+    fn arrival_rate_surge_overloads_the_slot_pool() {
+        // A 10× arrival burst mid-run must exhaust the open-mode slots
+        // and start counting losses, where the baseline rate loses none.
+        let surge_workload = WorkloadConfig {
+            arrival_rate_factor: alc_analytic::surface::Schedule::Piecewise(vec![
+                (0.0, 1.0),
+                (10_000.0, 10.0),
+            ]),
+            ..WorkloadConfig::default()
+        };
+        let run = |workload: WorkloadConfig| {
+            let mut sim = Simulator::new(
+                open_sys(20, 50.0, 42),
+                workload,
+                CcKind::Certification,
+                no_control(u32::MAX),
+                None,
+            );
+            sim.set_record_optimum(false);
+            sim.run(30_000.0)
+        };
+        let baseline = run(WorkloadConfig::default());
+        let surged = run(surge_workload);
+        assert_eq!(baseline.lost, 0, "baseline must not lose arrivals");
+        assert!(surged.lost > 50, "surge lost only {}", surged.lost);
+        assert!(
+            surged.commits > baseline.commits,
+            "the admitted part of the surge should still commit more"
         );
     }
 

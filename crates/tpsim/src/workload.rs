@@ -30,6 +30,18 @@ pub struct WorkloadConfig {
     /// selection ("no hot spots"), i.e. θ = 0 — the default. Positive
     /// values concentrate accesses on hot items (our hot-spot extension).
     pub access_skew: Schedule,
+    /// Load-intensity extension: multiplier on the *open-mode* arrival
+    /// rate, `a(t) > 0`. Interarrival delays are divided by it, so `2.0`
+    /// doubles the offered load — the knob flash-crowd / surge scenarios
+    /// turn. `1.0` (the default) reproduces the stationary arrival
+    /// process exactly.
+    pub arrival_rate_factor: Schedule,
+    /// Load-intensity extension: multiplier on the *closed-mode* think
+    /// time, `h(t) > 0`. Think delays are multiplied by it, so `0.5`
+    /// makes every terminal twice as eager — the closed-model analogue of
+    /// an arrival surge. `1.0` (the default) is the paper's stationary
+    /// terminal behaviour.
+    pub think_time_factor: Schedule,
 }
 
 impl Default for WorkloadConfig {
@@ -39,6 +51,8 @@ impl Default for WorkloadConfig {
             query_frac: Schedule::Constant(0.2),
             write_frac: Schedule::Constant(0.25),
             access_skew: Schedule::Constant(0.0),
+            arrival_rate_factor: Schedule::Constant(1.0),
+            think_time_factor: Schedule::Constant(1.0),
         }
     }
 }
@@ -84,6 +98,19 @@ impl WorkloadConfig {
             sys.disk_per_run_ms(w.k),
             sys.cpus,
         )
+    }
+
+    /// The arrival-rate multiplier in force at `t_ms`, floored at a tiny
+    /// positive value so a zero/negative schedule cannot stall the
+    /// arrival stream into a division by zero.
+    pub fn arrival_rate_factor_at(&self, t_ms: f64) -> f64 {
+        self.arrival_rate_factor.value(t_ms).max(1e-9)
+    }
+
+    /// The think-time multiplier in force at `t_ms`, floored at zero
+    /// (a zero factor means terminals resubmit immediately).
+    pub fn think_time_factor_at(&self, t_ms: f64) -> f64 {
+        self.think_time_factor.value(t_ms).max(0.0)
     }
 
     /// The analytic optimal MPL at time `t_ms`, scanned up to `n_max`.
@@ -165,6 +192,40 @@ mod tests {
         let a = w.at(0.0);
         assert_eq!(a.query_frac, 1.0);
         assert_eq!(a.write_frac, 0.0);
+    }
+
+    #[test]
+    fn load_factors_default_to_identity() {
+        let w = WorkloadConfig::default();
+        assert_eq!(w.arrival_rate_factor_at(0.0), 1.0);
+        assert_eq!(w.think_time_factor_at(1e9), 1.0);
+    }
+
+    #[test]
+    fn load_factors_are_floored() {
+        let w = WorkloadConfig {
+            arrival_rate_factor: Schedule::Constant(-2.0),
+            think_time_factor: Schedule::Constant(-2.0),
+            ..WorkloadConfig::default()
+        };
+        assert!(w.arrival_rate_factor_at(0.0) > 0.0);
+        assert_eq!(w.think_time_factor_at(0.0), 0.0);
+    }
+
+    #[test]
+    fn burst_profile_on_arrival_rate() {
+        // A flash crowd: 1× baseline, 3× during [100s, 120s).
+        let w = WorkloadConfig {
+            arrival_rate_factor: Schedule::Piecewise(vec![
+                (0.0, 1.0),
+                (100_000.0, 3.0),
+                (120_000.0, 1.0),
+            ]),
+            ..WorkloadConfig::default()
+        };
+        assert_eq!(w.arrival_rate_factor_at(50_000.0), 1.0);
+        assert_eq!(w.arrival_rate_factor_at(110_000.0), 3.0);
+        assert_eq!(w.arrival_rate_factor_at(130_000.0), 1.0);
     }
 
     #[test]

@@ -16,8 +16,13 @@
 //! * [`analytic`] (`alc-analytic`) — companion analytic models (M/M/m,
 //!   MVA, Tay locking model, OCC conflict model, Franaszek–Robinson
 //!   random graphs, synthetic performance surfaces).
+//! * [`scenario`] (`alc-scenario`) — the declarative scenario DSL:
+//!   nonstationary experiments (jumps, ramps, bursts, trace replay) as
+//!   JSON specs compiled into engine run plans and executed by the
+//!   `scenario` binary.
 
 pub use alc_analytic as analytic;
 pub use alc_core as core;
 pub use alc_des as des;
+pub use alc_scenario as scenario;
 pub use alc_tpsim as tpsim;
