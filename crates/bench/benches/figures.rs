@@ -40,11 +40,11 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("sinus_tracking", |b| {
         b.iter(|| figures::sinus(Scale::Quick, None))
     });
-    g.bench_function("abl_victim_policies", |b| {
-        b.iter(|| figures::abl_victim(Scale::Quick))
+    g.bench_function("abl_restart_policies", |b| {
+        b.iter(|| figures::abl_restart(Scale::Quick))
     });
-    g.bench_function("abl_hybrid_showdown", |b| {
-        b.iter(|| figures::abl_hybrid(Scale::Quick))
+    g.bench_function("abl_hotspot_skew", |b| {
+        b.iter(|| figures::abl_hotspot(Scale::Quick))
     });
     g.bench_function("abl_open_arrivals", |b| {
         b.iter(|| figures::abl_open(Scale::Quick))

@@ -1,14 +1,19 @@
 //! Ablation experiments for the design choices DESIGN.md calls out.
+//!
+//! Most of the ablation suite now lives as declarative scenario specs
+//! under `scenarios/` (`abl-dither`, `abl-alpha`, `abl-displacement`,
+//! `abl-rules`, `abl-cc`, `abl-victim`, `abl-hybrid`), pinned
+//! byte-identical to the pre-port goldens by
+//! `crates/scenario/tests/golden_port.rs`. This module keeps only the
+//! experiments the DSL has no business expressing: the synthetic-surface
+//! IS failure study, the Monte-Carlo interval-sizing check, and the
+//! ablations over knobs without a spec-level axis.
 
 use alc_analytic::surface::{RidgeSurface, Schedule, Surface};
-use alc_core::controller::{
-    FixedBound, Hybrid, HybridParams, IncrementalSteps, IsParams, IyerRule, IyerRuleParams,
-    LoadController, OuterParams, PaOuterParams, ParabolaApproximation, SelfTuningIs,
-    SelfTuningPa, TayRule, Unlimited,
-};
+use alc_core::controller::{IncrementalSteps, IsParams, LoadController as _, ParabolaApproximation};
 use alc_core::measure::Measurement;
-use alc_tpsim::config::{ArrivalProcess, CcKind, ControlConfig, SystemConfig, VictimPolicy};
-use alc_tpsim::experiment::{run_trajectory, sweep_bounds};
+use alc_tpsim::config::{ArrivalProcess, CcKind, SystemConfig};
+use alc_tpsim::experiment::run_trajectory;
 use alc_tpsim::workload::WorkloadConfig;
 use rayon::prelude::*;
 
@@ -17,181 +22,6 @@ use crate::table::num;
 use crate::Scale;
 
 use super::{control, is_params, max_bound, pa_params, sweep_horizon, system};
-
-fn jump_setup(scale: Scale) -> (SystemConfig, WorkloadConfig, ControlConfig, f64) {
-    let horizon = scale.pick_ms(1_200_000.0, 16_000.0);
-    let workload = match scale {
-        Scale::Full => WorkloadConfig::k_jump(8.0, 16.0, horizon / 2.0),
-        Scale::Quick => WorkloadConfig::k_jump(4.0, 8.0, horizon / 2.0),
-    };
-    let sys = system(scale, 500, 0xAB1);
-    let ctl = ControlConfig {
-        warmup_ms: 0.0,
-        ..control(scale)
-    };
-    (sys, workload, ctl, horizon)
-}
-
-fn post_jump_tracking(traj: &alc_tpsim::engine::Trajectories) -> f64 {
-    let pts = traj.bound.points();
-    let start = pts.len() * 3 / 4;
-    let opt = traj.optimum.last_value().unwrap_or(f64::NAN);
-    let tail = &pts[start..];
-    tail.iter().map(|&(_, b)| (b - opt).abs()).sum::<f64>() / tail.len().max(1) as f64
-}
-
-/// Dither amplitude ablation: §4.2's enforced oscillation is what keeps
-/// the least-squares fit identifiable.
-pub fn abl_dither(scale: Scale) -> Report {
-    let (sys, workload, ctl, horizon) = jump_setup(scale);
-    let mut r = Report::new(
-        "abl-dither",
-        "PA excitation dither: amplitude vs post-jump tracking",
-        &[
-            "dither_amplitude",
-            "post_jump_tracking_err",
-            "throughput_per_s",
-            "convex_fit_events",
-        ],
-    );
-    // Amplitudes are independent trajectory runs; fan them out. The
-    // controller is built inside each worker so nothing crosses threads.
-    let rows: Vec<_> = [0.0, 4.0, 8.0, 16.0]
-        .par_iter()
-        .map(|&amp| {
-            let params = alc_core::controller::PaParams {
-                dither_amplitude: amp,
-                ..pa_params(scale)
-            };
-            let pa = ParabolaApproximation::new(params);
-            let (stats, traj) = run_trajectory(
-                &sys,
-                &workload,
-                CcKind::Certification,
-                &ctl,
-                Box::new(pa),
-                horizon,
-                true,
-            );
-            (amp, post_jump_tracking(&traj), stats.throughput_per_sec)
-        })
-        .collect();
-    for (amp, tracking, throughput) in rows {
-        r.push_row(vec![
-            num(amp),
-            num(tracking),
-            num(throughput),
-            "-".to_string(),
-        ]);
-    }
-    r.note("the simulator's own stochastic MPL variation provides baseline excitation, so even zero dither survives; moderate dither (≈4) still improves post-jump tracking, while oversized dither wrecks both tracking and throughput — the §4.2 oscillations of Fig. 14 are useful only at small amplitude");
-    r.note("on *noise-free* plants the difference is starker: without dither the regressor collapses onto one operating point and the fit degenerates (see the controller unit tests on synthetic surfaces)");
-    r
-}
-
-/// Δt vs α trade-off (Figure 6 operationalized): equal-information
-/// configurations with different memory shapes.
-pub fn abl_alpha(scale: Scale) -> Report {
-    let (sys, workload, ctl_base, horizon) = jump_setup(scale);
-    let mut r = Report::new(
-        "abl-alpha",
-        "Measurement interval vs forgetting factor at (roughly) equal information",
-        &[
-            "interval_ms",
-            "alpha",
-            "info_area_intervals",
-            "response_s",
-            "post_jump_tracking_err",
-            "throughput_per_s",
-        ],
-    );
-    // Pairs: long interval & small alpha vs short interval & large alpha.
-    let base = ctl_base.sample_interval_ms;
-    let configs = [
-        (base * 5.0, 0.2, "long-interval"),
-        (base, 0.8, "short-interval"),
-        (base, 0.95, "short-interval-longer-memory"),
-    ];
-    for (interval, alpha, _tag) in configs {
-        let ctl = ControlConfig {
-            sample_interval_ms: interval,
-            ..ctl_base
-        };
-        let pa = ParabolaApproximation::new(alc_core::controller::PaParams {
-            alpha,
-            ..pa_params(scale)
-        });
-        let (stats, traj) = run_trajectory(
-            &sys,
-            &workload,
-            CcKind::Certification,
-            &ctl,
-            Box::new(pa),
-            horizon,
-            true,
-        );
-        // Wall-clock response: time from the jump until the bound first
-        // enters the 25% band of the new optimum.
-        let opt_after = traj.optimum.last_value().unwrap_or(f64::NAN);
-        let pts = traj.bound.points();
-        let response_s = pts
-            .iter()
-            .filter(|&&(t, _)| t >= horizon / 2.0)
-            .find(|&&(_, b)| (b - opt_after).abs() <= 0.25 * opt_after)
-            .map(|&(t, _)| (t - horizon / 2.0) / 1000.0);
-        r.push_row(vec![
-            num(interval),
-            num(alpha),
-            num(1.0 / (1.0 - alpha.min(0.999))),
-            response_s.map_or("never".into(), num),
-            num(post_jump_tracking(&traj)),
-            num(stats.throughput_per_sec),
-        ]);
-    }
-    r.note("equal-information configurations all survive the jump; the short-Δt/large-α pairs take 5× more control decisions per unit time, which is what buys wall-clock responsiveness (§5.2/Fig. 6) — while the long interval's better-averaged measurements smooth the steady state");
-    r
-}
-
-/// Admission-only control vs displacement (§4.3).
-pub fn abl_displacement(scale: Scale) -> Report {
-    let (sys, workload, ctl, horizon) = jump_setup(scale);
-    let mut r = Report::new(
-        "abl-displacement",
-        "Admission control alone vs displacement on bound drops (§4.3)",
-        &[
-            "displacement",
-            "throughput_per_s",
-            "abort_ratio",
-            "displaced",
-            "post_jump_tracking_err",
-        ],
-    );
-    for displacement in [false, true] {
-        let ctl = ControlConfig {
-            displacement,
-            ..ctl
-        };
-        let pa = ParabolaApproximation::new(pa_params(scale));
-        let (stats, traj) = run_trajectory(
-            &sys,
-            &workload,
-            CcKind::Certification,
-            &ctl,
-            Box::new(pa),
-            horizon,
-            true,
-        );
-        r.push_row(vec![
-            displacement.to_string(),
-            num(stats.throughput_per_sec),
-            num(stats.abort_ratio),
-            stats.displaced.to_string(),
-            num(post_jump_tracking(&traj)),
-        ]);
-    }
-    r.note("the paper's finding holds: 'admission control alone was responsive enough to prevent thrashing even with dramatically changing workloads', and displacement's aborts waste work ('aborting transactions always means wastage of system resources')");
-    r
-}
 
 /// Restart-policy ablation: resampled vs identical access sets.
 pub fn abl_restart(scale: Scale) -> Report {
@@ -233,65 +63,6 @@ pub fn abl_restart(scale: Scale) -> Report {
         ]);
     }
     r.note("with uniform access and no hot spots the difference is modest (conflicts are not item-bound); the knob matters for skewed workloads and is exposed for them");
-    r
-}
-
-/// Rules of thumb vs feedback control on the jump scenario (§1's claim
-/// that static rules 'have to be considered with caution').
-pub fn abl_rules(scale: Scale) -> Report {
-    let (sys, workload, ctl, horizon) = jump_setup(scale);
-    let nmax = max_bound(scale);
-    let k_before = workload.at(0.0).k;
-    let k_after = workload.at(horizon).k;
-
-    // The strongest version of Tay's rule re-reads the true k; the stale
-    // version keeps the installation-time k (what a static DBA knob does).
-    let opt_before = workload.analytic_optimum(0.0, &sys, nmax);
-
-    let mut r = Report::new(
-        "abl-rules",
-        "Feedback controllers vs rules of thumb on the k-jump workload",
-        &["policy", "throughput_per_s", "abort_ratio", "mean_bound"],
-    );
-    let mut run = |name: &str, ctrl: Box<dyn LoadController>| {
-        let (stats, _traj) = run_trajectory(
-            &sys,
-            &workload,
-            CcKind::Certification,
-            &ctl,
-            ctrl,
-            horizon,
-            false,
-        );
-        r.push_row(vec![
-            name.to_string(),
-            num(stats.throughput_per_sec),
-            num(stats.abort_ratio),
-            num(stats.mean_bound),
-        ]);
-    };
-    run("PA", Box::new(ParabolaApproximation::new(pa_params(scale))));
-    run("IS", Box::new(IncrementalSteps::new(is_params(scale))));
-    run(
-        "iyer-0.75",
-        Box::new(IyerRule::new(IyerRuleParams {
-            initial_bound: scale.pick(50, 5),
-            max_bound: nmax,
-            ..IyerRuleParams::default()
-        })),
-    );
-    run(
-        "tay-stale",
-        Box::new(TayRule::new(k_before, sys.db_size, 1, nmax)),
-    );
-    run(
-        "tay-informed",
-        Box::new(TayRule::new(k_after, sys.db_size, 1, nmax)),
-    );
-    run("fixed-at-old-opt", Box::new(FixedBound::new(opt_before)));
-    run("unlimited", Box::new(Unlimited));
-    r.note("the feedback controllers adapt across the jump; the stale rule and the fixed bound stay tuned for the old workload (the paper's §1 argument for model-independent feedback control)");
-    r.note("note the *informed* Tay rule does worst of all: k²n/D < 1.5 was derived for blocking 2PL and badly underestimates the optimum of a certification system — 'the question is whether these bounds actually apply to all possible load situations' (§1)");
     r
 }
 
@@ -403,207 +174,6 @@ pub fn abl_hotspot(scale: Scale) -> Report {
     }
     r.note("skew shrinks the effective database (1/Σp²) by up to ~100×, collapsing the achievable peak; under self-limiting certification the optimum's *position* stays near the resource knee while its *height* falls");
     r.note("PA lands within ~2% of the per-skew optimal throughput without any knowledge of the skew — the model-independence argument extended past the paper's uniform-access assumption");
-    r
-}
-
-/// Thrashing across CC protocols: the control problem is protocol-
-/// independent (the paper's claim of generality vs Tay/Iyer's
-/// blocking-only rules).
-pub fn abl_cc(scale: Scale) -> Report {
-    let sys = system(scale, 800, 0xAB7);
-    let ctl = control(scale);
-    let grid: Vec<u32> = match scale {
-        Scale::Full => vec![25, 50, 100, 150, 200, 300, 400, 600, 800],
-        Scale::Quick => vec![2, 5, 10, 20, 40],
-    };
-    let workload = WorkloadConfig {
-        write_frac: Schedule::Constant(0.4),
-        ..WorkloadConfig::default()
-    };
-
-    const NAMES: [&str; 6] = [
-        "certification",
-        "2pl",
-        "timestamp-ordering",
-        "wound-wait",
-        "wait-die",
-        "mvto",
-    ];
-    let mut headers = vec!["mpl_bound".to_string()];
-    headers.extend(NAMES.iter().map(|n| format!("T_{n}")));
-    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut r = Report::new(
-        "abl-cc",
-        "Load–throughput shape per CC protocol (all six)",
-        &headers_ref,
-    );
-    // Six independent protocol sweeps: run them concurrently (each one
-    // also parallelizes over its bound grid).
-    let curves: Vec<_> = CcKind::ALL
-        .par_iter()
-        .map(|&cc| {
-            sweep_bounds(
-                &sys,
-                &workload,
-                cc,
-                &grid,
-                &ctl,
-                sweep_horizon(scale) * 0.6,
-            )
-        })
-        .collect();
-    for (i, &b) in grid.iter().enumerate() {
-        let mut row = vec![b.to_string()];
-        row.extend(curves.iter().map(|c| num(c[i].stats.throughput_per_sec)));
-        r.push_row(row);
-    }
-    for (name, curve) in NAMES.iter().zip(&curves) {
-        let peak = curve
-            .iter()
-            .max_by(|a, b| a.stats.throughput_per_sec.total_cmp(&b.stats.throughput_per_sec))
-            .expect("non-empty");
-        let last = curve.last().expect("non-empty");
-        r.note(format!(
-            "{name}: peak {} tx/s at bound {}, falls to {}% of peak at bound {}",
-            num(peak.stats.throughput_per_sec),
-            peak.x,
-            num(100.0 * last.stats.throughput_per_sec / peak.stats.throughput_per_sec),
-            last.x
-        ));
-    }
-    r.note("every protocol exhibits a unimodal curve with an overload drop — the load-control problem (and the feedback solution) is CC-independent, unlike the Tay/Iyer rules which presuppose a protocol class (§1)");
-    r.note("the prevention pair (wound-wait/wait-die) trades the detector's sharp convoy collapse for an earlier, gentler abort-driven decay; MVTO spares the read-only fraction and decays between certification and 2PL");
-    r
-}
-
-/// §4.3 displacement victim policies: "victim selection may be based on
-/// the same criteria as for deadlock breaking" — quantified. A square-
-/// wave workload slams the optimum down repeatedly, so the controller
-/// keeps dropping the bound and displacement fires in storms.
-pub fn abl_victim(scale: Scale) -> Report {
-    let horizon = scale.pick_ms(1_200_000.0, 16_000.0);
-    let (k_lo, k_hi) = match scale {
-        Scale::Full => (6.0, 18.0),
-        Scale::Quick => (4.0, 10.0),
-    };
-    // Four full low→high→low cycles: every rising edge forces a bound drop.
-    let period = horizon / 4.0;
-    let mut steps = Vec::new();
-    let mut t = 0.0;
-    while t < horizon {
-        steps.push((t, k_lo));
-        steps.push((t + period / 2.0, k_hi));
-        t += period;
-    }
-    let workload = WorkloadConfig {
-        k: Schedule::Piecewise(steps),
-        ..WorkloadConfig::default()
-    };
-    let sys = system(scale, 500, 0xAB1);
-    let ctl_base = ControlConfig {
-        warmup_ms: 0.0,
-        ..control(scale)
-    };
-
-    let mut r = Report::new(
-        "abl-victim",
-        "Displacement victim policies on a square-wave workload (§4.3)",
-        &[
-            "victim_policy",
-            "throughput_per_s",
-            "abort_ratio",
-            "displaced",
-            "mean_response_ms",
-        ],
-    );
-    // One independent trajectory run per victim policy — fan out.
-    let results: Vec<_> = VictimPolicy::ALL
-        .par_iter()
-        .map(|&policy| {
-            let ctl = ControlConfig {
-                displacement: true,
-                victim_policy: policy,
-                ..ctl_base
-            };
-            let pa = ParabolaApproximation::new(pa_params(scale));
-            let (stats, _traj) = run_trajectory(
-                &sys,
-                &workload,
-                CcKind::Certification,
-                &ctl,
-                Box::new(pa),
-                horizon,
-                false,
-            );
-            (policy, stats)
-        })
-        .collect();
-    for (policy, stats) in results {
-        r.push_row(vec![
-            format!("{policy:?}"),
-            num(stats.throughput_per_sec),
-            num(stats.abort_ratio),
-            stats.displaced.to_string(),
-            num(stats.mean_response_ms),
-        ]);
-    }
-    r.note("Youngest and LeastProgress displace runs with little sunk work; Oldest and MostProgress burn nearly-finished runs — the same reasoning that makes deadlock breakers pick the youngest victim");
-    r.note("the spread stays second-order (a displaced run re-queues rather than vanishing, and resampled restarts decorrelate repeats), consistent with the paper's decision to make displacement a last resort rather than the primary mechanism");
-    r
-}
-
-/// Controller showdown on the jump scenario: the §4 pair, the §5 outer
-/// loops and the IS→PA hybrid.
-pub fn abl_hybrid(scale: Scale) -> Report {
-    let (sys, workload, ctl, horizon) = jump_setup(scale);
-    let mut r = Report::new(
-        "abl-hybrid",
-        "IS vs PA vs self-tuning outer loops vs the IS→PA hybrid on the k-jump",
-        &[
-            "controller",
-            "throughput_per_s",
-            "post_jump_tracking_err",
-            "mean_bound",
-        ],
-    );
-    let contenders: Vec<(&str, Box<dyn LoadController>)> = vec![
-        ("IS", Box::new(IncrementalSteps::new(is_params(scale)))),
-        ("PA", Box::new(ParabolaApproximation::new(pa_params(scale)))),
-        (
-            "self-tuning-IS",
-            Box::new(SelfTuningIs::new(is_params(scale), OuterParams::default())),
-        ),
-        (
-            "self-tuning-PA",
-            Box::new(SelfTuningPa::new(pa_params(scale), PaOuterParams::default())),
-        ),
-        (
-            "hybrid-IS-PA",
-            Box::new(Hybrid::new(HybridParams {
-                is: is_params(scale),
-                pa: pa_params(scale),
-                ..HybridParams::default()
-            })),
-        ),
-    ];
-    for (name, ctrl) in contenders {
-        let (stats, traj) = run_trajectory(
-            &sys,
-            &workload,
-            CcKind::Certification,
-            &ctl,
-            ctrl,
-            horizon,
-            true,
-        );
-        r.push_row(vec![
-            name.to_string(),
-            num(stats.throughput_per_sec),
-            num(post_jump_tracking(&traj)),
-            num(stats.mean_bound),
-        ]);
-    }
-    r.note("the paper's §9 ranking (PA settles tighter than IS after the jump) extends to the additions: the hybrid keeps PA-grade settling while inheriting IS's bootstrap, and the outer loops reach comparable tracking without hand-tuned β/α");
     r
 }
 

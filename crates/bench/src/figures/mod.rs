@@ -6,10 +6,7 @@ mod ablation;
 mod dynamic;
 mod stationary;
 
-pub use ablation::{
-    abl_alpha, abl_cc, abl_displacement, abl_dither, abl_hotspot, abl_hybrid, abl_interval,
-    abl_is_failure, abl_open, abl_restart, abl_rules, abl_victim,
-};
+pub use ablation::{abl_hotspot, abl_interval, abl_is_failure, abl_open, abl_restart};
 pub use dynamic::{fig03, fig07, fig08, fig13, fig14, sinus};
 pub use stationary::{fig01, fig02, fig04, fig06, fig12, sec6};
 
@@ -44,28 +41,16 @@ pub fn catalog() -> Vec<(&'static str, &'static str, Runner)> {
         ("fig13", "IS trajectory under optimum jump", fig13),
         ("fig14", "PA trajectory under optimum jump", fig14),
         ("sinus", "sinusoidal workload tracking", sinus),
-        ("abl-dither", "PA dither amplitude ablation", |s, _| {
-            abl_dither(s)
-        }),
-        ("abl-alpha", "Δt vs α trade-off ablation", |s, _| abl_alpha(s)),
-        ("abl-displacement", "admission-only vs displacement", |s, _| {
-            abl_displacement(s)
-        }),
+        // The ported ablations (abl-dither/alpha/displacement/rules/cc/
+        // victim/hybrid) run via `scenario run scenarios/abl-*.json`;
+        // their goldens are pinned by the scenario golden-port tests.
         ("abl-restart", "restart resampling ablation", |s, _| {
             abl_restart(s)
         }),
-        ("abl-rules", "feedback vs rules of thumb", |s, _| abl_rules(s)),
         ("abl-is-failure", "IS growing-height failure (§5.1)", |s, _| {
             abl_is_failure(s)
         }),
         ("abl-hotspot", "Zipf hot-spot extension", |s, _| abl_hotspot(s)),
-        ("abl-cc", "thrashing across CC protocols", |s, _| abl_cc(s)),
-        ("abl-victim", "displacement victim policies (§4.3)", |s, _| {
-            abl_victim(s)
-        }),
-        ("abl-hybrid", "IS/PA/outer-loops/hybrid showdown", |s, _| {
-            abl_hybrid(s)
-        }),
         ("abl-interval", "§5 interval sizing + CI coverage", |s, _| {
             abl_interval(s)
         }),

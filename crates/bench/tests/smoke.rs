@@ -25,7 +25,7 @@ fn repro_list_prints_catalog() {
     let out = run(env!("CARGO_BIN_EXE_repro"), &["list"]);
     assert!(out.status.success(), "repro list failed: {out:?}");
     let text = String::from_utf8_lossy(&out.stdout);
-    for id in ["fig01", "fig12", "fig13", "fig14", "abl-cc"] {
+    for id in ["fig01", "fig12", "fig13", "fig14", "abl-hotspot"] {
         assert!(text.contains(id), "catalog is missing `{id}`: {text}");
     }
 }

@@ -29,13 +29,18 @@ fn usage() {
     println!("      summarize the specs in DIR (default scenarios/)");
     println!();
     println!("  --quick   apply each spec's `quick` overrides (CI scale)");
-    println!("  --set     override any spec field by dotted path, e.g.");
+    println!("  --set     override any spec field by dotted path (numeric");
+    println!("            segments index lists), e.g.");
     println!("            --set system.terminals=200 --set cc=2pl");
     print!("  stat columns:");
     for c in StatColumn::ALL {
         print!(" {}", c.name());
     }
     println!();
+    println!("  derived columns: post_jump_tracking_err conflict_ratio_at_peak");
+    println!("            {{\"settling_time_s\": {{...}}}} (see README \"Scenarios\")");
+    println!("  spec extras: sweep grids (axes/pivot), cc phases (drain-and-swap");
+    println!("            protocol switching), faults (CPU kill/restart windows)");
 }
 
 fn fail(e: &SpecError) -> ! {

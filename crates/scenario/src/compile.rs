@@ -16,7 +16,7 @@ use alc_tpsim::config::{CcKind, ControlConfig, SystemConfig};
 use alc_tpsim::workload::WorkloadConfig;
 use serde::Value;
 
-use crate::spec::{ControllerSpec, ScenarioSpec, StatColumn, VariantSpec};
+use crate::spec::{ColumnSpec, ControllerSpec, FaultSpec, ScenarioSpec, StatColumn, VariantSpec};
 use crate::value_util::{from_overrides, set_path};
 use crate::SpecError;
 
@@ -30,24 +30,62 @@ pub struct RunPlan {
     pub description: String,
     /// Label column header.
     pub label_header: String,
-    /// Stat columns of the report.
-    pub columns: Vec<StatColumn>,
+    /// Columns of the report.
+    pub columns: Vec<ColumnSpec>,
+    /// Grid structure when the plan came from a `sweep` spec: the
+    /// variants are the cross-product cells in row-major order (last
+    /// axis fastest).
+    pub sweep: Option<SweepPlan>,
     /// One compiled variant per run group.
     pub variants: Vec<VariantPlan>,
+}
+
+/// The compiled shape of a sweep grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPlan {
+    /// `(header, cell labels)` per axis, in axis order.
+    pub axes: Vec<(String, Vec<String>)>,
+    /// Pivot the last axis into columns showing `(stat, prefix)`.
+    pub pivot: Option<(StatColumn, String)>,
+}
+
+impl SweepPlan {
+    /// Grid coordinates of cell `idx` (row-major, last axis fastest).
+    pub fn coords(&self, mut idx: usize) -> Vec<usize> {
+        let mut coords = vec![0; self.axes.len()];
+        for i in (0..self.axes.len()).rev() {
+            let len = self.axes[i].1.len();
+            coords[i] = idx % len;
+            idx /= len;
+        }
+        coords
+    }
 }
 
 /// One compiled variant: a concrete engine configuration plus its
 /// replication seeds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VariantPlan {
-    /// Variant label ("" for the implicit single variant).
+    /// Variant label ("" for the implicit single variant) — names
+    /// trajectory files and identifies the run group.
     pub label: String,
+    /// Label shown in the report table (differs from `label` when the
+    /// spec routes it through `label_from`; labels may repeat, names
+    /// may not).
+    pub display_label: String,
+    /// Literal input cells of this variant, for `{"input": …}` columns.
+    pub cells: Vec<(String, String)>,
     /// Physical system (seed field is per-replication; see `seeds`).
     pub sys: SystemConfig,
     /// Lowered time-varying workload.
     pub workload: WorkloadConfig,
-    /// CC protocol.
+    /// CC protocol at t = 0.
     pub cc: CcKind,
+    /// Scheduled drain-and-swap CC switches `(t_ms, target)`.
+    pub cc_switches: Vec<(f64, CcKind)>,
+    /// Scheduled CPU-capacity deltas `(t_ms, delta)` lowered from the
+    /// fault windows, ascending.
+    pub faults: Vec<(f64, i32)>,
     /// Measurement/control wiring.
     pub control: ControlConfig,
     /// Controller to instantiate per replication.
@@ -60,6 +98,9 @@ pub struct VariantPlan {
     pub record_optimum: bool,
     /// Write trajectory CSVs.
     pub trajectories: bool,
+    /// Retain trajectories in the run records (set when the plan's
+    /// columns derive from them, even without trajectory CSV output).
+    pub keep_trajectories: bool,
 }
 
 /// Derives the replication-`r` seed from the spec seed (replication 0 is
@@ -73,6 +114,9 @@ pub fn replication_seed(seed: u64, r: u32) -> u64 {
 /// applies the spec's CI-scale overrides.
 pub fn compile_value(base: &Value, base_dir: &Path, quick: bool) -> Result<RunPlan, SpecError> {
     let spec = ScenarioSpec::from_value(base)?;
+    if spec.sweep.is_some() {
+        return compile_sweep(base, base_dir, quick);
+    }
     let implicit;
     let variant_specs: &[VariantSpec] = if spec.variants.is_empty() {
         implicit = [VariantSpec {
@@ -107,13 +151,117 @@ pub fn compile_value(base: &Value, base_dir: &Path, quick: bool) -> Result<RunPl
         variants.push(build_variant(&vspec, &vs.name, base_dir)?);
     }
 
+    finish_plan(spec, None, variants)
+}
+
+/// Compiles a sweep spec: spec-level quick overrides apply first (they
+/// may rescale the grid itself), then the cross-product expands into one
+/// cell per combination, each cell a plain single-run spec with the axis
+/// values applied. Expansion is deterministic: row-major order, last
+/// axis fastest.
+fn compile_sweep(base: &Value, base_dir: &Path, quick: bool) -> Result<RunPlan, SpecError> {
+    let mut tree = base.clone();
+    if quick {
+        let spec0 = ScenarioSpec::from_value(base)?;
+        for (path, val) in &spec0.quick {
+            set_path(&mut tree, path, val.clone()).map_err(|e| e.context("quick overrides"))?;
+        }
+    }
+    let spec = ScenarioSpec::from_value(&tree).map_err(|e| e.context("quick overrides"))?;
+    let sweep = spec.sweep.clone().expect("compile_sweep needs a sweep section");
+
+    // Each cell re-parses as a plain spec: strip the sweep section.
+    let cell_base = {
+        let Value::Map(entries) = &tree else {
+            unreachable!("parsed specs are maps");
+        };
+        let mut kept: Vec<(String, Value)> = entries.clone();
+        kept.retain(|(k, _)| k != "sweep");
+        Value::Map(kept)
+    };
+
+    let lens: Vec<usize> = sweep.axes.iter().map(|a| a.values.len()).collect();
+    let total: usize = lens.iter().product();
+    let sweep_plan = SweepPlan {
+        axes: sweep
+            .axes
+            .iter()
+            .map(|a| {
+                (
+                    a.header.clone(),
+                    (0..a.values.len()).map(|i| a.label(i)).collect(),
+                )
+            })
+            .collect(),
+        pivot: sweep.pivot.as_ref().map(|p| (p.stat, p.prefix.clone())),
+    };
+
+    let mut variants = Vec::with_capacity(total);
+    for idx in 0..total {
+        let coords = sweep_plan.coords(idx);
+        let mut cell_tree = cell_base.clone();
+        let mut label_parts = Vec::with_capacity(coords.len());
+        for (axis, &c) in sweep.axes.iter().zip(&coords) {
+            set_path(&mut cell_tree, &axis.path, axis.values[c].clone())
+                .map_err(|e| e.context(format!("sweep axis `{}`", axis.header)))?;
+            label_parts.push(axis.label(c));
+        }
+        let label = label_parts.join("_");
+        let vspec = ScenarioSpec::from_value(&cell_tree)
+            .map_err(|e| e.context(format!("sweep cell `{label}`")))?;
+        variants.push(build_variant(&vspec, &label, base_dir)?);
+    }
+
+    finish_plan(spec, Some(sweep_plan), variants)
+}
+
+/// Assembles the plan and back-fills the trajectory-retention flag from
+/// the (plan-level) column set.
+fn finish_plan(
+    spec: ScenarioSpec,
+    sweep: Option<SweepPlan>,
+    mut variants: Vec<VariantPlan>,
+) -> Result<RunPlan, SpecError> {
+    let derived = spec.columns.iter().any(ColumnSpec::needs_trajectories);
+    for v in &mut variants {
+        v.keep_trajectories = v.trajectories || derived;
+    }
+    let label_header = match &sweep {
+        Some(s) => s.axes[0].0.clone(),
+        None => spec.label_header,
+    };
     Ok(RunPlan {
         name: spec.name,
         description: spec.description,
-        label_header: spec.label_header,
+        label_header,
         columns: spec.columns,
+        sweep,
         variants,
     })
+}
+
+/// Lowers fault windows into an ascending CPU-capacity delta timeline,
+/// rejecting schedules that would kill more CPUs than are installed.
+fn lower_faults(faults: &[FaultSpec], sys: &SystemConfig) -> Result<Vec<(f64, i32)>, SpecError> {
+    let mut deltas: Vec<(f64, i32)> = Vec::with_capacity(faults.len() * 2);
+    for f in faults {
+        let down = i32::try_from(f.cpus_down)
+            .map_err(|_| SpecError::new("fault `cpus_down` too large"))?;
+        deltas.push((f.at_ms, -down));
+        deltas.push((f.at_ms + f.duration_ms, down));
+    }
+    deltas.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut level = i64::from(sys.cpus);
+    for &(_, d) in &deltas {
+        level += i64::from(d);
+        if level < 0 {
+            return Err(SpecError::new(format!(
+                "faults kill more CPUs than installed ({} configured)",
+                sys.cpus
+            )));
+        }
+    }
+    Ok(deltas)
 }
 
 fn build_variant(
@@ -134,17 +282,37 @@ fn build_variant(
     let seeds = (0..spec.replications)
         .map(|r| replication_seed(spec.seed, r))
         .collect();
+    let faults = lower_faults(&spec.faults, &sys)?;
+    let cells = spec
+        .inputs
+        .iter()
+        .find(|(name, _)| name == label)
+        .map(|(_, cells)| cells.clone())
+        .unwrap_or_default();
+    let display_label = match &spec.label_from {
+        Some(lf) => cells
+            .iter()
+            .find(|(col, _)| col == lf)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| label.to_string()),
+        None => label.to_string(),
+    };
     Ok(VariantPlan {
         label: label.to_string(),
+        display_label,
+        cells,
         sys,
         workload,
         cc: spec.cc,
+        cc_switches: spec.cc_phases.clone(),
+        faults,
         control,
         controller: spec.controller.clone(),
         horizon_ms: spec.horizon_ms,
         seeds,
         record_optimum: spec.record_optimum,
         trajectories: spec.trajectories,
+        keep_trajectories: spec.trajectories,
     })
 }
 

@@ -18,7 +18,8 @@ use alc_tpsim::config::SystemConfig;
 use alc_tpsim::engine::{RunStats, Simulator, Trajectories};
 use rayon::prelude::*;
 
-use crate::compile::{RunPlan, VariantPlan};
+use crate::compile::{RunPlan, SweepPlan, VariantPlan};
+use crate::spec::ColumnSpec;
 
 /// The outcome of one `(variant, replication)` cell.
 #[derive(Debug, Clone)]
@@ -42,13 +43,19 @@ fn run_one(v: &VariantPlan, rep: usize) -> RunRecord {
     let controller = v.controller.build(&sys, &v.workload);
     let mut sim = Simulator::new(sys, v.workload.clone(), v.cc, v.control, controller);
     sim.set_record_optimum(v.record_optimum);
+    if !v.cc_switches.is_empty() {
+        sim.set_cc_switches(&v.cc_switches);
+    }
+    if !v.faults.is_empty() {
+        sim.set_faults(&v.faults);
+    }
     let stats = sim.run(v.horizon_ms);
     RunRecord {
         label: v.label.clone(),
         replication: rep as u32,
         seed,
         stats,
-        trajectories: v.trajectories.then(|| sim.trajectories().clone()),
+        trajectories: v.keep_trajectories.then(|| sim.trajectories().clone()),
     }
 }
 
@@ -94,11 +101,13 @@ pub fn write_trajectories(
         let Some(traj) = &rec.trajectories else {
             continue;
         };
-        let reps = plan
-            .variants
-            .iter()
-            .find(|v| v.label == rec.label)
-            .map_or(1, |v| v.seeds.len());
+        // Records may retain trajectories solely for derived columns;
+        // only variants that asked for trajectory output get files.
+        let variant = plan.variants.iter().find(|v| v.label == rec.label);
+        if !variant.is_some_and(|v| v.trajectories) {
+            continue;
+        }
+        let reps = variant.map_or(1, |v| v.seeds.len());
         let name = format!("{}_trajectory.csv", trajectory_stem(plan, rec, reps));
         let f = std::fs::File::create(dir.join(&name))?;
         write_aligned_csv(
@@ -116,27 +125,119 @@ pub fn write_trajectories(
     Ok(written)
 }
 
-/// Builds the report table (one row per record) from a finished run.
+/// Formats one report cell for a record.
+fn format_cell(col: &ColumnSpec, v: &VariantPlan, rec: &RunRecord) -> String {
+    match col {
+        ColumnSpec::Stat(c) => c.format(&rec.stats),
+        ColumnSpec::Derived(d) => {
+            let traj = rec
+                .trajectories
+                .as_ref()
+                .expect("derived columns force trajectory retention at compile time");
+            d.format(traj, v.horizon_ms)
+        }
+        ColumnSpec::Input(name) => v
+            .cells
+            .iter()
+            .find(|(col, _)| col == name)
+            .map(|(_, val)| val.clone())
+            .unwrap_or_else(|| "-".to_string()),
+        ColumnSpec::Literal { value, .. } => value.clone(),
+    }
+}
+
+/// Builds the report table from a finished run: one row per record, or
+/// the grid/pivot layout for sweep plans.
 pub fn build_report(plan: &RunPlan, records: &[RunRecord]) -> Report {
+    if let Some(sweep) = &plan.sweep {
+        return build_sweep_report(plan, sweep, records);
+    }
     let mut headers: Vec<String> = vec![plan.label_header.clone()];
-    headers.extend(plan.columns.iter().map(|c| c.name().to_string()));
+    headers.extend(plan.columns.iter().map(|c| c.header()));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut report = Report::new(&plan.name, &plan.description, &header_refs);
     let multi_rep = plan.variants.iter().any(|v| v.seeds.len() > 1);
     for rec in records {
-        let mut label = if rec.label.is_empty() {
+        let variant = plan
+            .variants
+            .iter()
+            .find(|v| v.label == rec.label)
+            .expect("record label must come from the plan");
+        let mut label = if variant.display_label.is_empty() {
             "run".to_string()
         } else {
-            rec.label.clone()
+            variant.display_label.clone()
         };
         if multi_rep {
             label.push_str(&format!("#{}", rec.replication));
         }
         let mut row = vec![label];
-        row.extend(plan.columns.iter().map(|c| c.format(&rec.stats)));
+        row.extend(plan.columns.iter().map(|c| format_cell(c, variant, rec)));
         report.push_row(row);
     }
     report
+}
+
+/// Sweep layouts. Without a pivot: one row per record, leading columns
+/// are the axis labels (the long-format load–throughput curve CSV). With
+/// a pivot: rows iterate the non-pivot axes, the last axis becomes one
+/// column per value showing the pivot stat.
+fn build_sweep_report(plan: &RunPlan, sweep: &SweepPlan, records: &[RunRecord]) -> Report {
+    let mut headers: Vec<String> = Vec::new();
+    let n_axes = sweep.axes.len();
+    match &sweep.pivot {
+        None => {
+            headers.extend(sweep.axes.iter().map(|(h, _)| h.clone()));
+            headers.extend(plan.columns.iter().map(|c| c.header()));
+            let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+            let mut report = Report::new(&plan.name, &plan.description, &header_refs);
+            let multi_rep = plan.variants.iter().any(|v| v.seeds.len() > 1);
+            // Records are (cell, replication) in plan order; recover the
+            // cell index from the variant list.
+            let mut rec_iter = records.iter();
+            for (cell, variant) in plan.variants.iter().enumerate() {
+                let coords = sweep.coords(cell);
+                for _ in 0..variant.seeds.len() {
+                    let rec = rec_iter.next().expect("one record per (cell, rep)");
+                    let mut row: Vec<String> = coords
+                        .iter()
+                        .enumerate()
+                        .map(|(a, &c)| sweep.axes[a].1[c].clone())
+                        .collect();
+                    if multi_rep {
+                        row[0].push_str(&format!("#{}", rec.replication));
+                    }
+                    row.extend(plan.columns.iter().map(|c| format_cell(c, variant, rec)));
+                    report.push_row(row);
+                }
+            }
+            report
+        }
+        Some((stat, prefix)) => {
+            // Pivoted: replications are forced to 1 at parse time, so
+            // records index exactly as cells.
+            headers.extend(sweep.axes[..n_axes - 1].iter().map(|(h, _)| h.clone()));
+            let pivot_labels = &sweep.axes[n_axes - 1].1;
+            headers.extend(pivot_labels.iter().map(|l| format!("{prefix}{l}")));
+            let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+            let mut report = Report::new(&plan.name, &plan.description, &header_refs);
+            let n_cols = pivot_labels.len();
+            let n_rows = plan.variants.len() / n_cols.max(1);
+            for r in 0..n_rows {
+                let coords = sweep.coords(r * n_cols);
+                let mut row: Vec<String> = coords[..n_axes - 1]
+                    .iter()
+                    .enumerate()
+                    .map(|(a, &c)| sweep.axes[a].1[c].clone())
+                    .collect();
+                for c in 0..n_cols {
+                    row.push(stat.format(&records[r * n_cols + c].stats));
+                }
+                report.push_row(row);
+            }
+            report
+        }
+    }
 }
 
 #[cfg(test)]

@@ -22,11 +22,13 @@
 //! ```
 
 use alc_core::controller::{
-    FixedBound, IncrementalSteps, IsParams, IyerRule, IyerRuleParams, LoadController,
-    ParabolaApproximation, PaParams, TayRule, Unlimited,
+    FixedBound, Hybrid as HybridCtrl, HybridParams, IncrementalSteps, IsParams, IyerRule,
+    IyerRuleParams, LoadController, OuterParams, PaOuterParams, PaParams,
+    ParabolaApproximation, SelfTuningIs as SelfTuningIsCtrl, SelfTuningPa as SelfTuningPaCtrl,
+    TayRule, Unlimited,
 };
 use alc_tpsim::config::{CcKind, SystemConfig};
-use alc_tpsim::engine::RunStats;
+use alc_tpsim::engine::{RunStats, Trajectories};
 use alc_tpsim::workload::WorkloadConfig;
 use serde::Value;
 
@@ -47,8 +49,14 @@ pub struct ScenarioSpec {
     pub replications: u32,
     /// Simulated horizon, ms.
     pub horizon_ms: f64,
-    /// Concurrency-control protocol.
+    /// Concurrency-control protocol in force at t = 0.
     pub cc: CcKind,
+    /// Per-phase CC switches `(t_ms, protocol)` after t = 0 — at each
+    /// boundary the engine drains in-flight transactions and swaps the
+    /// protocol (the spec's `cc: {"phases": [[0, …], [t, …]]}` form).
+    pub cc_phases: Vec<(f64, CcKind)>,
+    /// Scheduled station faults (CPU kill/restart windows).
+    pub faults: Vec<FaultSpec>,
     /// Shallow overrides on [`SystemConfig`] (dist shorthands allowed;
     /// `seed` is set by the top-level field, not here).
     pub system: Vec<(String, Value)>,
@@ -64,12 +72,96 @@ pub struct ScenarioSpec {
     pub trajectories: bool,
     /// Header of the label column in the report table.
     pub label_header: String,
-    /// Stat columns of the report table.
-    pub columns: Vec<StatColumn>,
-    /// Named override sets producing one run group each.
+    /// Columns of the report table (raw stats, derived tracking-error
+    /// columns, per-variant input cells, literals).
+    pub columns: Vec<ColumnSpec>,
+    /// Named override sets producing one run group each (mutually
+    /// exclusive with `sweep`).
     pub variants: Vec<VariantSpec>,
+    /// Grid axes expanding into one run per cross-product cell —
+    /// load–throughput curves and protocol grids (mutually exclusive
+    /// with `variants`).
+    pub sweep: Option<SweepSpec>,
+    /// Literal per-variant table cells, keyed by variant name: the swept
+    /// *inputs* of an ablation (e.g. the α of each variant), rendered by
+    /// `{"input": …}` columns and `label_from`.
+    pub inputs: VariantInputs,
+    /// When set, the report's label column shows this input cell instead
+    /// of the variant name (names must stay unique; labels need not).
+    pub label_from: Option<String>,
     /// Path → value overrides applied under `--quick` (CI scale).
     pub quick: Vec<(String, Value)>,
+}
+
+/// Literal per-variant input cells: `(variant name, [(cell, text)])`.
+pub type VariantInputs = Vec<(String, Vec<(String, String)>)>;
+
+/// One scheduled station fault: `cpus_down` CPUs die at `at_ms` and come
+/// back `duration_ms` later.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Kill time, ms.
+    pub at_ms: f64,
+    /// Outage length, ms.
+    pub duration_ms: f64,
+    /// Servers killed (restored at `at_ms + duration_ms`).
+    pub cpus_down: u32,
+}
+
+/// The sweep section: a grid of axes, each a spec path and a value list;
+/// the compiler expands the exact cross-product into one run per cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// The grid axes; the first axis is the report's row label, the last
+    /// axis pivots into columns when `pivot` is set.
+    pub axes: Vec<SweepAxis>,
+    /// Pivot the last axis into one column per value, showing `stat`.
+    pub pivot: Option<PivotSpec>,
+}
+
+/// One sweep axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAxis {
+    /// Column header of the axis in the report.
+    pub header: String,
+    /// Dotted spec path each value is applied to.
+    pub path: String,
+    /// The grid values (any JSON value the path accepts).
+    pub values: Vec<Value>,
+    /// Explicit display labels (default: rendered from the values).
+    pub labels: Option<Vec<String>>,
+}
+
+/// Pivot settings: the last axis becomes columns named
+/// `<prefix><label>`, each showing `stat` for that cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PivotSpec {
+    /// The stat shown in the pivoted cells.
+    pub stat: StatColumn,
+    /// Column-name prefix (e.g. `T_`).
+    pub prefix: String,
+}
+
+impl SweepAxis {
+    /// Display label of value `i` (explicit label, else rendered).
+    pub fn label(&self, i: usize) -> String {
+        if let Some(labels) = &self.labels {
+            return labels[i].clone();
+        }
+        render_axis_value(&self.values[i])
+    }
+}
+
+/// Renders a sweep-axis value for row labels and cell names: integers
+/// verbatim, floats through the shared table format, strings as-is.
+fn render_axis_value(v: &Value) -> String {
+    match v {
+        Value::U64(x) => x.to_string(),
+        Value::Num(x) => alc_bench::table::num(*x),
+        Value::Str(s) => s.clone(),
+        Value::Bool(b) => b.to_string(),
+        other => format!("{other:?}"),
+    }
 }
 
 /// One variant: a named set of overrides on the base spec.
@@ -154,6 +246,22 @@ pub enum ControllerSpec {
     Is(IsParams),
     /// Parabola Approximation (§4.2).
     Pa(PaParams),
+    /// IS with the §5 outer loop auto-tuning its gain β.
+    SelfTuningIs {
+        /// Inner IS parameters.
+        is: IsParams,
+        /// Outer-loop tuning.
+        outer: OuterParams,
+    },
+    /// PA with the §5 outer loop auto-tuning its forgetting factor α.
+    SelfTuningPa {
+        /// Inner PA parameters.
+        pa: PaParams,
+        /// Outer-loop tuning.
+        outer: PaOuterParams,
+    },
+    /// The IS-bootstrapped, PA-refined hybrid.
+    Hybrid(HybridParams),
     /// Iyer's conflict-rate rule as a feedback baseline.
     Iyer(IyerRuleParams),
     /// Tay's static `k²n/D < 1.5` rule of thumb.
@@ -184,6 +292,13 @@ impl ControllerSpec {
             )),
             ControllerSpec::Is(p) => Some(Box::new(IncrementalSteps::new(*p))),
             ControllerSpec::Pa(p) => Some(Box::new(ParabolaApproximation::new(*p))),
+            ControllerSpec::SelfTuningIs { is, outer } => {
+                Some(Box::new(SelfTuningIsCtrl::new(*is, *outer)))
+            }
+            ControllerSpec::SelfTuningPa { pa, outer } => {
+                Some(Box::new(SelfTuningPaCtrl::new(*pa, *outer)))
+            }
+            ControllerSpec::Hybrid(p) => Some(Box::new(HybridCtrl::new(*p))),
             ControllerSpec::Iyer(p) => Some(Box::new(IyerRule::new(*p))),
             ControllerSpec::Tay {
                 k,
@@ -287,15 +402,265 @@ impl StatColumn {
     }
 }
 
+/// One report column: a raw stat, a trajectory-derived quantity, a
+/// per-variant input cell, or a literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnSpec {
+    /// A raw-statistics column.
+    Stat(StatColumn),
+    /// A column computed from the run's [`Trajectories`].
+    Derived(DerivedColumn),
+    /// The variant's literal cell from the spec's `inputs` map.
+    Input(String),
+    /// The same literal in every row (placeholder columns).
+    Literal {
+        /// Column header.
+        header: String,
+        /// Cell text.
+        value: String,
+    },
+}
+
+/// A column computed from the recorded trajectories after the run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DerivedColumn {
+    /// Mean |bound − n_opt| over the last quarter of the samples — the
+    /// post-jump tracking error of the ablation tables (requires
+    /// `record_optimum`).
+    PostJumpTrackingErr,
+    /// Settling time: seconds from `after_frac · horizon` until the
+    /// bound first enters the ±`band` relative band around the final
+    /// optimum; renders `never` when it doesn't (requires
+    /// `record_optimum`).
+    SettlingTime {
+        /// Column header (e.g. `response_s`).
+        header: String,
+        /// Fraction of the horizon the clock starts at (the jump time).
+        after_frac: f64,
+        /// Relative band around the final optimum.
+        band: f64,
+    },
+    /// The per-interval conflicts-per-commit value at the sample where
+    /// the interval throughput peaked — where on the conflict curve the
+    /// run's best operating point sat.
+    ConflictRatioAtPeak,
+}
+
+impl ColumnSpec {
+    /// The column's header text.
+    pub fn header(&self) -> String {
+        match self {
+            ColumnSpec::Stat(c) => c.name().to_string(),
+            ColumnSpec::Derived(DerivedColumn::PostJumpTrackingErr) => {
+                "post_jump_tracking_err".to_string()
+            }
+            ColumnSpec::Derived(DerivedColumn::SettlingTime { header, .. }) => header.clone(),
+            ColumnSpec::Derived(DerivedColumn::ConflictRatioAtPeak) => {
+                "conflict_ratio_at_peak".to_string()
+            }
+            ColumnSpec::Input(name) => name.clone(),
+            ColumnSpec::Literal { header, .. } => header.clone(),
+        }
+    }
+
+    /// Whether the runner must retain trajectories to render the column.
+    pub fn needs_trajectories(&self) -> bool {
+        matches!(self, ColumnSpec::Derived(_))
+    }
+
+    /// Whether the column needs the analytic-optimum trajectory.
+    pub fn needs_optimum(&self) -> bool {
+        matches!(
+            self,
+            ColumnSpec::Derived(
+                DerivedColumn::PostJumpTrackingErr | DerivedColumn::SettlingTime { .. }
+            )
+        )
+    }
+}
+
+impl DerivedColumn {
+    /// Formats the column from a run's trajectories (`horizon_ms` anchors
+    /// the settling clock).
+    pub fn format(&self, traj: &Trajectories, horizon_ms: f64) -> String {
+        use alc_bench::table::num;
+        match self {
+            DerivedColumn::PostJumpTrackingErr => {
+                // Same definition as the bespoke ablation harness: mean
+                // absolute bound error vs the final optimum over the last
+                // quarter of the samples.
+                let pts = traj.bound.points();
+                let start = pts.len() * 3 / 4;
+                let opt = traj.optimum.last_value().unwrap_or(f64::NAN);
+                let tail = &pts[start..];
+                num(tail.iter().map(|&(_, b)| (b - opt).abs()).sum::<f64>()
+                    / tail.len().max(1) as f64)
+            }
+            DerivedColumn::SettlingTime {
+                after_frac, band, ..
+            } => {
+                let opt_after = traj.optimum.last_value().unwrap_or(f64::NAN);
+                let after_ms = after_frac * horizon_ms;
+                traj.bound
+                    .points()
+                    .iter()
+                    .filter(|&&(t, _)| t >= after_ms)
+                    .find(|&&(_, b)| (b - opt_after).abs() <= band * opt_after)
+                    .map(|&(t, _)| (t - after_ms) / 1000.0)
+                    .map_or("never".into(), num)
+            }
+            DerivedColumn::ConflictRatioAtPeak => {
+                let tp = traj.throughput.points();
+                let mut peak: Option<usize> = None;
+                for (i, &(_, x)) in tp.iter().enumerate() {
+                    if peak.is_none_or(|p| x > tp[p].1) {
+                        peak = Some(i);
+                    }
+                }
+                peak.and_then(|i| traj.conflict_ratio.points().get(i))
+                    .map_or("-".into(), |&(_, v)| num(v))
+            }
+        }
+    }
+}
+
+fn column_from_value(v: &Value) -> Result<ColumnSpec, SpecError> {
+    if let Value::Str(s) = v {
+        return Ok(match s.as_str() {
+            "post_jump_tracking_err" => {
+                ColumnSpec::Derived(DerivedColumn::PostJumpTrackingErr)
+            }
+            "conflict_ratio_at_peak" => ColumnSpec::Derived(DerivedColumn::ConflictRatioAtPeak),
+            name => ColumnSpec::Stat(StatColumn::parse(name)?),
+        });
+    }
+    let Some([(tag, payload)]) = v.as_map() else {
+        return Err(SpecError::new(
+            "column must be a stat/derived name or a single-key object \
+             (settling_time_s/input/literal)",
+        ));
+    };
+    Ok(match tag.as_str() {
+        "settling_time_s" => {
+            let mut header = "settling_time_s".to_string();
+            let mut after_frac = None;
+            let mut band = 0.25;
+            for (k, val) in payload.as_map().unwrap_or(&[]) {
+                match k.as_str() {
+                    "header" => match val {
+                        Value::Str(s) => header = s.clone(),
+                        _ => {
+                            return Err(SpecError::new("`settling_time_s.header` must be a string"))
+                        }
+                    },
+                    "after_frac" => {
+                        after_frac = Some(val.as_f64().ok_or_else(|| {
+                            SpecError::new("`settling_time_s.after_frac` must be numeric")
+                        })?);
+                    }
+                    "band" => {
+                        band = val.as_f64().ok_or_else(|| {
+                            SpecError::new("`settling_time_s.band` must be numeric")
+                        })?;
+                    }
+                    other => {
+                        return Err(SpecError::new(format!(
+                            "unknown `settling_time_s` field `{other}`"
+                        )));
+                    }
+                }
+            }
+            let after_frac = after_frac
+                .ok_or_else(|| SpecError::new("`settling_time_s` needs `after_frac`"))?;
+            if !(0.0..1.0).contains(&after_frac) {
+                return Err(SpecError::new(
+                    "`settling_time_s.after_frac` must lie in [0, 1)",
+                ));
+            }
+            if band <= 0.0 {
+                return Err(SpecError::new("`settling_time_s.band` must be positive"));
+            }
+            ColumnSpec::Derived(DerivedColumn::SettlingTime {
+                header,
+                after_frac,
+                band,
+            })
+        }
+        "input" => match payload {
+            Value::Str(s) if !s.is_empty() => ColumnSpec::Input(s.clone()),
+            _ => return Err(SpecError::new("`input` column needs a non-empty cell name")),
+        },
+        "literal" => {
+            let header = match payload.get("header") {
+                Some(Value::Str(s)) => s.clone(),
+                _ => return Err(SpecError::new("`literal` column needs a string `header`")),
+            };
+            let value = match payload.get("value") {
+                Some(Value::Str(s)) => s.clone(),
+                _ => return Err(SpecError::new("`literal` column needs a string `value`")),
+            };
+            for (k, _) in payload.as_map().unwrap_or(&[]) {
+                if k != "header" && k != "value" {
+                    return Err(SpecError::new(format!("unknown `literal` field `{k}`")));
+                }
+            }
+            ColumnSpec::Literal { header, value }
+        }
+        other => {
+            return Err(SpecError::new(format!("unknown column kind `{other}`")));
+        }
+    })
+}
+
+impl serde::Serialize for ColumnSpec {
+    fn to_value(&self) -> Value {
+        match self {
+            ColumnSpec::Stat(c) => Value::Str(c.name().to_string()),
+            ColumnSpec::Derived(DerivedColumn::PostJumpTrackingErr) => {
+                Value::Str("post_jump_tracking_err".into())
+            }
+            ColumnSpec::Derived(DerivedColumn::ConflictRatioAtPeak) => {
+                Value::Str("conflict_ratio_at_peak".into())
+            }
+            ColumnSpec::Derived(DerivedColumn::SettlingTime {
+                header,
+                after_frac,
+                band,
+            }) => Value::Map(vec![(
+                "settling_time_s".into(),
+                Value::Map(vec![
+                    ("header".into(), Value::Str(header.clone())),
+                    ("after_frac".into(), Value::Num(*after_frac)),
+                    ("band".into(), Value::Num(*band)),
+                ]),
+            )]),
+            ColumnSpec::Input(name) => Value::Map(vec![(
+                "input".into(),
+                Value::Str(name.clone()),
+            )]),
+            ColumnSpec::Literal { header, value } => Value::Map(vec![(
+                "literal".into(),
+                Value::Map(vec![
+                    ("header".into(), Value::Str(header.clone())),
+                    ("value".into(), Value::Str(value.clone())),
+                ]),
+            )]),
+        }
+    }
+}
+
 /// Default report columns.
-fn default_columns() -> Vec<StatColumn> {
-    vec![
+fn default_columns() -> Vec<ColumnSpec> {
+    [
         StatColumn::ThroughputPerS,
         StatColumn::AbortRatio,
         StatColumn::MeanResponseMs,
         StatColumn::MeanMpl,
         StatColumn::MeanBound,
     ]
+    .into_iter()
+    .map(ColumnSpec::Stat)
+    .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -395,6 +760,128 @@ fn controller_from_value(v: &Value) -> Result<ControllerSpec, SpecError> {
             &params("PA controller")?,
             "PA controller",
         )?),
+        "self_tuning_is" => {
+            let mut is = IsParams::default();
+            let mut outer = OuterParams::default();
+            for (k, val) in payload.as_map().unwrap_or(&[]) {
+                match k.as_str() {
+                    "is" => {
+                        is = crate::value_util::from_overrides(
+                            &override_pairs(val, "self_tuning_is.is")?,
+                            "self_tuning_is.is",
+                        )?;
+                    }
+                    "outer" => {
+                        outer = crate::value_util::from_overrides(
+                            &override_pairs(val, "self_tuning_is.outer")?,
+                            "self_tuning_is.outer",
+                        )?;
+                    }
+                    other => {
+                        return Err(SpecError::new(format!(
+                            "unknown `self_tuning_is` field `{other}`"
+                        )));
+                    }
+                }
+            }
+            // Mirror the constructor's invariants as spec errors so a bad
+            // spec fails at compile time, not as a runner panic.
+            if outer.window < 2
+                || outer.target_step_fraction <= 0.0
+                || outer.adjust_factor <= 1.0
+                || outer.beta_min <= 0.0
+                || outer.beta_min > outer.beta_max
+            {
+                return Err(SpecError::new("invalid `self_tuning_is.outer` parameters"));
+            }
+            ControllerSpec::SelfTuningIs { is, outer }
+        }
+        "self_tuning_pa" => {
+            let mut pa = PaParams::default();
+            let mut outer = PaOuterParams::default();
+            for (k, val) in payload.as_map().unwrap_or(&[]) {
+                match k.as_str() {
+                    "pa" => {
+                        pa = crate::value_util::from_overrides(
+                            &override_pairs(val, "self_tuning_pa.pa")?,
+                            "self_tuning_pa.pa",
+                        )?;
+                    }
+                    "outer" => {
+                        outer = crate::value_util::from_overrides(
+                            &override_pairs(val, "self_tuning_pa.outer")?,
+                            "self_tuning_pa.outer",
+                        )?;
+                    }
+                    other => {
+                        return Err(SpecError::new(format!(
+                            "unknown `self_tuning_pa` field `{other}`"
+                        )));
+                    }
+                }
+            }
+            if outer.window < 2
+                || outer.fast_weight <= outer.slow_weight
+                || outer.slow_weight <= 0.0
+                || outer.fast_weight > 1.0
+                || outer.shock_factor <= 1.0
+                || outer.shock_confirm < 1
+                || outer.lengthen_below <= 0.0
+                || outer.lengthen_below >= 1.0
+                || outer.adjust_factor <= 1.0
+                || outer.alpha_min <= 0.0
+                || outer.alpha_min > outer.alpha_max
+                || outer.alpha_max >= 1.0
+            {
+                return Err(SpecError::new("invalid `self_tuning_pa.outer` parameters"));
+            }
+            ControllerSpec::SelfTuningPa { pa, outer }
+        }
+        "hybrid" => {
+            let mut p = HybridParams::default();
+            for (k, val) in payload.as_map().unwrap_or(&[]) {
+                match k.as_str() {
+                    "is" => {
+                        p.is = crate::value_util::from_overrides(
+                            &override_pairs(val, "hybrid.is")?,
+                            "hybrid.is",
+                        )?;
+                    }
+                    "pa" => {
+                        p.pa = crate::value_util::from_overrides(
+                            &override_pairs(val, "hybrid.pa")?,
+                            "hybrid.pa",
+                        )?;
+                    }
+                    "bootstrap_samples" => {
+                        p.bootstrap_samples = val.as_u64().ok_or_else(|| {
+                            SpecError::new("`hybrid.bootstrap_samples` must be an integer")
+                        })?;
+                    }
+                    "revert_after" => {
+                        p.revert_after = u32_from(val, "hybrid.revert_after")?;
+                    }
+                    "revert_window" => {
+                        p.revert_window = u32_from(val, "hybrid.revert_window")?;
+                    }
+                    other => {
+                        return Err(SpecError::new(format!("unknown `hybrid` field `{other}`")));
+                    }
+                }
+            }
+            if (p.is.min_bound, p.is.max_bound) != (p.pa.min_bound, p.pa.max_bound) {
+                return Err(SpecError::new(
+                    "`hybrid` needs matching IS/PA [min_bound, max_bound] ranges",
+                ));
+            }
+            if p.bootstrap_samples < 3
+                || p.revert_after < 1
+                || !(p.revert_after..=64).contains(&p.revert_window)
+            {
+                return Err(SpecError::new("invalid `hybrid` phase parameters"));
+            }
+            ControllerSpec::Hybrid(p)
+        }
         "iyer" => ControllerSpec::Iyer(crate::value_util::from_overrides(
             &params("Iyer controller")?,
             "Iyer controller",
@@ -425,6 +912,258 @@ fn controller_from_value(v: &Value) -> Result<ControllerSpec, SpecError> {
             return Err(SpecError::new(format!("unknown controller kind `{other}`")));
         }
     })
+}
+
+/// Parses the `cc` field: a plain protocol, or
+/// `{"phases": [[t_ms, cc], …]}` (ascending, first phase at 0) for
+/// per-phase CC switching.
+fn cc_field_from_value(v: &Value) -> Result<(CcKind, Vec<(f64, CcKind)>), SpecError> {
+    if let Some([(tag, payload)]) = v.as_map() {
+        if tag == "phases" {
+            let seq = payload
+                .as_seq()
+                .ok_or_else(|| SpecError::new("`cc.phases` needs a [[t_ms, cc], …] list"))?;
+            let mut phases = Vec::with_capacity(seq.len());
+            for p in seq {
+                let pair = p.as_seq().filter(|s| s.len() == 2).ok_or_else(|| {
+                    SpecError::new("`cc.phases` entries must be [t_ms, cc] pairs")
+                })?;
+                let t = pair[0]
+                    .as_f64()
+                    .ok_or_else(|| SpecError::new("`cc.phases` time must be numeric"))?;
+                phases.push((t, cc_from_value(&pair[1])?));
+            }
+            if phases.is_empty() {
+                return Err(SpecError::new("`cc.phases` must not be empty"));
+            }
+            if phases[0].0 != 0.0 {
+                return Err(SpecError::new("the first `cc.phases` entry must start at 0"));
+            }
+            for w in phases.windows(2) {
+                if w[1].0 <= w[0].0 {
+                    return Err(SpecError::new("`cc.phases` times must be strictly ascending"));
+                }
+            }
+            let initial = phases[0].1;
+            return Ok((initial, phases.split_off(1)));
+        }
+    }
+    Ok((cc_from_value(v)?, Vec::new()))
+}
+
+fn fault_from_value(v: &Value) -> Result<FaultSpec, SpecError> {
+    let entries = v
+        .as_map()
+        .ok_or_else(|| SpecError::new("fault must be an object"))?;
+    let mut at_ms = None;
+    let mut duration_ms = None;
+    let mut cpus_down = None;
+    for (k, val) in entries {
+        match k.as_str() {
+            "at" => {
+                at_ms = Some(
+                    val.as_f64()
+                        .filter(|&t| t >= 0.0)
+                        .ok_or_else(|| SpecError::new("fault `at` must be a time ≥ 0"))?,
+                );
+            }
+            "duration" => {
+                duration_ms = Some(
+                    val.as_f64()
+                        .filter(|&d| d > 0.0)
+                        .ok_or_else(|| SpecError::new("fault `duration` must be positive"))?,
+                );
+            }
+            "cpus_down" => {
+                let n = u32_from(val, "fault cpus_down")?;
+                if n == 0 {
+                    return Err(SpecError::new("fault `cpus_down` must be ≥ 1"));
+                }
+                cpus_down = Some(n);
+            }
+            other => {
+                return Err(SpecError::new(format!("unknown fault field `{other}`")));
+            }
+        }
+    }
+    Ok(FaultSpec {
+        at_ms: at_ms.ok_or_else(|| SpecError::new("fault needs `at`"))?,
+        duration_ms: duration_ms.ok_or_else(|| SpecError::new("fault needs `duration`"))?,
+        cpus_down: cpus_down.ok_or_else(|| SpecError::new("fault needs `cpus_down`"))?,
+    })
+}
+
+/// Characters legal in labels that land in output file names.
+fn filename_safe(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+}
+
+fn sweep_axis_from_value(v: &Value) -> Result<SweepAxis, SpecError> {
+    let entries = v
+        .as_map()
+        .ok_or_else(|| SpecError::new("sweep axis must be an object"))?;
+    let mut header = None;
+    let mut path = None;
+    let mut values = None;
+    let mut labels = None;
+    for (k, val) in entries {
+        match k.as_str() {
+            "header" => match val {
+                Value::Str(s) if !s.is_empty() => header = Some(s.clone()),
+                _ => return Err(SpecError::new("axis `header` must be a non-empty string")),
+            },
+            "path" => match val {
+                Value::Str(s) if !s.is_empty() => path = Some(s.clone()),
+                _ => return Err(SpecError::new("axis `path` must be a non-empty string")),
+            },
+            "values" => {
+                let seq = val
+                    .as_seq()
+                    .ok_or_else(|| SpecError::new("axis `values` must be a list"))?;
+                if seq.is_empty() {
+                    return Err(SpecError::new("axis `values` must not be empty"));
+                }
+                values = Some(seq.to_vec());
+            }
+            "labels" => {
+                let seq = val
+                    .as_seq()
+                    .ok_or_else(|| SpecError::new("axis `labels` must be a list"))?;
+                let mut out = Vec::with_capacity(seq.len());
+                for l in seq {
+                    match l {
+                        Value::Str(s) => out.push(s.clone()),
+                        _ => return Err(SpecError::new("axis `labels` must be strings")),
+                    }
+                }
+                labels = Some(out);
+            }
+            other => {
+                return Err(SpecError::new(format!("unknown axis field `{other}`")));
+            }
+        }
+    }
+    let axis = SweepAxis {
+        header: header.ok_or_else(|| SpecError::new("sweep axis needs `header`"))?,
+        path: path.ok_or_else(|| SpecError::new("sweep axis needs `path`"))?,
+        values: values.ok_or_else(|| SpecError::new("sweep axis needs `values`"))?,
+        labels,
+    };
+    if let Some(labels) = &axis.labels {
+        if labels.len() != axis.values.len() {
+            return Err(SpecError::new(format!(
+                "axis `{}`: {} labels for {} values",
+                axis.header,
+                labels.len(),
+                axis.values.len()
+            )));
+        }
+    }
+    // Labels name output files and must identify cells uniquely: a
+    // duplicate label would collapse two grid cells in the report.
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..axis.values.len() {
+        let label = axis.label(i);
+        if !filename_safe(&label) {
+            return Err(SpecError::new(format!(
+                "axis `{}` label `{label}` must be non-empty [A-Za-z0-9._-] \
+                 (give explicit `labels` for exotic values)",
+                axis.header
+            )));
+        }
+        if !seen.insert(label.clone()) {
+            return Err(SpecError::new(format!(
+                "axis `{}` has duplicate label `{label}`",
+                axis.header
+            )));
+        }
+    }
+    Ok(axis)
+}
+
+fn sweep_from_value(v: &Value) -> Result<SweepSpec, SpecError> {
+    let entries = v
+        .as_map()
+        .ok_or_else(|| SpecError::new("`sweep` must be an object"))?;
+    let mut axes = Vec::new();
+    let mut pivot = None;
+    for (k, val) in entries {
+        match k.as_str() {
+            "axes" => {
+                let seq = val
+                    .as_seq()
+                    .ok_or_else(|| SpecError::new("`sweep.axes` must be a list"))?;
+                axes = seq
+                    .iter()
+                    .map(sweep_axis_from_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "pivot" => {
+                let stat = match val.get("stat") {
+                    Some(Value::Str(s)) => StatColumn::parse(s)?,
+                    _ => return Err(SpecError::new("`sweep.pivot` needs a `stat` column name")),
+                };
+                let prefix = match val.get("prefix") {
+                    None => String::new(),
+                    Some(Value::Str(s)) => s.clone(),
+                    Some(_) => {
+                        return Err(SpecError::new("`sweep.pivot.prefix` must be a string"))
+                    }
+                };
+                for (pk, _) in val.as_map().unwrap_or(&[]) {
+                    if pk != "stat" && pk != "prefix" {
+                        return Err(SpecError::new(format!("unknown pivot field `{pk}`")));
+                    }
+                }
+                pivot = Some(PivotSpec { stat, prefix });
+            }
+            other => {
+                return Err(SpecError::new(format!("unknown sweep field `{other}`")));
+            }
+        }
+    }
+    if axes.is_empty() {
+        return Err(SpecError::new("`sweep` needs at least one axis"));
+    }
+    if pivot.is_some() && axes.len() < 2 {
+        return Err(SpecError::new(
+            "a pivoted sweep needs ≥ 2 axes (rows + the pivoted columns)",
+        ));
+    }
+    let mut headers = std::collections::HashSet::new();
+    for a in &axes {
+        if !headers.insert(a.header.as_str()) {
+            return Err(SpecError::new(format!("duplicate axis header `{}`", a.header)));
+        }
+    }
+    Ok(SweepSpec { axes, pivot })
+}
+
+fn inputs_from_value(v: &Value) -> Result<VariantInputs, SpecError> {
+    let entries = v
+        .as_map()
+        .ok_or_else(|| SpecError::new("`inputs` must map variant name → cells"))?;
+    let mut out = Vec::with_capacity(entries.len());
+    for (variant, cells_v) in entries {
+        let cells = cells_v
+            .as_map()
+            .ok_or_else(|| SpecError::new(format!("inputs for `{variant}` must be an object")))?;
+        let mut row = Vec::with_capacity(cells.len());
+        for (col, val) in cells {
+            match val {
+                Value::Str(s) => row.push((col.clone(), s.clone())),
+                _ => {
+                    return Err(SpecError::new(format!(
+                        "input `{variant}.{col}` must be a string (the literal cell text)"
+                    )));
+                }
+            }
+        }
+        out.push((variant.clone(), row));
+    }
+    Ok(out)
 }
 
 fn workload_from_value(v: &Value) -> Result<WorkloadSpec, SpecError> {
@@ -519,6 +1258,8 @@ impl ScenarioSpec {
         let mut replications = 1u32;
         let mut horizon_ms = None;
         let mut cc = CcKind::Certification;
+        let mut cc_phases = Vec::new();
+        let mut faults = Vec::new();
         let mut system = Vec::new();
         let mut control = Vec::new();
         let mut workload = WorkloadSpec::default();
@@ -528,6 +1269,9 @@ impl ScenarioSpec {
         let mut label_header = "variant".to_string();
         let mut columns = default_columns();
         let mut variants = Vec::new();
+        let mut sweep = None;
+        let mut inputs = Vec::new();
+        let mut label_from = None;
         let mut quick = Vec::new();
 
         for (k, val) in entries {
@@ -558,7 +1302,16 @@ impl ScenarioSpec {
                             .ok_or_else(|| SpecError::new("`horizon_ms` must be positive"))?,
                     );
                 }
-                "cc" => cc = cc_from_value(val)?,
+                "cc" => (cc, cc_phases) = cc_field_from_value(val)?,
+                "faults" => {
+                    let seq = val
+                        .as_seq()
+                        .ok_or_else(|| SpecError::new("`faults` must be a list"))?;
+                    faults = seq
+                        .iter()
+                        .map(fault_from_value)
+                        .collect::<Result<_, _>>()?;
+                }
                 "system" => system = system_overrides_from_value(val)?,
                 "control" => control = override_pairs(val, "control")?,
                 "workload" => workload = workload_from_value(val)?,
@@ -581,10 +1334,7 @@ impl ScenarioSpec {
                         .ok_or_else(|| SpecError::new("`columns` must be a list"))?;
                     columns = seq
                         .iter()
-                        .map(|c| match c {
-                            Value::Str(s) => StatColumn::parse(s),
-                            _ => Err(SpecError::new("`columns` entries must be strings")),
-                        })
+                        .map(column_from_value)
                         .collect::<Result<_, _>>()?;
                 }
                 "variants" => {
@@ -596,6 +1346,14 @@ impl ScenarioSpec {
                         .map(variant_from_value)
                         .collect::<Result<_, _>>()?;
                 }
+                "sweep" => sweep = Some(sweep_from_value(val)?),
+                "inputs" => inputs = inputs_from_value(val)?,
+                "label_from" => match val {
+                    Value::Str(s) if !s.is_empty() => label_from = Some(s.clone()),
+                    _ => {
+                        return Err(SpecError::new("`label_from` must be a non-empty string"));
+                    }
+                },
                 "quick" => quick = override_pairs(val, "quick")?,
                 other => {
                     return Err(SpecError::new(format!("unknown spec field `{other}`")));
@@ -610,6 +1368,8 @@ impl ScenarioSpec {
             horizon_ms: horizon_ms
                 .ok_or_else(|| SpecError::new("spec needs a positive `horizon_ms`"))?,
             cc,
+            cc_phases,
+            faults,
             system,
             control,
             workload,
@@ -619,6 +1379,9 @@ impl ScenarioSpec {
             label_header,
             columns,
             variants,
+            sweep,
+            inputs,
+            label_from,
             quick,
         };
         if spec.name.is_empty()
@@ -651,6 +1414,79 @@ impl ScenarioSpec {
                 )));
             }
         }
+        if let Some(sweep) = &spec.sweep {
+            if !spec.variants.is_empty() {
+                return Err(SpecError::new(
+                    "`sweep` and `variants` are mutually exclusive (a sweep already \
+                     generates one run per grid cell)",
+                ));
+            }
+            if !spec.inputs.is_empty() || spec.label_from.is_some() {
+                return Err(SpecError::new(
+                    "`inputs`/`label_from` key variants and cannot be used with `sweep` \
+                     (axis values already label the rows)",
+                ));
+            }
+            if sweep.pivot.is_some() && spec.replications > 1 {
+                return Err(SpecError::new(
+                    "a pivoted sweep needs `replications: 1` (one cell, one value)",
+                ));
+            }
+        }
+        // Every input row must key a real variant, and every column that
+        // reads an input cell must find it in every variant.
+        let variant_names: Vec<&str> = spec.variants.iter().map(|v| v.name.as_str()).collect();
+        for (variant, _) in &spec.inputs {
+            if !variant_names.contains(&variant.as_str()) {
+                return Err(SpecError::new(format!(
+                    "`inputs` references unknown variant `{variant}`"
+                )));
+            }
+        }
+        let mut needed_cells: Vec<&str> = spec
+            .columns
+            .iter()
+            .filter_map(|c| match c {
+                ColumnSpec::Input(name) => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        if let Some(lf) = &spec.label_from {
+            needed_cells.push(lf.as_str());
+        }
+        if !needed_cells.is_empty() {
+            // `input` columns and `label_from` read per-variant cells;
+            // without variants they could never be satisfied and would
+            // silently render placeholders.
+            if spec.variants.is_empty() {
+                return Err(SpecError::new(
+                    "`input` columns / `label_from` need a `variants` section \
+                     (they read per-variant cells from `inputs`)",
+                ));
+            }
+            for v in &spec.variants {
+                let cells = spec
+                    .inputs
+                    .iter()
+                    .find(|(name, _)| name == &v.name)
+                    .map(|(_, cells)| cells.as_slice())
+                    .unwrap_or(&[]);
+                for needed in &needed_cells {
+                    if !cells.iter().any(|(col, _)| col == needed) {
+                        return Err(SpecError::new(format!(
+                            "variant `{}` is missing input cell `{needed}`",
+                            v.name
+                        )));
+                    }
+                }
+            }
+        }
+        if spec.columns.iter().any(ColumnSpec::needs_optimum) && !spec.record_optimum {
+            return Err(SpecError::new(
+                "tracking-error columns need `record_optimum: true` (they compare the \
+                 bound against the analytic optimum trajectory)",
+            ));
+        }
         // Eagerly dry-run the override merges so a typo'd system/control
         // key fails at parse time, not only at compile time.
         let _: SystemConfig = crate::value_util::from_overrides(&spec.system, "system")?;
@@ -664,13 +1500,24 @@ impl serde::Serialize for ScenarioSpec {
     fn to_value(&self) -> Value {
         let pairs_value =
             |pairs: &[(String, Value)]| Value::Map(pairs.to_vec());
+        let cc_value = if self.cc_phases.is_empty() {
+            self.cc.to_value()
+        } else {
+            let mut phases = vec![Value::Seq(vec![Value::Num(0.0), self.cc.to_value()])];
+            phases.extend(
+                self.cc_phases
+                    .iter()
+                    .map(|(t, c)| Value::Seq(vec![Value::Num(*t), c.to_value()])),
+            );
+            Value::Map(vec![("phases".into(), Value::Seq(phases))])
+        };
         let mut m: Vec<(String, Value)> = vec![
             ("name".into(), Value::Str(self.name.clone())),
             ("description".into(), Value::Str(self.description.clone())),
             ("seed".into(), Value::U64(self.seed)),
             ("replications".into(), Value::U64(u64::from(self.replications))),
             ("horizon_ms".into(), Value::Num(self.horizon_ms)),
-            ("cc".into(), self.cc.to_value()),
+            ("cc".into(), cc_value),
             ("system".into(), pairs_value(&self.system)),
             ("control".into(), pairs_value(&self.control)),
             ("workload".into(), self.workload.to_value()),
@@ -680,19 +1527,90 @@ impl serde::Serialize for ScenarioSpec {
             ("label_header".into(), Value::Str(self.label_header.clone())),
             (
                 "columns".into(),
-                Value::Seq(
-                    self.columns
-                        .iter()
-                        .map(|c| Value::Str(c.name().to_string()))
-                        .collect(),
-                ),
+                Value::Seq(self.columns.iter().map(|c| c.to_value()).collect()),
             ),
         ];
+        if !self.faults.is_empty() {
+            m.push((
+                "faults".into(),
+                Value::Seq(
+                    self.faults
+                        .iter()
+                        .map(|f| {
+                            Value::Map(vec![
+                                ("at".into(), Value::Num(f.at_ms)),
+                                ("duration".into(), Value::Num(f.duration_ms)),
+                                ("cpus_down".into(), Value::U64(u64::from(f.cpus_down))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
         if !self.variants.is_empty() {
             m.push((
                 "variants".into(),
                 Value::Seq(self.variants.iter().map(|v| v.to_value()).collect()),
             ));
+        }
+        if let Some(sweep) = &self.sweep {
+            let axes = Value::Seq(
+                sweep
+                    .axes
+                    .iter()
+                    .map(|a| {
+                        let mut am = vec![
+                            ("header".to_string(), Value::Str(a.header.clone())),
+                            ("path".to_string(), Value::Str(a.path.clone())),
+                            ("values".to_string(), Value::Seq(a.values.clone())),
+                        ];
+                        if let Some(labels) = &a.labels {
+                            am.push((
+                                "labels".to_string(),
+                                Value::Seq(
+                                    labels.iter().map(|l| Value::Str(l.clone())).collect(),
+                                ),
+                            ));
+                        }
+                        Value::Map(am)
+                    })
+                    .collect(),
+            );
+            let mut sm = vec![("axes".to_string(), axes)];
+            if let Some(p) = &sweep.pivot {
+                sm.push((
+                    "pivot".to_string(),
+                    Value::Map(vec![
+                        ("stat".into(), Value::Str(p.stat.name().to_string())),
+                        ("prefix".into(), Value::Str(p.prefix.clone())),
+                    ]),
+                ));
+            }
+            m.push(("sweep".into(), Value::Map(sm)));
+        }
+        if !self.inputs.is_empty() {
+            m.push((
+                "inputs".into(),
+                Value::Map(
+                    self.inputs
+                        .iter()
+                        .map(|(variant, cells)| {
+                            (
+                                variant.clone(),
+                                Value::Map(
+                                    cells
+                                        .iter()
+                                        .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                                        .collect(),
+                                ),
+                            )
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if let Some(lf) = &self.label_from {
+            m.push(("label_from".into(), Value::Str(lf.clone())));
         }
         if !self.quick.is_empty() {
             m.push(("quick".into(), pairs_value(&self.quick)));
@@ -758,6 +1676,36 @@ impl serde::Serialize for ControllerSpec {
             ),
             ControllerSpec::Is(p) => tag("is", p.to_value()),
             ControllerSpec::Pa(p) => tag("pa", p.to_value()),
+            ControllerSpec::SelfTuningIs { is, outer } => tag(
+                "self_tuning_is",
+                Value::Map(vec![
+                    ("is".into(), is.to_value()),
+                    ("outer".into(), outer.to_value()),
+                ]),
+            ),
+            ControllerSpec::SelfTuningPa { pa, outer } => tag(
+                "self_tuning_pa",
+                Value::Map(vec![
+                    ("pa".into(), pa.to_value()),
+                    ("outer".into(), outer.to_value()),
+                ]),
+            ),
+            ControllerSpec::Hybrid(p) => tag(
+                "hybrid",
+                Value::Map(vec![
+                    ("is".into(), p.is.to_value()),
+                    ("pa".into(), p.pa.to_value()),
+                    (
+                        "bootstrap_samples".into(),
+                        Value::U64(p.bootstrap_samples),
+                    ),
+                    ("revert_after".into(), Value::U64(u64::from(p.revert_after))),
+                    (
+                        "revert_window".into(),
+                        Value::U64(u64::from(p.revert_window)),
+                    ),
+                ]),
+            ),
             ControllerSpec::Iyer(p) => tag("iyer", p.to_value()),
             ControllerSpec::Tay {
                 k,
@@ -893,6 +1841,68 @@ mod tests {
             r#"{"name": "x", "horizon_ms": 1.0, "system": {"seed": 42}}"#,
         );
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn cross_field_validations_reject_unsatisfiable_specs() {
+        for (bad, why) in [
+            (
+                r#"{"name": "x", "horizon_ms": 1.0, "columns": [{"input": "alpha"}]}"#,
+                "input column without variants",
+            ),
+            (
+                r#"{"name": "x", "horizon_ms": 1.0, "label_from": "alpha"}"#,
+                "label_from without variants",
+            ),
+            (
+                r#"{"name": "x", "horizon_ms": 1.0,
+                    "variants": [{"name": "a"}],
+                    "columns": [{"input": "alpha"}]}"#,
+                "input column with no matching cell",
+            ),
+            (
+                r#"{"name": "x", "horizon_ms": 1.0,
+                    "columns": ["post_jump_tracking_err"]}"#,
+                "tracking column without record_optimum",
+            ),
+            (
+                r#"{"name": "x", "horizon_ms": 1.0,
+                    "variants": [{"name": "a"}],
+                    "sweep": {"axes": [{"header": "h", "path": "cc",
+                                        "values": ["2pl"]}]}}"#,
+                "sweep and variants together",
+            ),
+            (
+                r#"{"name": "x", "horizon_ms": 1.0,
+                    "sweep": {"axes": [{"header": "h", "path": "system.terminals",
+                                        "values": [5, 5]}]}}"#,
+                "duplicate axis labels collapse cells",
+            ),
+            (
+                r#"{"name": "x", "horizon_ms": 1.0,
+                    "cc": {"phases": [[100.0, "2pl"]]}}"#,
+                "cc phases must start at 0",
+            ),
+            (
+                r#"{"name": "x", "horizon_ms": 1.0,
+                    "faults": [{"at": 1.0, "cpus_down": 2}]}"#,
+                "fault without duration",
+            ),
+        ] {
+            let r: Result<ScenarioSpec, _> = serde_json::from_str(bad);
+            assert!(r.is_err(), "accepted bad spec ({why}): {bad}");
+        }
+    }
+
+    #[test]
+    fn cc_phases_parse_and_split() {
+        let spec: ScenarioSpec = serde_json::from_str(
+            r#"{"name": "x", "horizon_ms": 1.0,
+                "cc": {"phases": [[0.0, "certification"], [500.0, "2pl"]]}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.cc, CcKind::Certification);
+        assert_eq!(spec.cc_phases, vec![(500.0, CcKind::TwoPhaseLocking)]);
     }
 
     #[test]

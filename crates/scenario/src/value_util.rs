@@ -11,10 +11,12 @@ use serde::Value;
 
 use crate::SpecError;
 
-/// Sets `path` (dot-separated map keys) in `root` to `new`. Missing
-/// terminal keys are inserted; missing intermediate keys become empty
-/// maps on the way down (the strict typed parse rejects inventions).
-/// Descending into a non-map is an error.
+/// Sets `path` (dot-separated map keys, with numeric segments indexing
+/// into lists) in `root` to `new`. Missing terminal keys are inserted;
+/// missing intermediate keys become empty maps on the way down (the
+/// strict typed parse rejects inventions). List indices must already
+/// exist — an override must never grow a list silently. Descending into
+/// a scalar is an error.
 pub fn set_path(root: &mut Value, path: &str, new: Value) -> Result<(), SpecError> {
     if path.is_empty() {
         return Err(SpecError::new("override path must not be empty"));
@@ -27,23 +29,41 @@ pub fn set_path(root: &mut Value, path: &str, new: Value) -> Result<(), SpecErro
                 "override path `{path}` has an empty segment"
             )));
         }
-        let Value::Map(entries) = cur else {
-            return Err(SpecError::new(format!(
-                "override path `{path}`: `{part}` is not inside an object"
-            )));
-        };
-        let pos = match entries.iter().position(|(k, _)| k == part) {
-            Some(pos) => pos,
-            None => {
-                entries.push((part.to_string(), Value::Map(Vec::new())));
-                entries.len() - 1
+        let slot: &mut Value = match cur {
+            Value::Map(entries) => {
+                let pos = match entries.iter().position(|(k, _)| k == part) {
+                    Some(pos) => pos,
+                    None => {
+                        entries.push((part.to_string(), Value::Map(Vec::new())));
+                        entries.len() - 1
+                    }
+                };
+                &mut entries[pos].1
+            }
+            Value::Seq(items) => {
+                let idx: usize = part.parse().map_err(|_| {
+                    SpecError::new(format!(
+                        "override path `{path}`: `{part}` must be a list index here"
+                    ))
+                })?;
+                let len = items.len();
+                items.get_mut(idx).ok_or_else(|| {
+                    SpecError::new(format!(
+                        "override path `{path}`: index {idx} out of range (len {len})"
+                    ))
+                })?
+            }
+            _ => {
+                return Err(SpecError::new(format!(
+                    "override path `{path}`: `{part}` is not inside an object or list"
+                )));
             }
         };
         if it.peek().is_none() {
-            entries[pos].1 = new;
+            *slot = new;
             return Ok(());
         }
-        cur = &mut entries[pos].1;
+        cur = slot;
     }
     unreachable!("split('.') yields at least one segment");
 }
@@ -217,6 +237,34 @@ mod tests {
         assert_eq!(v.get("a").unwrap().get("c"), Some(&Value::Str("x".into())));
         // Descending into a scalar fails.
         assert!(set_path(&mut v, "a.b.d", Value::Null).is_err());
+    }
+
+    #[test]
+    fn set_path_indexes_into_lists() {
+        let mut v = Value::Map(vec![(
+            "axes".into(),
+            Value::Seq(vec![
+                Value::Map(vec![("values".into(), Value::Seq(vec![Value::U64(1)]))]),
+                Value::Map(vec![("values".into(), Value::Seq(vec![Value::U64(2)]))]),
+            ]),
+        )]);
+        set_path(
+            &mut v,
+            "axes.1.values",
+            Value::Seq(vec![Value::U64(7), Value::U64(8)]),
+        )
+        .unwrap();
+        let axes = v.get("axes").unwrap().as_seq().unwrap();
+        assert_eq!(
+            axes[1].get("values"),
+            Some(&Value::Seq(vec![Value::U64(7), Value::U64(8)]))
+        );
+        // In-range element replacement works, out-of-range is an error
+        // (overrides must never grow a list silently), and so is a
+        // non-numeric segment against a list.
+        set_path(&mut v, "axes.0", Value::U64(9)).unwrap();
+        assert!(set_path(&mut v, "axes.5", Value::U64(1)).is_err());
+        assert!(set_path(&mut v, "axes.first", Value::U64(1)).is_err());
     }
 
     #[test]

@@ -12,7 +12,17 @@
 //! * `fig13` / `fig14` / `sinus` — trajectory CSVs (the run-level pin:
 //!   every sample of bound/MPL/throughput/optimum/k identical);
 //! * `abl-victim` / `abl-rules` — the report stats tables (per-variant
-//!   throughput, abort ratio, displacement counts… identical).
+//!   throughput, abort ratio, displacement counts… identical);
+//! * `abl-dither` / `abl-alpha` / `abl-displacement` / `abl-hybrid` —
+//!   ablations whose tables mix raw stats with *derived* columns
+//!   (post-jump tracking error, settling time) and literal input cells;
+//! * `abl-cc` — the six-protocol load–throughput grid, exercising the
+//!   sweep axes and the pivoted report layout.
+//!
+//! With these, every bespoke ablation that runs the simulator is a
+//! checked-in JSON spec; `crates/bench/src/figures/ablation.rs` keeps
+//! only the experiments that never were engine runs at heart
+//! (`abl-interval`, `abl-is-failure`) or have no spec-visible knob yet.
 
 use std::path::{Path, PathBuf};
 
@@ -113,6 +123,35 @@ fn abl_rules_port_reproduces_golden_table() {
     assert_report_matches("abl-rules", "abl-rules.csv", "port-abl-rules");
 }
 
+#[test]
+fn abl_dither_port_reproduces_golden_table() {
+    assert_report_matches("abl-dither", "abl-dither.csv", "port-abl-dither");
+}
+
+#[test]
+fn abl_alpha_port_reproduces_golden_table() {
+    assert_report_matches("abl-alpha", "abl-alpha.csv", "port-abl-alpha");
+}
+
+#[test]
+fn abl_displacement_port_reproduces_golden_table() {
+    assert_report_matches(
+        "abl-displacement",
+        "abl-displacement.csv",
+        "port-abl-displacement",
+    );
+}
+
+#[test]
+fn abl_hybrid_port_reproduces_golden_table() {
+    assert_report_matches("abl-hybrid", "abl-hybrid.csv", "port-abl-hybrid");
+}
+
+#[test]
+fn abl_cc_sweep_port_reproduces_golden_table() {
+    assert_report_matches("abl-cc", "abl-cc.csv", "port-abl-cc");
+}
+
 /// Every checked-in spec must compile (full + quick) and the whole
 /// catalog must run end-to-end at quick scale — the acceptance floor for
 /// "a new experiment is a JSON file".
@@ -126,8 +165,8 @@ fn all_checked_in_specs_run_end_to_end_quick() {
         .collect();
     names.sort();
     assert!(
-        names.len() >= 6,
-        "expected at least 6 checked-in scenario specs, found {}",
+        names.len() >= 16,
+        "expected at least 16 checked-in scenario specs, found {}",
         names.len()
     );
     for path in names {

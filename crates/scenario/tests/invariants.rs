@@ -1,0 +1,101 @@
+//! Invariant tests for the new experiment classes: per-phase CC
+//! switching and station fault events must be deterministic across
+//! reruns *and* across thread counts (the rayon pool fans run cells
+//! out; a cell-per-call serial execution must produce byte-identical
+//! statistics), and the checked-in specs exercising them must do real
+//! work on both sides of their boundaries.
+//!
+//! The transaction-conservation oracle itself (census sums, in-system
+//! accounting, no lost or double-counted run while draining) lives at
+//! the engine level in `alc_tpsim::engine` tests; here we pin the
+//! scenario-visible contract.
+
+use std::path::PathBuf;
+
+use alc_scenario::compile::RunPlan;
+use alc_scenario::runner::{run_plan, RunRecord};
+use alc_scenario::LoadedSpec;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn quick_plan(name: &str) -> RunPlan {
+    let path = scenarios_dir().join(format!("{name}.json"));
+    let loaded = LoadedSpec::read(&path).expect("read spec");
+    loaded.compile(true).expect("compile quick")
+}
+
+/// Runs every cell through its own single-job `run_plan` call: with one
+/// job the rayon shim stays on the calling thread, so this is the
+/// serial, thread-count-independent reference execution.
+fn run_serial(plan: &RunPlan) -> Vec<RunRecord> {
+    let mut records = Vec::new();
+    for v in &plan.variants {
+        let sub = RunPlan {
+            variants: vec![v.clone()],
+            ..plan.clone()
+        };
+        records.extend(run_plan(&sub));
+    }
+    records
+}
+
+fn assert_same_records(a: &[RunRecord], b: &[RunRecord], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: record count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.label, y.label, "{what}: order");
+        assert_eq!(x.seed, y.seed, "{what}: seed");
+        assert_eq!(x.stats, y.stats, "{what}: stats of `{}`", x.label);
+    }
+}
+
+#[test]
+fn cc_switch_scenario_is_deterministic_and_conserves_work() {
+    let plan = quick_plan("cc-switch");
+    assert_eq!(
+        plan.variants[0].cc_switches.len(),
+        2,
+        "the spec schedules two switches after t=0"
+    );
+    let a = run_plan(&plan);
+    let b = run_plan(&plan);
+    assert_same_records(&a, &b, "rerun");
+    let serial = run_serial(&plan);
+    assert_same_records(&a, &serial, "parallel vs serial");
+    // The run must commit meaningfully under all three protocols: the
+    // quick horizon splits 5s/5s/5s, so a wedged drain would crater the
+    // total.
+    let stats = &a[0].stats;
+    assert!(stats.commits > 100, "only {} commits", stats.commits);
+    // No run lost or double-counted: the published abort ratio must be
+    // exactly the counters' ratio (a drain bug would skew one of them).
+    let expect = stats.aborts as f64 / (stats.commits + stats.aborts) as f64;
+    assert_eq!(stats.abort_ratio, expect, "finished-run counters diverged");
+}
+
+#[test]
+fn fault_scenario_is_deterministic_across_reruns_and_thread_counts() {
+    let plan = quick_plan("fault-outage");
+    assert_eq!(
+        plan.variants[0].faults,
+        vec![(6_000.0, -2), (11_000.0, 2)],
+        "the fault window lowers to a kill/restart delta pair"
+    );
+    let a = run_plan(&plan);
+    let b = run_plan(&plan);
+    assert_same_records(&a, &b, "rerun");
+    let serial = run_serial(&plan);
+    assert_same_records(&a, &serial, "parallel vs serial");
+    assert!(a[0].stats.commits > 50, "outage run starved");
+}
+
+#[test]
+fn sweep_grid_is_deterministic_across_thread_counts() {
+    // 12 cells: enough to span multiple rayon chunks on any machine.
+    let plan = quick_plan("sweep-load");
+    assert_eq!(plan.variants.len(), 12);
+    let parallel = run_plan(&plan);
+    let serial = run_serial(&plan);
+    assert_same_records(&parallel, &serial, "sweep parallel vs serial");
+}

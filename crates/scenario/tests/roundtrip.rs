@@ -8,7 +8,10 @@
 
 use alc_scenario::compile::compile_value;
 use alc_scenario::profile::Profile;
-use alc_scenario::spec::{ControllerSpec, ScenarioSpec, StatColumn, VariantSpec, WorkloadSpec};
+use alc_scenario::spec::{
+    ColumnSpec, ControllerSpec, DerivedColumn, FaultSpec, PivotSpec, ScenarioSpec, StatColumn,
+    SweepAxis, SweepSpec, VariantSpec, WorkloadSpec,
+};
 use alc_tpsim::config::CcKind;
 use proptest::prelude::*;
 use proptest::{boxed, collection, Union};
@@ -133,19 +136,94 @@ fn arb_controller() -> Union<ControllerSpec> {
             min_bound: 1,
             max_bound,
         }),
+        (1u32..64, 64u32..900, 0.1..8.0).prop_map(|(lo, hi, beta)| {
+            ControllerSpec::SelfTuningIs {
+                is: IsParams {
+                    initial_bound: lo,
+                    min_bound: 1,
+                    max_bound: hi,
+                    beta,
+                    ..IsParams::default()
+                },
+                outer: alc_core::controller::OuterParams::default(),
+            }
+        }),
+        (1u32..64, 64u32..900, 0.65..0.98).prop_map(|(lo, hi, alpha)| {
+            ControllerSpec::SelfTuningPa {
+                pa: PaParams {
+                    initial_bound: lo,
+                    max_bound: hi,
+                    alpha,
+                    ..PaParams::default()
+                },
+                outer: alc_core::controller::PaOuterParams::default(),
+            }
+        }),
+        (1u32..64, 64u32..900).prop_map(|(lo, hi)| {
+            ControllerSpec::Hybrid(alc_core::controller::HybridParams {
+                is: IsParams {
+                    initial_bound: lo,
+                    min_bound: 1,
+                    max_bound: hi,
+                    ..IsParams::default()
+                },
+                pa: PaParams {
+                    initial_bound: lo,
+                    min_bound: 1,
+                    max_bound: hi,
+                    ..PaParams::default()
+                },
+                ..alc_core::controller::HybridParams::default()
+            })
+        }),
     ]
+}
+
+/// Strictly ascending CC switch times after t = 0.
+fn arb_cc_phases() -> impl Strategy<Value = Vec<(f64, CcKind)>> {
+    collection::vec((1.0..1_000_000.0f64, arb_cc()), 0..3).prop_map(|mut v| {
+        v.sort_by(|a, b| a.0.total_cmp(&b.0));
+        v.dedup_by(|a, b| a.0 == b.0);
+        v
+    })
+}
+
+/// Fault windows that can never exceed the generated CPU counts
+/// (`cpus ≥ 2` in `arb_system_overrides`, at most two single-CPU kills).
+fn arb_faults() -> impl Strategy<Value = Vec<FaultSpec>> {
+    collection::vec((0.0..800_000.0f64, 1_000.0..400_000.0f64), 0..3).prop_map(|v| {
+        v.into_iter()
+            .map(|(at_ms, duration_ms)| FaultSpec {
+                at_ms,
+                duration_ms,
+                cpus_down: 1,
+            })
+            .collect()
+    })
 }
 
 fn arb_cc() -> impl Strategy<Value = CcKind> {
     (0usize..CcKind::ALL.len()).prop_map(|i| CcKind::ALL[i])
 }
 
-fn arb_columns() -> impl Strategy<Value = Vec<StatColumn>> {
-    collection::vec(0usize..StatColumn::ALL.len(), 1..6).prop_map(|idx| {
-        let mut cols: Vec<StatColumn> = idx.into_iter().map(|i| StatColumn::ALL[i]).collect();
-        cols.dedup();
-        cols
-    })
+fn arb_columns() -> impl Strategy<Value = Vec<ColumnSpec>> {
+    let stat = (0usize..StatColumn::ALL.len()).prop_map(|i| ColumnSpec::Stat(StatColumn::ALL[i]));
+    let derived = prop_oneof![
+        Just(ColumnSpec::Derived(DerivedColumn::PostJumpTrackingErr)),
+        Just(ColumnSpec::Derived(DerivedColumn::ConflictRatioAtPeak)),
+        (0.05..0.9f64, 0.05..0.5f64).prop_map(|(after_frac, band)| {
+            ColumnSpec::Derived(DerivedColumn::SettlingTime {
+                header: "settle_s".to_string(),
+                after_frac,
+                band,
+            })
+        }),
+    ];
+    let literal = arb_name().prop_map(|h| ColumnSpec::Literal {
+        header: h,
+        value: "-".to_string(),
+    });
+    collection::vec(prop_oneof![4 => stat, 1 => derived, 1 => literal], 1..6)
 }
 
 /// System/control override pairs drawn from a menu of valid settings.
@@ -202,14 +280,17 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
             any::<bool>(),
             arb_columns(),
         ),
-        arb_variants(),
+        (arb_variants(), arb_cc_phases(), arb_faults()),
     )
         .prop_map(
             |(
                 (name, seed, replications, horizon_ms, cc, system),
                 (k, factor, controller, record_optimum, trajectories, columns),
-                variants,
+                (variants, cc_phases, faults),
             )| {
+                // Tracking-error columns require the optimum trajectory.
+                let record_optimum =
+                    record_optimum || columns.iter().any(ColumnSpec::needs_optimum);
                 ScenarioSpec {
                     name,
                     description: "generated spec".to_string(),
@@ -217,6 +298,8 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                     replications,
                     horizon_ms,
                     cc,
+                    cc_phases,
+                    faults,
                     system,
                     control: vec![(
                         "sample_interval_ms".to_string(),
@@ -233,10 +316,74 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                     label_header: "variant".to_string(),
                     columns,
                     variants,
+                    sweep: None,
+                    inputs: Vec::new(),
+                    label_from: None,
                     quick: vec![("horizon_ms".to_string(), Value::Num(2_000.0))],
                 }
             },
         )
+}
+
+/// A sweep over distinct paths with distinct values per axis; pivoted
+/// sweeps take the last axis as columns.
+fn arb_sweep_spec() -> impl Strategy<Value = ScenarioSpec> {
+    const PATHS: [(&str, &str); 3] = [
+        ("mpl_bound", "control.initial_bound"),
+        ("terminals", "system.terminals"),
+        ("db", "system.db_size"),
+    ];
+    (
+        arb_name(),
+        any::<u64>(),
+        1usize..4,
+        collection::vec(collection::vec(1u64..500, 1..4), 3..4),
+        any::<bool>(),
+    )
+        .prop_map(|(name, seed, n_axes, value_sets, want_pivot)| {
+            let axes: Vec<SweepAxis> = (0..n_axes)
+                .map(|i| {
+                    // Distinct values per axis (duplicate labels collapse
+                    // cells and are rejected at parse).
+                    let mut values = value_sets[i].clone();
+                    values.sort_unstable();
+                    values.dedup();
+                    SweepAxis {
+                        header: PATHS[i].0.to_string(),
+                        path: PATHS[i].1.to_string(),
+                        values: values.into_iter().map(Value::U64).collect(),
+                        labels: None,
+                    }
+                })
+                .collect();
+            let pivot = (want_pivot && n_axes >= 2).then(|| PivotSpec {
+                stat: StatColumn::ThroughputPerS,
+                prefix: "T_".to_string(),
+            });
+            ScenarioSpec {
+                name,
+                description: "generated sweep".to_string(),
+                seed,
+                replications: 1,
+                horizon_ms: 5_000.0,
+                cc: CcKind::Certification,
+                cc_phases: Vec::new(),
+                faults: Vec::new(),
+                system: Vec::new(),
+                control: vec![("sample_interval_ms".to_string(), Value::Num(500.0))],
+                workload: WorkloadSpec::default(),
+                controller: ControllerSpec::None,
+                record_optimum: false,
+                trajectories: false,
+                label_header: "variant".to_string(),
+                columns: vec![ColumnSpec::Stat(StatColumn::ThroughputPerS)],
+                variants: Vec::new(),
+                sweep: Some(SweepSpec { axes, pivot }),
+                inputs: Vec::new(),
+                label_from: None,
+                quick: Vec::new(),
+            }
+        })
 }
 
 proptest! {
@@ -267,6 +414,8 @@ proptest! {
 
     /// Compiling the same spec twice yields the identical plan
     /// (trace-free specs: generated traces have no backing files).
+    /// Generated specs include CC-switch phases, fault windows and
+    /// derived columns.
     #[test]
     fn compilation_is_deterministic(spec in arb_spec()) {
         let tree = spec.to_value();
@@ -280,6 +429,55 @@ proptest! {
             prop_assert_eq!(quick_a, quick_b);
             let groups = if spec.variants.is_empty() { 1 } else { spec.variants.len() };
             prop_assert_eq!(plan.variants.len(), groups);
+            // The lowered switch and fault schedules survive compilation
+            // on every variant.
+            for v in &plan.variants {
+                prop_assert_eq!(v.cc_switches.len(), spec.cc_phases.len());
+                prop_assert_eq!(v.faults.len(), 2 * spec.faults.len());
+                prop_assert!(v.faults.windows(2).all(|w| w[0].0 <= w[1].0));
+            }
+        }
+    }
+
+    /// Sweep specs round-trip through JSON exactly.
+    #[test]
+    fn sweep_spec_round_trips_through_json(spec in arb_sweep_spec()) {
+        let json = serde_json::to_string_pretty(&spec).expect("serialize");
+        let back: ScenarioSpec = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{json}"));
+        prop_assert_eq!(back, spec, "round trip changed the sweep spec:\n{}", json);
+    }
+
+    /// Sweep expansion is deterministic, covers the exact cross-product,
+    /// and never produces two cells with the same label.
+    #[test]
+    fn sweep_expansion_covers_the_exact_cross_product(spec in arb_sweep_spec()) {
+        let tree = spec.to_value();
+        let dir = std::path::PathBuf::from(".");
+        let a = compile_value(&tree, &dir, false).expect("sweep must compile");
+        let b = compile_value(&tree, &dir, false).expect("sweep must compile");
+        prop_assert_eq!(&a, &b, "sweep expansion must be deterministic");
+
+        let sweep = spec.sweep.as_ref().expect("generated sweep");
+        let expected: usize = sweep.axes.iter().map(|a| a.values.len()).product();
+        prop_assert_eq!(a.variants.len(), expected, "wrong cell count");
+
+        let mut seen = std::collections::HashSet::new();
+        for v in &a.variants {
+            prop_assert!(seen.insert(v.label.clone()), "duplicate cell `{}`", v.label);
+        }
+
+        // Every cell carries its own axis values: re-derive the expected
+        // coordinate labels in row-major order and compare.
+        let plan_sweep = a.sweep.as_ref().expect("plan keeps the sweep shape");
+        for (idx, v) in a.variants.iter().enumerate() {
+            let coords = plan_sweep.coords(idx);
+            let expected_label: Vec<String> = coords
+                .iter()
+                .enumerate()
+                .map(|(ax, &c)| sweep.axes[ax].label(c))
+                .collect();
+            prop_assert_eq!(v.label.clone(), expected_label.join("_"));
         }
     }
 }

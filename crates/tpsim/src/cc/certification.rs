@@ -11,10 +11,18 @@
 //! read-write and write-write conflicts). Certification state is one
 //! commit-sequence number per item — `wts[item]` = sequence number of the
 //! last committed writer — plus the global commit counter.
-
-use std::collections::HashMap;
+//!
+//! Both per-item tables (`wts` and the validate-time dedup marks) are
+//! direct-indexed, db-sized vectors rather than hash maps: item ids are
+//! dense `0..db_size`, so the arena move that already de-allocated the
+//! lock table applies here too — no hashing on the access path and no
+//! allocation per validate (the dedup set is an epoch-stamped array).
 
 use super::{AccessOutcome, ConcurrencyControl, TxnId, ValidateOutcome};
+
+/// Cap on the eagerly preallocated per-item table length; items beyond it
+/// (pathological `db_size` settings) grow the tables on demand.
+const PREALLOC_CAP: usize = 1 << 22;
 
 #[derive(Debug, Default, Clone)]
 struct TxnState {
@@ -27,18 +35,32 @@ struct TxnState {
 /// The certification protocol.
 pub struct Certification {
     commit_seq: u64,
-    /// Last committed writer per item. Items never written stay absent —
-    /// equivalent to sequence 0.
-    wts: HashMap<u64, u64>,
+    /// Last committed writer per item, direct-indexed. Items never
+    /// written hold 0 ("before every start").
+    wts: Vec<u64>,
+    /// Validate-time dedup marks: `seen[item] == epoch` means the item
+    /// was already counted in the current validation.
+    seen: Vec<u64>,
+    epoch: u64,
     txns: Vec<TxnState>,
 }
 
 impl Certification {
-    /// Creates the protocol for `slots` transaction slots.
+    /// Creates the protocol for `slots` transaction slots; the item
+    /// tables grow on first touch.
     pub fn new(slots: usize) -> Self {
+        Self::with_db_size(slots, 0)
+    }
+
+    /// Creates the protocol with the item tables preallocated for
+    /// `db_size` items, so steady state never touches the allocator.
+    pub fn with_db_size(slots: usize, db_size: usize) -> Self {
+        let prealloc = db_size.min(PREALLOC_CAP);
         Certification {
             commit_seq: 0,
-            wts: HashMap::new(),
+            wts: vec![0; prealloc],
+            seen: vec![0; prealloc],
+            epoch: 0,
             txns: vec![TxnState::default(); slots],
         }
     }
@@ -48,15 +70,27 @@ impl Certification {
         self.commit_seq
     }
 
-    fn conflicts_of(&self, txn: TxnId) -> u64 {
-        let st = &self.txns[txn];
-        let mut seen = std::collections::HashSet::new();
+    fn conflicts_of(&mut self, txn: TxnId) -> u64 {
+        self.epoch += 1;
+        let Certification {
+            txns,
+            seen,
+            wts,
+            epoch,
+            ..
+        } = self;
+        let st = &txns[txn];
         let mut conflicts = 0;
         for &(item, _) in &st.accesses {
-            if !seen.insert(item) {
+            let i = item as usize;
+            if i >= seen.len() {
+                seen.resize(i + 1, 0);
+            }
+            if seen[i] == *epoch {
                 continue;
             }
-            if self.wts.get(&item).copied().unwrap_or(0) > st.start_seq {
+            seen[i] = *epoch;
+            if wts.get(i).copied().unwrap_or(0) > st.start_seq {
                 conflicts += 1;
             }
         }
@@ -96,7 +130,11 @@ impl ConcurrencyControl for Certification {
         let mut accesses = std::mem::take(&mut self.txns[txn].accesses);
         for &(item, wrote) in &accesses {
             if wrote {
-                self.wts.insert(item, seq);
+                let i = item as usize;
+                if i >= self.wts.len() {
+                    self.wts.resize(i + 1, 0);
+                }
+                self.wts[i] = seq;
             }
         }
         accesses.clear();

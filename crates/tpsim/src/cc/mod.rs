@@ -108,15 +108,17 @@ pub trait ConcurrencyControl {
     fn deadlock_victim(&mut self, requester: TxnId) -> Option<TxnId>;
 }
 
-/// Instantiates a protocol by kind for `slots` transaction slots.
-pub fn make_cc(kind: CcKind, slots: usize) -> Box<dyn ConcurrencyControl> {
+/// Instantiates a protocol by kind for `slots` transaction slots against
+/// a database of `db_size` items (the non-locking protocols preallocate
+/// their direct-indexed per-item tables from it).
+pub fn make_cc(kind: CcKind, slots: usize, db_size: usize) -> Box<dyn ConcurrencyControl> {
     match kind {
-        CcKind::Certification => Box::new(Certification::new(slots)),
+        CcKind::Certification => Box::new(Certification::with_db_size(slots, db_size)),
         CcKind::TwoPhaseLocking => Box::new(TwoPhaseLocking::new(slots)),
         CcKind::TimestampOrdering => Box::new(TimestampOrdering::new(slots)),
         CcKind::WoundWait => Box::new(Prevention::new(PreventionPolicy::WoundWait, slots)),
         CcKind::WaitDie => Box::new(Prevention::new(PreventionPolicy::WaitDie, slots)),
-        CcKind::Multiversion => Box::new(Mvto::new(slots)),
+        CcKind::Multiversion => Box::new(Mvto::with_db_size(slots, db_size)),
     }
 }
 
@@ -134,7 +136,7 @@ mod tests {
             (CcKind::WaitDie, "wait-die"),
             (CcKind::Multiversion, "mvto"),
         ] {
-            let cc = make_cc(kind, 4);
+            let cc = make_cc(kind, 4, 100);
             assert_eq!(cc.name(), name);
         }
     }

@@ -22,9 +22,11 @@
 //! aborts with a "snapshot too old" outcome, exactly like the error
 //! real multiversion systems raise.
 
-use std::collections::HashMap;
-
 use super::{AccessOutcome, ConcurrencyControl, TxnId, ValidateOutcome};
+
+/// Cap on the eagerly preallocated version-store length; items beyond it
+/// (pathological `db_size` settings) grow the store on demand.
+const PREALLOC_CAP: usize = 1 << 22;
 
 /// One committed version of an item.
 #[derive(Debug, Clone, Copy)]
@@ -48,10 +50,11 @@ struct Slot {
 
 /// Multiversion timestamp ordering with commit-time version install.
 pub struct Mvto {
-    /// Version chains, ascending by `wts`. Absent item = only the initial
-    /// version `{wts: 0, max_rts: 0}` exists (created lazily on first
+    /// Version chains, ascending by `wts`, direct-indexed by item. An
+    /// empty chain means only the implicit initial version
+    /// `{wts: 0, max_rts: 0}` exists (materialized lazily on first
     /// touch).
-    store: HashMap<u64, Vec<Version>>,
+    store: Vec<Vec<Version>>,
     slots: Vec<Slot>,
     max_versions: usize,
 }
@@ -61,9 +64,19 @@ impl Mvto {
     pub const DEFAULT_MAX_VERSIONS: usize = 16;
 
     /// Creates the protocol for `slots` transaction slots with the
-    /// default version-retention bound.
+    /// default version-retention bound; the version store grows on first
+    /// touch.
     pub fn new(slots: usize) -> Self {
         Self::with_max_versions(slots, Self::DEFAULT_MAX_VERSIONS)
+    }
+
+    /// Creates the protocol with the version store preallocated for
+    /// `db_size` items, so steady state never touches the allocator once
+    /// the per-item chains reach their retention bound.
+    pub fn with_db_size(slots: usize, db_size: usize) -> Self {
+        let mut cc = Self::with_max_versions(slots, Self::DEFAULT_MAX_VERSIONS);
+        cc.store.resize_with(db_size.min(PREALLOC_CAP), Vec::new);
+        cc
     }
 
     /// Creates the protocol retaining at most `max_versions` committed
@@ -71,7 +84,7 @@ impl Mvto {
     pub fn with_max_versions(slots: usize, max_versions: usize) -> Self {
         assert!(max_versions >= 1, "at least one version must be retained");
         Mvto {
-            store: HashMap::new(),
+            store: Vec::new(),
             slots: vec![Slot::default(); slots],
             max_versions,
         }
@@ -85,7 +98,10 @@ impl Mvto {
     /// Committed versions currently retained for `item` (1 if untouched:
     /// the implicit initial version).
     pub fn version_count(&self, item: u64) -> usize {
-        self.store.get(&item).map_or(1, Vec::len)
+        match self.store.get(item as usize) {
+            Some(chain) if !chain.is_empty() => chain.len(),
+            _ => 1,
+        }
     }
 
     /// The reads `txn` has performed in its current run, as
@@ -100,12 +116,15 @@ impl Mvto {
     }
 
     fn chain(&mut self, item: u64) -> &mut Vec<Version> {
-        self.store.entry(item).or_insert_with(|| {
-            vec![Version {
-                wts: 0,
-                max_rts: 0,
-            }]
-        })
+        let i = item as usize;
+        if i >= self.store.len() {
+            self.store.resize_with(i + 1, Vec::new);
+        }
+        let chain = &mut self.store[i];
+        if chain.is_empty() {
+            chain.push(Version { wts: 0, max_rts: 0 });
+        }
+        chain
     }
 
     /// Index of the youngest version with `wts ≤ ts`, or `None` when the
@@ -175,7 +194,10 @@ impl ConcurrencyControl for Mvto {
         let ts = self.slots[txn].ts;
         let mut failed = 0u64;
         for &item in &self.slots[txn].writes {
-            let chain = self.store.get(&item).map_or(INITIAL, Vec::as_slice);
+            let chain = match self.store.get(item as usize) {
+                Some(chain) if !chain.is_empty() => chain.as_slice(),
+                _ => INITIAL,
+            };
             if !Self::write_permitted(chain, ts) {
                 failed += 1;
             }
@@ -189,9 +211,11 @@ impl ConcurrencyControl for Mvto {
 
     fn commit(&mut self, txn: TxnId) -> Vec<TxnId> {
         let ts = self.slots[txn].ts;
-        let writes = std::mem::take(&mut self.slots[txn].writes);
+        // Move the write list out to satisfy the borrow checker, then
+        // restore the (cleared) buffer to keep its allocation.
+        let mut writes = std::mem::take(&mut self.slots[txn].writes);
         let max_versions = self.max_versions;
-        for item in writes {
+        for &item in &writes {
             let chain = self.chain(item);
             // Insert in wts order; the new version may land *behind*
             // younger committed versions (interval insert).
@@ -212,6 +236,8 @@ impl ConcurrencyControl for Mvto {
                 chain.drain(..excess);
             }
         }
+        writes.clear();
+        self.slots[txn].writes = writes;
         self.slots[txn].reads.clear();
         Vec::new()
     }

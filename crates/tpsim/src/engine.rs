@@ -46,6 +46,10 @@ enum Event {
     RestartBegin { txn: usize, generation: u64 },
     /// Measurement / control tick.
     Sample,
+    /// Scheduled CC-protocol switch: start draining, swap when empty.
+    CcSwitch { idx: usize },
+    /// Scheduled station fault: apply the `idx`-th CPU-capacity delta.
+    Fault { idx: usize },
 }
 
 /// Aggregate statistics of a (post-warm-up) run window.
@@ -92,6 +96,10 @@ pub struct Trajectories {
     pub optimum: TimeSeries,
     /// The workload's `k(t)`, for reference.
     pub k: TimeSeries,
+    /// Per-interval data conflicts per committed transaction — the raw
+    /// material of the derived conflict-ratio columns (e.g. the conflict
+    /// ratio at the throughput peak of a load sweep).
+    pub conflict_ratio: TimeSeries,
 }
 
 impl Trajectories {
@@ -102,6 +110,7 @@ impl Trajectories {
             throughput: TimeSeries::new("throughput"),
             optimum: TimeSeries::new("optimum"),
             k: TimeSeries::new("k"),
+            conflict_ratio: TimeSeries::new("conflict_ratio"),
         }
     }
 
@@ -112,6 +121,7 @@ impl Trajectories {
         self.throughput.reserve(additional);
         self.optimum.reserve(additional);
         self.k.reserve(additional);
+        self.conflict_ratio.reserve(additional);
     }
 }
 
@@ -147,6 +157,25 @@ pub struct Simulator {
     events: u64,
     /// Reusable buffer for access-set draws (cleared per instance).
     access_scratch: Vec<u64>,
+    /// The protocol currently in force (start value, then whatever the
+    /// last completed [`Simulator::set_cc_switches`] entry installed).
+    cc_kind: CcKind,
+    /// Scheduled protocol switches `(t_ms, target)`, ascending.
+    cc_switches: Vec<(f64, CcKind)>,
+    /// A switch is draining: admissions are held at the gate and restarts
+    /// parked until the last in-CC transaction commits or aborts, then the
+    /// protocol swaps to this target.
+    drain_target: Option<CcKind>,
+    /// Transactions currently between `cc.begin` and `cc.commit`/`abort`.
+    cc_active: u32,
+    /// Restart-delay expiries deferred by an in-progress drain (FIFO).
+    parked_restarts: Vec<usize>,
+    /// Completed protocol switches (for tests/diagnostics).
+    switches_completed: u64,
+    /// Scheduled station faults `(t_ms, cpu-count delta)`, ascending.
+    fault_deltas: Vec<(f64, i32)>,
+    /// Reusable buffer for jobs dispatched by a capacity restore.
+    fault_scratch: Vec<CpuJob>,
     /// Pool of reusable id buffers for unblocked/admitted lists. Taken by
     /// the handful of sites that need one; returned cleared. Depth equals
     /// the deepest take nesting (2), so steady state allocates nothing.
@@ -191,7 +220,15 @@ impl Simulator {
             // an Arrival; capacity beyond that only ever holds tombstones.
             cal: Calendar::with_capacity(2 * slots + 8),
             txns: (0..sys.terminals).map(|_| Txn::new()).collect(),
-            cc: make_cc(cc_kind, slots),
+            cc: make_cc(cc_kind, slots, sys.db_size as usize),
+            cc_kind,
+            cc_switches: Vec::new(),
+            drain_target: None,
+            cc_active: 0,
+            parked_restarts: Vec::new(),
+            switches_completed: 0,
+            fault_deltas: Vec::new(),
+            fault_scratch: Vec::new(),
             cpu: CpuStation::with_queue_capacity(sys.cpus, t0, slots),
             gate: SimGate::with_queue_capacity(initial_bound, slots),
             rng: Streams {
@@ -254,6 +291,80 @@ impl Simulator {
         self.record_optimum = on;
     }
 
+    /// Schedules per-phase CC-protocol switches: at each `t_ms` the gate
+    /// holds new admissions, in-flight transactions drain (commit or
+    /// abort under the old protocol), the protocol swaps, and held work
+    /// resumes. Times must be ascending and ≥ the current time. Call
+    /// before running; an empty slice is a no-op (the fault-free and
+    /// switch-free paths are byte-identical to a plain run).
+    pub fn set_cc_switches(&mut self, switches: &[(f64, CcKind)]) {
+        let mut last = self.now().millis();
+        for &(at, _) in switches {
+            assert!(at >= last, "cc switch times must be ascending");
+            last = at;
+        }
+        self.cc_switches = switches.to_vec();
+        for (idx, &(at, _)) in self.cc_switches.iter().enumerate() {
+            self.cal.schedule(SimTime::new(at), Event::CcSwitch { idx });
+        }
+    }
+
+    /// Schedules station fault events: at each `t_ms` the installed CPU
+    /// count changes by `delta` (negative = kill, positive = restart),
+    /// clamped at 0. Killed servers finish their current bursts; restored
+    /// servers immediately pick up queued work. Times must be ascending.
+    pub fn set_faults(&mut self, deltas: &[(f64, i32)]) {
+        let mut last = self.now().millis();
+        for &(at, _) in deltas {
+            assert!(at >= last, "fault times must be ascending");
+            last = at;
+        }
+        self.fault_deltas = deltas.to_vec();
+        for (idx, &(at, _)) in self.fault_deltas.iter().enumerate() {
+            self.cal.schedule(SimTime::new(at), Event::Fault { idx });
+        }
+    }
+
+    /// The CC protocol currently in force.
+    pub fn current_cc(&self) -> CcKind {
+        self.cc_kind
+    }
+
+    /// Completed protocol switches so far.
+    pub fn cc_switches_completed(&self) -> u64 {
+        self.switches_completed
+    }
+
+    /// Transactions currently inside the CC protocol (between `begin`
+    /// and commit/abort) — 0 at every completed switch boundary.
+    pub fn cc_in_flight(&self) -> u32 {
+        self.cc_active
+    }
+
+    /// CPU servers currently installed (varies under fault events).
+    pub fn cpu_servers(&self) -> u32 {
+        self.cpu.servers()
+    }
+
+    /// Census of transaction-slot states
+    /// `[thinking, queued, running, blocked, restart-wait]` — the
+    /// conservation oracle for the switch/fault invariant tests (the sum
+    /// is always the slot count; nothing is lost or double-counted).
+    pub fn txn_state_census(&self) -> [usize; 5] {
+        let mut census = [0usize; 5];
+        for t in &self.txns {
+            let i = match t.state {
+                TxnState::Thinking => 0,
+                TxnState::Queued => 1,
+                TxnState::Running { .. } => 2,
+                TxnState::Blocked { .. } => 3,
+                TxnState::RestartWait => 4,
+            };
+            census[i] += 1;
+        }
+        census
+    }
+
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.cal.now()
@@ -292,6 +403,12 @@ impl Simulator {
             let (_, ev) = self.cal.pop().expect("peeked event must pop");
             self.events += 1;
             self.handle(ev);
+            // Drain completion runs at the top level (never from inside a
+            // commit/abort handler) so the swap can safely restart work.
+            if self.drain_target.is_some() && self.cc_active == 0 {
+                let target = self.drain_target.take().expect("checked above");
+                self.complete_cc_switch(target);
+            }
         }
         self.stats_at(t_end)
     }
@@ -373,7 +490,90 @@ impl Simulator {
             Event::DiskDone { txn, generation } => self.on_disk_done(txn, generation),
             Event::RestartBegin { txn, generation } => self.on_restart(txn, generation),
             Event::Sample => self.on_sample(),
+            Event::CcSwitch { idx } => self.on_cc_switch(idx),
+            Event::Fault { idx } => self.on_fault(idx),
         }
+    }
+
+    /// A scheduled protocol switch fires: swap immediately if nothing is
+    /// inside the CC layer, otherwise hold admissions and drain. A switch
+    /// firing while an earlier one still drains retargets the drain
+    /// (last switch wins).
+    fn on_cc_switch(&mut self, idx: usize) {
+        let target = self.cc_switches[idx].1;
+        if self.cc_active == 0 && self.drain_target.is_none() {
+            self.complete_cc_switch(target);
+        } else {
+            self.drain_target = Some(target);
+            self.gate.set_hold();
+        }
+    }
+
+    /// The system is empty of in-CC transactions: install the target
+    /// protocol (fresh state — nothing carries over by construction) and
+    /// resume the held work in arrival order.
+    fn complete_cc_switch(&mut self, target: CcKind) {
+        self.cc = make_cc(target, self.txns.len(), self.sys.db_size as usize);
+        self.cc_kind = target;
+        self.switches_completed += 1;
+        // Parked restarts first: they kept their MPL slot through the
+        // drain, so they re-enter execution before any new admission.
+        // A parked transaction may have been *displaced* while waiting
+        // (displacement victims include `RestartWait` slots): it is in
+        // the gate queue now and will re-enter through the release
+        // below — restarting it here too would double-start the slot.
+        let mut parked = std::mem::take(&mut self.parked_restarts);
+        for &i in &parked {
+            if self.txns[i].state == TxnState::RestartWait {
+                self.restart_now(i);
+            }
+        }
+        parked.clear();
+        self.parked_restarts = parked;
+        let mut admitted = self.take_scratch();
+        self.gate.release_hold_into(&mut admitted);
+        for &a in &admitted {
+            self.txns[a].state = TxnState::Thinking; // transient
+            self.note_mpl();
+            self.start_instance(a);
+        }
+        self.put_scratch(admitted);
+        debug_assert_eq!(
+            self.cc_active as usize,
+            self.txns
+                .iter()
+                .filter(|t| {
+                    matches!(t.state, TxnState::Running { .. } | TxnState::Blocked { .. })
+                })
+                .count(),
+            "cc_active diverged from the running/blocked census after a switch"
+        );
+    }
+
+    /// A scheduled station fault fires: apply the CPU-capacity delta and
+    /// schedule completions for any queued jobs a restore dispatched.
+    fn on_fault(&mut self, idx: usize) {
+        let delta = self.fault_deltas[idx].1;
+        let target = (i64::from(self.cpu.servers()) + i64::from(delta)).max(0) as u32;
+        let now = self.now();
+        let mut started = std::mem::take(&mut self.fault_scratch);
+        let txns = &self.txns;
+        self.cpu.set_servers_into(
+            now,
+            target,
+            |j| j.generation != txns[j.txn].generation,
+            &mut started,
+        );
+        for job in started.drain(..) {
+            self.cal.schedule_in(
+                job.burst_ms,
+                Event::CpuDone {
+                    txn: job.txn,
+                    generation: job.generation,
+                },
+            );
+        }
+        self.fault_scratch = started;
     }
 
     /// Open mode: claim a free slot for the arriving transaction (or
@@ -483,6 +683,7 @@ impl Simulator {
             };
         }
         self.cc.begin(i, ts);
+        self.cc_active += 1;
         self.request_cpu(i);
     }
 
@@ -606,6 +807,8 @@ impl Simulator {
         if v.ok {
             let mut unblocked = self.take_scratch();
             self.cc.commit_into(i, &mut unblocked);
+            debug_assert!(self.cc_active > 0, "commit without an in-CC txn");
+            self.cc_active -= 1;
             self.conflicts += v.conflicts;
             self.sampler.on_conflicts(v.conflicts);
             let response = now - self.txns[i].submitted_at;
@@ -660,8 +863,19 @@ impl Simulator {
 
     fn abort_run(&mut self, i: usize, mode: RestartMode) {
         let now = self.now();
+        // Displacement may hit a transaction already out of the CC layer
+        // (a `RestartWait` between abort and restart) — only runs that
+        // actually sit between `cc.begin` and commit/abort leave it here.
+        let was_in_cc = matches!(
+            self.txns[i].state,
+            TxnState::Running { .. } | TxnState::Blocked { .. }
+        );
         let mut unblocked = self.take_scratch();
         self.cc.abort_into(i, &mut unblocked);
+        if was_in_cc {
+            debug_assert!(self.cc_active > 0, "abort without an in-CC txn");
+            self.cc_active -= 1;
+        }
         self.aborts += 1;
         self.txns[i].generation += 1; // kill in-flight events
         self.txns[i].restarts += 1;
@@ -692,6 +906,19 @@ impl Simulator {
             return;
         }
         debug_assert_eq!(self.txns[i].state, TxnState::RestartWait);
+        if self.drain_target.is_some() {
+            // A CC switch is draining: the restart keeps its MPL slot but
+            // must not re-enter the old protocol — park it until the swap.
+            self.parked_restarts.push(i);
+            return;
+        }
+        self.restart_now(i);
+    }
+
+    /// Re-enters execution after a restart delay (or after a drain parked
+    /// the expiry): fresh access set when `resample_on_restart`, identical
+    /// retry otherwise.
+    fn restart_now(&mut self, i: usize) {
         if self.sys.resample_on_restart {
             // Fresh access set from the *current* workload (re-planned run).
             let keep_restarts = self.txns[i].restarts;
@@ -738,6 +965,9 @@ impl Simulator {
         self.trajectories
             .throughput
             .push(now, m.throughput_per_sec());
+        self.trajectories
+            .conflict_ratio
+            .push(now, m.conflicts_per_txn);
         self.trajectories.k.push(now, f64::from(w.k));
         if self.record_optimum {
             let key = (
@@ -1488,6 +1718,248 @@ mod tests {
             surged.commits > baseline.commits,
             "the admitted part of the surge should still commit more"
         );
+    }
+
+    /// The CC-switch conservation invariant: across a drain-and-swap
+    /// boundary every transaction slot stays accounted for (census sums
+    /// to the population), the in-system count matches the states that
+    /// hold an MPL slot, commits keep flowing under the new protocol, and
+    /// the whole run is deterministic.
+    #[test]
+    fn cc_switch_drains_swaps_and_conserves_transactions() {
+        let run = || {
+            let workload = WorkloadConfig {
+                write_frac: alc_analytic::surface::Schedule::Constant(0.5),
+                ..WorkloadConfig::default()
+            };
+            let mut sys = small_sys(25, 77);
+            sys.db_size = 200; // enough contention for aborts on both sides
+            let mut sim = Simulator::new(
+                sys,
+                workload,
+                CcKind::Certification,
+                ControlConfig {
+                    sample_interval_ms: 500.0,
+                    initial_bound: 12,
+                    warmup_ms: 0.0,
+                    ..ControlConfig::default()
+                },
+                None,
+            );
+            sim.set_record_optimum(false);
+            sim.set_cc_switches(&[(10_000.0, CcKind::TwoPhaseLocking)]);
+            let before = sim.run_until(9_999.0);
+            let census = sim.txn_state_census();
+            assert_eq!(census.iter().sum::<usize>(), 25, "slot lost pre-switch");
+            let after = sim.run_until(30_000.0);
+            (before, after, sim)
+        };
+        let (before, after, sim) = run();
+        assert_eq!(sim.current_cc(), CcKind::TwoPhaseLocking);
+        assert_eq!(sim.cc_switches_completed(), 1);
+        // Conservation: every slot still in exactly one state, and the
+        // gate's population matches the states that hold an MPL slot.
+        let census = sim.txn_state_census();
+        assert_eq!(census.iter().sum::<usize>(), 25, "slot lost in drain");
+        assert_eq!(
+            sim.gate().in_system() as usize,
+            census[2] + census[3] + census[4],
+            "in-system count diverged from the running/blocked/restarting states"
+        );
+        // Monotone counters: the post-switch window did real work, and
+        // nothing was un-counted by the swap.
+        assert!(after.commits > before.commits, "no progress after switch");
+        assert!(after.aborts >= before.aborts);
+        // Determinism across reruns.
+        let (before2, after2, _) = run();
+        assert_eq!(before, before2);
+        assert_eq!(after, after2);
+    }
+
+    /// Displacement firing *during* a CC-switch drain must not
+    /// double-start a parked restart: a displaced `RestartWait` slot
+    /// moves to the gate queue and re-enters through the release, not
+    /// through the parked list (the swap's census debug-assert and the
+    /// conservation checks below catch a double `cc.begin`).
+    #[test]
+    fn displacement_during_drain_does_not_double_start_parked_restarts() {
+        let run = || {
+            // High write contention on a small database + long restart
+            // delays: many slots sit in RestartWait at any moment, so
+            // drains regularly park restarts. Displacement is on and the
+            // controller slams the bound down every few samples, so
+            // victims (including parked RestartWait slots) are taken
+            // while drains are in flight.
+            let workload = WorkloadConfig {
+                k: alc_analytic::surface::Schedule::Constant(8.0),
+                query_frac: alc_analytic::surface::Schedule::Constant(0.0),
+                write_frac: alc_analytic::surface::Schedule::Constant(1.0),
+                ..WorkloadConfig::default()
+            };
+            let mut sys = small_sys(30, 81);
+            sys.db_size = 60;
+            sys.restart_delay = Dist::constant(400.0);
+            struct Slammer {
+                calls: u32,
+            }
+            impl LoadController for Slammer {
+                fn name(&self) -> &'static str {
+                    "slammer"
+                }
+                fn update(&mut self, _m: &alc_core::measure::Measurement) -> u32 {
+                    self.calls += 1;
+                    if self.calls.is_multiple_of(3) {
+                        2
+                    } else {
+                        25
+                    }
+                }
+                fn current_bound(&self) -> u32 {
+                    25
+                }
+                fn reset(&mut self) {}
+            }
+            let mut sim = Simulator::new(
+                sys,
+                workload,
+                CcKind::Certification,
+                ControlConfig {
+                    sample_interval_ms: 300.0,
+                    displacement: true,
+                    warmup_ms: 0.0,
+                    ..ControlConfig::default()
+                },
+                Some(Box::new(Slammer { calls: 0 })),
+            );
+            sim.set_record_optimum(false);
+            let switches: Vec<(f64, CcKind)> = (1..20)
+                .map(|i| {
+                    (
+                        f64::from(i) * 1_000.0,
+                        if i % 2 == 0 {
+                            CcKind::Certification
+                        } else {
+                            CcKind::WaitDie
+                        },
+                    )
+                })
+                .collect();
+            sim.set_cc_switches(&switches);
+            let stats = sim.run_until(25_000.0);
+            (stats, sim)
+        };
+        let (stats, sim) = run();
+        assert!(stats.displaced > 0, "scenario never displaced");
+        assert!(sim.cc_switches_completed() > 5, "drains never completed");
+        assert!(stats.commits > 50, "system wedged");
+        // Conservation after heavy drain × displacement interleaving.
+        let census = sim.txn_state_census();
+        assert_eq!(census.iter().sum::<usize>(), 30);
+        assert_eq!(
+            sim.gate().in_system() as usize,
+            census[2] + census[3] + census[4]
+        );
+        assert_eq!(
+            sim.cc_in_flight() as usize,
+            census[2] + census[3],
+            "cc_active must equal the running+blocked census"
+        );
+        let (stats2, _) = run();
+        assert_eq!(stats, stats2, "switch+displacement run must be deterministic");
+    }
+
+    #[test]
+    fn cc_switch_without_contention_is_transparent() {
+        // Read-only workload: the switch must not lose a single commit
+        // relative to... itself on rerun, and both protocols commit.
+        let workload = WorkloadConfig {
+            query_frac: alc_analytic::surface::Schedule::Constant(1.0),
+            ..WorkloadConfig::default()
+        };
+        let mut sim = Simulator::new(
+            small_sys(15, 78),
+            workload,
+            CcKind::Certification,
+            no_control(10),
+            None,
+        );
+        sim.set_record_optimum(false);
+        sim.set_cc_switches(&[(8_000.0, CcKind::Multiversion), (16_000.0, CcKind::WaitDie)]);
+        let stats = sim.run_until(24_000.0);
+        assert_eq!(sim.cc_switches_completed(), 2);
+        assert_eq!(sim.current_cc(), CcKind::WaitDie);
+        assert_eq!(stats.aborts, 0, "read-only runs must never abort");
+        assert!(stats.commits > 100);
+    }
+
+    #[test]
+    fn fault_kill_restart_changes_capacity_and_recovers() {
+        let run = || {
+            let mut sim = Simulator::new(
+                small_sys(30, 79),
+                WorkloadConfig::default(),
+                CcKind::Certification,
+                no_control(u32::MAX),
+                None,
+            );
+            sim.set_record_optimum(false);
+            // Kill 3 of 4 CPUs during [8s, 20s), then restore.
+            sim.set_faults(&[(8_000.0, -3), (20_000.0, 3)]);
+            // Window boundaries sit just before the fault events (an
+            // event at exactly t fires within `run_until(t)`).
+            let healthy = sim.run_until(7_999.0);
+            assert_eq!(sim.cpu_servers(), 4);
+            sim.reset_window();
+            let degraded = sim.run_until(19_999.0);
+            assert_eq!(sim.cpu_servers(), 1);
+            sim.reset_window();
+            let recovered = sim.run_until(32_000.0);
+            assert_eq!(sim.cpu_servers(), 4);
+            (healthy, degraded, recovered)
+        };
+        let (healthy, degraded, recovered) = run();
+        assert!(
+            degraded.throughput_per_sec < 0.7 * healthy.throughput_per_sec,
+            "losing 3 of 4 CPUs should throttle throughput: {} vs {}",
+            degraded.throughput_per_sec,
+            healthy.throughput_per_sec
+        );
+        assert!(
+            recovered.throughput_per_sec > 1.3 * degraded.throughput_per_sec,
+            "restart should restore throughput: {} vs {}",
+            recovered.throughput_per_sec,
+            degraded.throughput_per_sec
+        );
+        // Census conservation under faults, and determinism.
+        let again = run();
+        assert_eq!((healthy, degraded, recovered), again);
+    }
+
+    #[test]
+    fn total_cpu_outage_stalls_until_restart() {
+        let mut sim = Simulator::new(
+            small_sys(10, 80),
+            WorkloadConfig::default(),
+            CcKind::Certification,
+            no_control(u32::MAX),
+            None,
+        );
+        sim.set_record_optimum(false);
+        sim.set_faults(&[(5_000.0, -4), (15_000.0, 4)]);
+        sim.run_until(5_000.0);
+        sim.reset_window();
+        let out = sim.run_until(15_000.0);
+        // With every CPU dead, phases cannot complete — only runs already
+        // past their last CPU burst may still trickle through the disk.
+        assert!(
+            out.commits <= 10,
+            "a total outage should stall commits, saw {}",
+            out.commits
+        );
+        sim.reset_window();
+        let back = sim.run_until(30_000.0);
+        assert!(back.commits > 50, "system must recover after the restart");
+        assert_eq!(sim.txn_state_census().iter().sum::<usize>(), 10);
     }
 
     #[test]

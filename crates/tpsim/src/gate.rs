@@ -17,6 +17,10 @@ pub struct SimGate {
     queue: VecDeque<usize>,
     total_admitted: u64,
     total_displaced: u64,
+    /// Admission hold: while set, every arrival queues and departures
+    /// admit nobody — the engine uses this to drain the system before a
+    /// CC-protocol switch. The bound and queue order are untouched.
+    hold: bool,
 }
 
 impl SimGate {
@@ -36,6 +40,7 @@ impl SimGate {
             queue: VecDeque::with_capacity(cap),
             total_admitted: 0,
             total_displaced: 0,
+            hold: false,
         }
     }
 
@@ -64,9 +69,28 @@ impl SimGate {
         self.total_displaced
     }
 
+    /// Whether an admission hold is in force.
+    pub fn held(&self) -> bool {
+        self.hold
+    }
+
+    /// Starts an admission hold: arrivals queue unconditionally and no
+    /// departure or bound change admits anyone until
+    /// [`SimGate::release_hold_into`].
+    pub fn set_hold(&mut self) {
+        self.hold = true;
+    }
+
+    /// Ends an admission hold and appends the transactions now admitted
+    /// (FIFO, up to the bound) to `admitted`.
+    pub fn release_hold_into(&mut self, admitted: &mut Vec<usize>) {
+        self.hold = false;
+        self.drain_queue_into(admitted);
+    }
+
     /// An arrival: admitted immediately (`true`) or queued (`false`).
     pub fn arrive(&mut self, txn: usize) -> bool {
-        if self.in_system < self.bound {
+        if !self.hold && self.in_system < self.bound {
             self.in_system += 1;
             self.total_admitted += 1;
             true
@@ -125,7 +149,7 @@ impl SimGate {
     }
 
     fn drain_queue_into(&mut self, admitted: &mut Vec<usize>) {
-        while self.in_system < self.bound {
+        while !self.hold && self.in_system < self.bound {
             match self.queue.pop_front() {
                 Some(txn) => {
                     self.in_system += 1;
@@ -203,6 +227,27 @@ mod tests {
         let admitted = g.set_bound(4);
         assert_eq!(admitted, vec![1, 2, 3]);
         assert_eq!(g.total_displaced(), 2);
+    }
+
+    #[test]
+    fn hold_blocks_all_admissions_until_released() {
+        let mut g = SimGate::new(3);
+        g.arrive(0);
+        g.arrive(1);
+        g.set_hold();
+        assert!(g.held());
+        // Below the bound, but the hold queues the arrival anyway.
+        assert!(!g.arrive(2));
+        // Departures and bound raises admit nobody while held.
+        assert_eq!(g.depart(), Vec::<usize>::new());
+        assert_eq!(g.set_bound(10), Vec::<usize>::new());
+        assert_eq!(g.in_system(), 1);
+        assert_eq!(g.queue_len(), 1);
+        let mut admitted = Vec::new();
+        g.release_hold_into(&mut admitted);
+        assert_eq!(admitted, vec![2]);
+        assert!(!g.held());
+        assert_eq!(g.in_system(), 2);
     }
 
     #[test]

@@ -32,6 +32,12 @@ pub struct CpuStation {
     queue: VecDeque<CpuJob>,
     utilization: TimeWeighted,
     queue_len: TimeWeighted,
+    /// Time-weighted capacity, consulted by [`CpuStation::mean_utilization`]
+    /// only once a fault event has varied the server count (`varied`): the
+    /// constant-capacity path must keep dividing by the exact integer so
+    /// fault-free runs reproduce bit-identical statistics.
+    capacity_avg: TimeWeighted,
+    capacity_varied: bool,
 }
 
 impl CpuStation {
@@ -51,7 +57,46 @@ impl CpuStation {
             queue: VecDeque::with_capacity(cap),
             utilization: TimeWeighted::new(t0, 0.0),
             queue_len: TimeWeighted::new(t0, 0.0),
+            capacity_avg: TimeWeighted::new(t0, f64::from(servers)),
+            capacity_varied: false,
         }
+    }
+
+    /// Servers currently installed (may be 0 during a total outage).
+    pub fn servers(&self) -> u32 {
+        self.servers
+    }
+
+    /// Fault event: changes the installed server count to `servers`.
+    ///
+    /// Shrinking never preempts — busy servers finish their current
+    /// bursts and simply aren't re-filled until the population drops
+    /// below the new capacity. Growing dispatches queued live jobs onto
+    /// the new servers immediately; they are appended to `started` and
+    /// the caller schedules their completions (exactly the
+    /// [`CpuStation::offer`] contract).
+    pub fn set_servers_into(
+        &mut self,
+        now: SimTime,
+        servers: u32,
+        is_stale: impl Fn(&CpuJob) -> bool,
+        started: &mut Vec<CpuJob>,
+    ) {
+        self.capacity_varied = true;
+        self.capacity_avg.set(now, f64::from(servers));
+        self.servers = servers;
+        while self.busy < self.servers {
+            let Some(job) = self.queue.pop_front() else {
+                break;
+            };
+            if is_stale(&job) {
+                continue;
+            }
+            self.busy += 1;
+            started.push(job);
+        }
+        self.queue_len.set(now, self.queue.len() as f64);
+        self.utilization.set(now, f64::from(self.busy));
     }
 
     /// Offers a job. Returns `Some(job)` if a server is free and the job
@@ -79,14 +124,20 @@ impl CpuStation {
     ) -> Option<CpuJob> {
         debug_assert!(self.busy > 0, "completion without a busy server");
         self.busy -= 1;
-        while let Some(job) = self.queue.pop_front() {
-            if is_stale(&job) {
-                continue;
+        // A fault may have shrunk the capacity below the busy count; in
+        // that case the freed server is one of the killed ones and must
+        // not pick up new work. (With constant capacity the guard is
+        // always true here: a non-empty queue implies a full station.)
+        if self.busy < self.servers {
+            while let Some(job) = self.queue.pop_front() {
+                if is_stale(&job) {
+                    continue;
+                }
+                self.busy += 1;
+                self.queue_len.set(now, self.queue.len() as f64);
+                self.utilization.set(now, f64::from(self.busy));
+                return Some(job);
             }
-            self.busy += 1;
-            self.queue_len.set(now, self.queue.len() as f64);
-            self.utilization.set(now, f64::from(self.busy));
-            return Some(job);
         }
         self.queue_len.set(now, self.queue.len() as f64);
         self.utilization.set(now, f64::from(self.busy));
@@ -103,9 +154,19 @@ impl CpuStation {
         self.queue.len()
     }
 
-    /// Time-averaged utilization (busy servers / total) since `since`.
+    /// Time-averaged utilization (busy servers / installed servers).
+    /// Under fault events the divisor is the time-weighted installed
+    /// capacity; fault-free runs keep the exact constant divisor.
     pub fn mean_utilization(&self, now: SimTime) -> f64 {
-        self.utilization.average(now) / f64::from(self.servers)
+        if self.capacity_varied {
+            let cap = self.capacity_avg.average(now);
+            if cap <= 0.0 {
+                return 0.0;
+            }
+            self.utilization.average(now) / cap
+        } else {
+            self.utilization.average(now) / f64::from(self.servers)
+        }
     }
 
     /// Time-averaged ready-queue length.
@@ -117,6 +178,7 @@ impl CpuStation {
     pub fn reset_stats(&mut self, now: SimTime) {
         self.utilization.reset(now);
         self.queue_len.reset(now);
+        self.capacity_avg.reset(now);
     }
 }
 
@@ -190,6 +252,69 @@ mod tests {
         // busy-server integral: 1 * 50 over [0, 100] => mean 0.5 servers
         // => utilization 0.25 of 2 servers.
         assert!((cpu.mean_utilization(t(100.0)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shrinking_capacity_retires_servers_as_they_free() {
+        let mut cpu = CpuStation::new(3, t(0.0));
+        for i in 0..3 {
+            assert!(cpu.offer(t(0.0), job(i, 0)).is_some());
+        }
+        cpu.offer(t(0.0), job(3, 0)); // queued
+        let mut started = Vec::new();
+        cpu.set_servers_into(t(5.0), 1, |_| false, &mut started);
+        assert!(started.is_empty(), "shrink must not start work");
+        assert_eq!(cpu.servers(), 1);
+        // Completions above the new capacity retire servers instead of
+        // dispatching the queued job.
+        assert!(cpu.complete(t(10.0), |_| false).is_none());
+        assert!(cpu.complete(t(11.0), |_| false).is_none());
+        assert_eq!(cpu.busy(), 1);
+        assert_eq!(cpu.queued(), 1);
+        // The last completion frees the one live server: dispatch resumes.
+        let next = cpu.complete(t(12.0), |_| false).expect("dispatch");
+        assert_eq!(next.txn, 3);
+    }
+
+    #[test]
+    fn growing_capacity_dispatches_queued_jobs() {
+        let mut cpu = CpuStation::new(1, t(0.0));
+        cpu.offer(t(0.0), job(0, 0));
+        cpu.offer(t(0.0), job(1, 0));
+        cpu.offer(t(0.0), job(2, 9)); // stale
+        cpu.offer(t(0.0), job(3, 0));
+        let mut started = Vec::new();
+        cpu.set_servers_into(t(5.0), 3, |j| j.generation == 9, &mut started);
+        assert_eq!(
+            started.iter().map(|j| j.txn).collect::<Vec<_>>(),
+            vec![1, 3],
+            "stale job skipped, live jobs started in FIFO order"
+        );
+        assert_eq!(cpu.busy(), 3);
+        assert_eq!(cpu.queued(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_queues_everything_until_restart() {
+        let mut cpu = CpuStation::new(2, t(0.0));
+        let mut started = Vec::new();
+        cpu.set_servers_into(t(0.0), 0, |_| false, &mut started);
+        assert!(cpu.offer(t(1.0), job(0, 0)).is_none());
+        assert_eq!(cpu.busy(), 0);
+        cpu.set_servers_into(t(2.0), 2, |_| false, &mut started);
+        assert_eq!(started.len(), 1);
+        assert_eq!(cpu.busy(), 1);
+    }
+
+    #[test]
+    fn varied_capacity_utilization_uses_time_weighted_divisor() {
+        let mut cpu = CpuStation::new(2, t(0.0));
+        cpu.offer(t(0.0), job(0, 0));
+        // [0, 100): 2 servers, 1 busy; [100, 200): 1 server, 1 busy.
+        let mut started = Vec::new();
+        cpu.set_servers_into(t(100.0), 1, |_| false, &mut started);
+        // busy integral 1*200; capacity integral 2*100 + 1*100 = 300.
+        assert!((cpu.mean_utilization(t(200.0)) - 200.0 / 300.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,23 +1,31 @@
-//! Allocation gate: the 2PL deadlock machinery must be zero-allocation
-//! in steady state.
+//! Allocation gate: the CC hot paths must be zero-allocation in steady
+//! state.
 //!
-//! This test binary installs a counting global allocator and drives a
-//! warmed-up [`TwoPhaseLocking`] instance through a contended workload of
-//! repeated multi-transaction deadlock cycles: every round builds a
-//! waits-for cycle, runs the detector (`deadlock_victim`), aborts the
-//! victim and drains the survivors. After warm-up (lock-table arena,
-//! queues, DFS buffers at working-set capacity) *no* operation may touch
-//! the allocator: the parent-pointer DFS reuses epoch-stamped per-slot
-//! buffers instead of cloning paths into a fresh `HashSet`/`Vec` per
-//! block, and the arena lock table recycles entries.
+//! This test binary installs a counting global allocator and drives
+//! warmed-up protocol instances through contended workloads:
 //!
-//! Kept as its own integration-test binary so the global allocator and
-//! the single `#[test]` cannot race with unrelated tests.
+//! * [`TwoPhaseLocking`] — repeated multi-transaction deadlock cycles:
+//!   every round builds a waits-for cycle, runs the detector
+//!   (`deadlock_victim`), aborts the victim and drains the survivors.
+//!   After warm-up (lock-table arena, queues, DFS buffers at working-set
+//!   capacity) *no* operation may touch the allocator.
+//! * [`Certification`] — begin/access/validate/commit/abort churn: the
+//!   per-item `wts` table and the validate-time dedup set are
+//!   direct-indexed, db-sized arrays (no `HashMap`/`HashSet` on the
+//!   access or validation path).
+//! * [`Mvto`] — the version store is a direct-indexed, db-sized chain
+//!   table; retention-capped chains and recycled read/write buffers keep
+//!   the commit path off the allocator.
+//!
+//! Kept as its own integration-test binary so the global allocator
+//! cannot race with unrelated tests; the tests themselves serialize on a
+//! mutex so their counter windows never overlap.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
-use alc_tpsim::cc::{AccessOutcome, ConcurrencyControl, TwoPhaseLocking};
+use alc_tpsim::cc::{AccessOutcome, Certification, ConcurrencyControl, Mvto, TwoPhaseLocking};
 
 struct CountingAlloc;
 
@@ -45,6 +53,9 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 fn allocations() -> u64 {
     ALLOCS.load(Ordering::Relaxed)
 }
+
+/// Serializes the tests so their measurement windows cannot interleave.
+static GATE: Mutex<()> = Mutex::new(());
 
 const SLOTS: usize = 32;
 
@@ -87,6 +98,7 @@ fn deadlock_round(
 
 #[test]
 fn steady_state_2pl_deadlock_churn_is_allocation_free() {
+    let _guard = GATE.lock().unwrap();
     const WARMUP_ROUNDS: usize = 400;
     const MEASURED_ROUNDS: usize = 4_000;
 
@@ -111,6 +123,121 @@ fn steady_state_2pl_deadlock_churn_is_allocation_free() {
         after - before,
         0,
         "2PL deadlock hot path allocated {} times over {MEASURED_ROUNDS} contended rounds",
+        after - before
+    );
+}
+
+const DB: usize = 512;
+
+/// One certification round: `SLOTS` concurrent transactions access
+/// overlapping windows of the database (reads and writes), then validate
+/// in order — early committers pass, later ones with stale reads fail
+/// and abort. Item windows slide every round so the whole table is
+/// touched over time.
+fn certification_round(cc: &mut Certification, round: usize) {
+    for txn in 0..SLOTS {
+        cc.begin(txn, (round * SLOTS + txn) as u64);
+        for j in 0..8usize {
+            let item = ((round * 13 + txn * 5 + j * 3) % DB) as u64;
+            let write = (txn + j) % 3 == 0;
+            assert_eq!(cc.access(txn, item, write), AccessOutcome::Granted);
+        }
+    }
+    for txn in 0..SLOTS {
+        let v = cc.validate(txn);
+        if v.ok {
+            cc.commit(txn);
+        } else {
+            cc.abort(txn);
+        }
+    }
+}
+
+#[test]
+fn steady_state_certification_churn_is_allocation_free() {
+    let _guard = GATE.lock().unwrap();
+    const WARMUP_ROUNDS: usize = 200;
+    const MEASURED_ROUNDS: usize = 4_000;
+
+    let mut cc = Certification::with_db_size(SLOTS, DB);
+    for round in 0..WARMUP_ROUNDS {
+        certification_round(&mut cc, round);
+    }
+
+    let before = allocations();
+    for round in 0..MEASURED_ROUNDS {
+        certification_round(&mut cc, WARMUP_ROUNDS + round);
+    }
+    let after = allocations();
+
+    assert!(cc.commits() > 0, "rounds must actually commit");
+    assert_eq!(
+        after - before,
+        0,
+        "certification hot path allocated {} times over {MEASURED_ROUNDS} rounds \
+         (per-item tables must stay direct-indexed, dedup must stay epoch-stamped)",
+        after - before
+    );
+}
+
+/// One MVTO round: interleaved readers and writers over sliding item
+/// windows; writers that would invalidate younger reads abort. Version
+/// chains hit their retention cap during warm-up, after which inserts
+/// recycle capacity.
+fn mvto_round(cc: &mut Mvto, ts: &mut u64, round: usize) {
+    for txn in 0..SLOTS {
+        *ts += 1;
+        cc.begin(txn, *ts);
+    }
+    let mut aborted = [false; SLOTS];
+    for (txn, txn_aborted) in aborted.iter_mut().enumerate() {
+        for j in 0..6usize {
+            if *txn_aborted {
+                break;
+            }
+            let item = ((round * 11 + txn * 7 + j) % DB) as u64;
+            let write = (txn + j) % 2 == 0;
+            if cc.access(txn, item, write) == AccessOutcome::Abort {
+                cc.abort(txn);
+                *txn_aborted = true;
+            }
+        }
+    }
+    for (txn, txn_aborted) in aborted.iter().enumerate() {
+        if *txn_aborted {
+            continue;
+        }
+        if cc.validate(txn).ok {
+            cc.commit(txn);
+        } else {
+            cc.abort(txn);
+        }
+    }
+}
+
+#[test]
+fn steady_state_mvto_churn_is_allocation_free() {
+    let _guard = GATE.lock().unwrap();
+    const WARMUP_ROUNDS: usize = 400;
+    const MEASURED_ROUNDS: usize = 4_000;
+
+    let mut cc = Mvto::with_db_size(SLOTS, DB);
+    let mut ts = 0u64;
+    for round in 0..WARMUP_ROUNDS {
+        mvto_round(&mut cc, &mut ts, round);
+    }
+
+    let before = allocations();
+    for round in 0..MEASURED_ROUNDS {
+        mvto_round(&mut cc, &mut ts, WARMUP_ROUNDS + round);
+    }
+    let after = allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "MVTO hot path allocated {} times over {MEASURED_ROUNDS} rounds \
+         (version store must stay direct-indexed, buffers must recycle)",
         after - before
     );
 }
