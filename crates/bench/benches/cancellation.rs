@@ -1,0 +1,121 @@
+//! Displacement strategy race: real `Calendar::cancel` tombstoning vs
+//! the engine's current lazy generation-check skipping, under heavy
+//! displacement (the ROADMAP "engine event cancellation" question).
+//!
+//! Both strategies run the same simulator-shaped churn: a standing
+//! population of events, pop-one/schedule-one, and a displacement rate
+//! `d` — the fraction of scheduled events that get invalidated before
+//! they fire (what a bound drop or an abort does to in-flight
+//! `CpuDone`/`DiskDone`/`RestartBegin` events).
+//!
+//! * **lazy** — the engine's scheme: the displaced event stays in the
+//!   calendar; when it surfaces, a generation check recognizes it as
+//!   stale and the handler discards it (one extra pop per displaced
+//!   event, no bookkeeping at displacement time).
+//! * **cancel** — the displaced event's token is cancelled on the spot:
+//!   the payload drops immediately and the entry is reaped inside the
+//!   calendar (`settle`/`refill`) without ever reaching the handler.
+//!
+//! The verdict (recorded in ROADMAP.md) decides whether the engine
+//! should adopt real cancellation for displacement-heavy paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use alc_des::rng::RngStream;
+use alc_des::{Calendar, EventToken, SimTime};
+
+/// Standing event population, matching a mid-size simulator run.
+const POPULATION: usize = 4_096;
+/// Pops measured per iteration batch.
+const OPS: usize = 20_000;
+
+/// The lazy scheme: displaced events keep their calendar entry; the
+/// consumer checks a generation table at fire time and discards stale
+/// hits exactly like the engine's `if generation != txns[i].generation`
+/// early-outs.
+fn run_lazy(displace_per_mille: u32) -> u64 {
+    let mut cal: Calendar<(usize, u64)> = Calendar::with_capacity(POPULATION * 2);
+    let mut generations = vec![0u64; POPULATION];
+    let mut rng = RngStream::from_seed(0xC0FFEE);
+    for slot in 0..POPULATION {
+        cal.schedule(SimTime::new(rng.uniform(0.0, 1_000.0)), (slot, 0));
+    }
+    let mut live_fires = 0u64;
+    let mut stale_pops = 0u64;
+    while (live_fires as usize) < OPS {
+        let (at, (slot, generation)) = cal.pop().expect("population never drains");
+        if generation != generations[slot] {
+            stale_pops += 1; // stale: the lazy skip — costs a pop, nothing else
+            continue;
+        }
+        live_fires += 1;
+        // Displace this slot's *next* event with probability d: bump the
+        // generation (the old entry stays queued) and reschedule.
+        if rng.below(1_000) < u64::from(displace_per_mille) {
+            generations[slot] += 1;
+            cal.schedule(
+                SimTime::new(at.millis() + rng.uniform(0.0, 1_000.0)),
+                (slot, generations[slot]),
+            );
+            // The displaced-then-replaced event: schedule the doomed one
+            // too so both strategies process the same schedule count.
+            cal.schedule(
+                SimTime::new(at.millis() + rng.uniform(0.0, 1_000.0)),
+                (slot, generations[slot] - 1),
+            );
+        } else {
+            cal.schedule(
+                SimTime::new(at.millis() + rng.uniform(0.0, 1_000.0)),
+                (slot, generations[slot]),
+            );
+        }
+    }
+    black_box(stale_pops);
+    live_fires
+}
+
+/// The cancel scheme: displacement cancels the doomed event's token on
+/// the spot, so it never surfaces at the consumer.
+fn run_cancel(displace_per_mille: u32) -> u64 {
+    let mut cal: Calendar<usize> = Calendar::with_capacity(POPULATION * 2);
+    let mut rng = RngStream::from_seed(0xC0FFEE);
+    for slot in 0..POPULATION {
+        cal.schedule(SimTime::new(rng.uniform(0.0, 1_000.0)), slot);
+    }
+    let mut live_fires = 0u64;
+    let mut doomed: Vec<EventToken> = Vec::with_capacity(OPS);
+    while (live_fires as usize) < OPS {
+        let (at, slot) = cal.pop().expect("population never drains");
+        live_fires += 1;
+        if rng.below(1_000) < u64::from(displace_per_mille) {
+            cal.schedule(SimTime::new(at.millis() + rng.uniform(0.0, 1_000.0)), slot);
+            // Schedule the doomed twin, then cancel it immediately —
+            // same schedule count as the lazy scheme, but the entry is
+            // tombstoned instead of surviving to fire.
+            let tok =
+                cal.schedule(SimTime::new(at.millis() + rng.uniform(0.0, 1_000.0)), slot);
+            cal.cancel(tok);
+            doomed.push(tok); // retained so token bookkeeping is honest
+        } else {
+            cal.schedule(SimTime::new(at.millis() + rng.uniform(0.0, 1_000.0)), slot);
+        }
+    }
+    black_box(&doomed);
+    live_fires
+}
+
+fn bench_cancellation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cancellation");
+    for displace_per_mille in [100u32, 500, 900] {
+        g.bench_function(format!("lazy_skip_d{displace_per_mille}"), |b| {
+            b.iter(|| black_box(run_lazy(black_box(displace_per_mille))));
+        });
+        g.bench_function(format!("real_cancel_d{displace_per_mille}"), |b| {
+            b.iter(|| black_box(run_cancel(black_box(displace_per_mille))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cancellation);
+criterion_main!(benches);

@@ -18,6 +18,10 @@
 //!   `k²n/D < 1.5` rule and Iyer's `conflicts/txn ≤ 0.75` rule (§1).
 //! * [`estimator`] — the numerical machinery: RLS with forgetting
 //!   ([`estimator::Rls`]), EWMA smoothing, quadratic-model utilities.
+//! * [`meta`] — the layer *above* the MPL controllers: closed-loop
+//!   concurrency-control **protocol** selection ([`meta::MetaPolicy`]),
+//!   with threshold/restart-rate ladders and O|R|P|E-style shadow
+//!   scoring, all wrapped in dwell/cooldown/hysteresis guards.
 //! * [`measure`] — the [`measure::Measurement`] fed to controllers once
 //!   per interval, and the performance indicators of §6.
 //! * [`sampler`] — building measurements from raw departure events,
@@ -59,6 +63,7 @@ pub mod controller;
 pub mod estimator;
 pub mod gate;
 pub mod measure;
+pub mod meta;
 pub mod pipeline;
 pub mod sampler;
 

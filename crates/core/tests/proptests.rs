@@ -231,3 +231,96 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Meta-policy properties (closed-loop CC selection)
+// ---------------------------------------------------------------------
+
+use alc_core::meta::{
+    ConflictThreshold, GuardParams, MetaObservation, MetaPolicy, RestartRate, ShadowScore,
+};
+
+fn meta_obs(at_ms: f64, conflicts: f64, aborts: f64, throughput: f64) -> MetaObservation {
+    MetaObservation {
+        at_ms,
+        interval_ms: 500.0,
+        conflicts_per_txn: conflicts,
+        abort_ratio: aborts.clamp(0.0, 1.0),
+        throughput_per_s: throughput,
+        gate_queue: 0,
+        observed_mpl: 10.0,
+    }
+}
+
+/// Replays an observation sequence through a policy, returning the
+/// decision trace (decision time, target) and asserting legality of
+/// every target index.
+fn replay(policy: &mut dyn MetaPolicy, obs: &[(f64, f64, f64)]) -> Vec<(f64, usize)> {
+    let n = policy.candidate_count();
+    let mut active = 0usize;
+    let mut trace = Vec::new();
+    for (i, &(conflicts, aborts, throughput)) in obs.iter().enumerate() {
+        let t = 500.0 * (i + 1) as f64;
+        if let Some(next) = policy.decide(active, &meta_obs(t, conflicts, aborts, throughput)) {
+            assert!(next < n, "policy picked candidate {next} of {n}");
+            assert_ne!(next, active, "policy re-picked the active candidate");
+            trace.push((t, next));
+            active = next;
+        }
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every meta policy is a pure function of its observation sequence:
+    /// two fresh instances replaying the same sequence emit the same
+    /// decision trace, and a reset instance replays it identically —
+    /// the property that makes adaptive runs exactly as reproducible as
+    /// scheduled ones.
+    #[test]
+    fn meta_policies_are_deterministic_and_reset_clean(
+        obs in proptest::collection::vec(
+            (0.0f64..6.0, 0.0f64..1.0, 0.0f64..200.0), 10..120),
+        threshold in 0.2f64..4.0,
+        weight in 0.1f64..1.0,
+        dwell_s in 0.0f64..20.0,
+        cooldown_s in 0.0f64..5.0,
+        hysteresis in 0.0f64..0.8,
+    ) {
+        let guard = GuardParams {
+            min_dwell_ms: dwell_s * 1000.0,
+            cooldown_ms: cooldown_s * 1000.0,
+            hysteresis,
+        };
+        let policies: Vec<Box<dyn Fn() -> Box<dyn MetaPolicy>>> = vec![
+            Box::new(move || Box::new(ConflictThreshold::new(3, threshold, weight, guard))),
+            Box::new(move || Box::new(RestartRate::new(3, threshold.min(0.95), weight, guard))),
+            Box::new(move || Box::new(ShadowScore::new(3, weight, guard))),
+        ];
+        for mk in &policies {
+            let mut a = mk();
+            let mut b = mk();
+            let ta = replay(a.as_mut(), &obs);
+            let tb = replay(b.as_mut(), &obs);
+            prop_assert_eq!(&ta, &tb, "{} diverged across instances", a.name());
+            // Reset restores the initial state exactly.
+            a.reset();
+            let tr = replay(a.as_mut(), &obs);
+            prop_assert_eq!(&ta, &tr, "{} diverged after reset", a.name());
+            // The dwell guard holds on every trace: consecutive decisions
+            // (and the first, measured from run start) are at least
+            // min_dwell apart.
+            if let Some(&(first, _)) = ta.first() {
+                prop_assert!(first >= guard.min_dwell_ms);
+            }
+            for w in ta.windows(2) {
+                prop_assert!(
+                    w[1].0 - w[0].0 >= guard.min_dwell_ms,
+                    "{} violated min_dwell: {} then {}", a.name(), w[0].0, w[1].0
+                );
+            }
+        }
+    }
+}

@@ -36,5 +36,5 @@ pub mod series;
 pub mod stats;
 pub mod time;
 
-pub use calendar::Calendar;
+pub use calendar::{Calendar, EventToken};
 pub use time::SimTime;

@@ -38,9 +38,15 @@ fn usage() {
     }
     println!();
     println!("  derived columns: post_jump_tracking_err conflict_ratio_at_peak");
-    println!("            {{\"settling_time_s\": {{...}}}} (see README \"Scenarios\")");
-    println!("  spec extras: sweep grids (axes/pivot), cc phases (drain-and-swap");
-    println!("            protocol switching), faults (CPU kill/restart windows)");
+    println!("            switch_count post_switch_settling_time_s");
+    println!("            {{\"settling_time_s\": {{...}}}} {{\"time_in_protocol\": {{...}}}}");
+    println!("            (see README \"Scenarios\")");
+    println!("  spec extras: sweep grids (axes/pivot; system.offered_load_per_s");
+    println!("            sweeps in tx/s), cc phases (drain-and-swap protocol");
+    println!("            switching), cc adaptive (closed-loop protocol selection");
+    println!("            with conflict_threshold/restart_rate/shadow_score");
+    println!("            policies), faults (CPU kill/restart windows, fixed");
+    println!("            duration or sampled repair distribution)");
 }
 
 fn fail(e: &SpecError) -> ! {

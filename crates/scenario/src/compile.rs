@@ -16,7 +16,9 @@ use alc_tpsim::config::{CcKind, ControlConfig, SystemConfig};
 use alc_tpsim::workload::WorkloadConfig;
 use serde::Value;
 
-use crate::spec::{ColumnSpec, ControllerSpec, FaultSpec, ScenarioSpec, StatColumn, VariantSpec};
+use crate::spec::{
+    AdaptiveCcSpec, ColumnSpec, ControllerSpec, FaultSpec, ScenarioSpec, StatColumn, VariantSpec,
+};
 use crate::value_util::{from_overrides, set_path};
 use crate::SpecError;
 
@@ -79,13 +81,20 @@ pub struct VariantPlan {
     pub sys: SystemConfig,
     /// Lowered time-varying workload.
     pub workload: WorkloadConfig,
-    /// CC protocol at t = 0.
+    /// CC protocol at t = 0 (for adaptive plans: `candidates[0]`).
     pub cc: CcKind,
     /// Scheduled drain-and-swap CC switches `(t_ms, target)`.
     pub cc_switches: Vec<(f64, CcKind)>,
+    /// Closed-loop protocol selection (builds one policy per run).
+    pub adaptive_cc: Option<AdaptiveCcSpec>,
     /// Scheduled CPU-capacity deltas `(t_ms, delta)` lowered from the
-    /// fault windows, ascending.
+    /// fault windows, ascending — shared by every replication (empty
+    /// when `fault_schedules` carries per-replication timelines).
     pub faults: Vec<(f64, i32)>,
+    /// Per-replication fault timelines, present when any fault uses a
+    /// sampled `repair` distribution (repair times differ per seed);
+    /// indexed like `seeds`.
+    pub fault_schedules: Option<Vec<Vec<(f64, i32)>>>,
     /// Measurement/control wiring.
     pub control: ControlConfig,
     /// Controller to instantiate per replication.
@@ -240,15 +249,20 @@ fn finish_plan(
     })
 }
 
-/// Lowers fault windows into an ascending CPU-capacity delta timeline,
-/// rejecting schedules that would kill more CPUs than are installed.
-fn lower_faults(faults: &[FaultSpec], sys: &SystemConfig) -> Result<Vec<(f64, i32)>, SpecError> {
-    let mut deltas: Vec<(f64, i32)> = Vec::with_capacity(faults.len() * 2);
-    for f in faults {
-        let down = i32::try_from(f.cpus_down)
+/// Lowers fault windows (kill time, outage length, servers) into an
+/// ascending CPU-capacity delta timeline, rejecting schedules that would
+/// kill more CPUs than are installed. The sort is stable, so a
+/// zero-length outage restores immediately after its kill.
+fn lower_fault_windows(
+    windows: &[(f64, f64, u32)],
+    sys: &SystemConfig,
+) -> Result<Vec<(f64, i32)>, SpecError> {
+    let mut deltas: Vec<(f64, i32)> = Vec::with_capacity(windows.len() * 2);
+    for &(at_ms, duration_ms, cpus_down) in windows {
+        let down = i32::try_from(cpus_down)
             .map_err(|_| SpecError::new("fault `cpus_down` too large"))?;
-        deltas.push((f.at_ms, -down));
-        deltas.push((f.at_ms + f.duration_ms, down));
+        deltas.push((at_ms, -down));
+        deltas.push((at_ms + duration_ms, down));
     }
     deltas.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut level = i64::from(sys.cpus);
@@ -262,6 +276,33 @@ fn lower_faults(faults: &[FaultSpec], sys: &SystemConfig) -> Result<Vec<(f64, i3
         }
     }
     Ok(deltas)
+}
+
+/// Lowers the fault specs for one replication: fixed windows pass
+/// through, repair-time distributions are sampled per fault from the
+/// replication seed's dedicated `fault_repair` RNG substream (spec
+/// order), so the schedule is fully determined by the recorded seed and
+/// no other stream shifts.
+fn lower_faults_for_seed(
+    faults: &[FaultSpec],
+    sys: &SystemConfig,
+    seed: u64,
+) -> Result<Vec<(f64, i32)>, SpecError> {
+    use alc_des::dist::Sample as _;
+    let mut rng = alc_des::rng::SeedFactory::new(seed).stream("fault_repair");
+    let windows: Vec<(f64, f64, u32)> = faults
+        .iter()
+        .map(|f| {
+            let duration = match &f.recovery {
+                crate::spec::FaultRecovery::Fixed(d) => *d,
+                // A pathological draw below zero clamps to an instant
+                // repair (kill and restore at the same time, kill first).
+                crate::spec::FaultRecovery::Repair(dist) => dist.sample(&mut rng).max(0.0),
+            };
+            (f.at_ms, duration, f.cpus_down)
+        })
+        .collect();
+    lower_fault_windows(&windows, sys)
 }
 
 fn build_variant(
@@ -279,10 +320,24 @@ fn build_variant(
         return Err(SpecError::new("control.sample_interval_ms must be positive"));
     }
     let workload = spec.workload.lower(base_dir)?;
-    let seeds = (0..spec.replications)
+    let seeds: Vec<u64> = (0..spec.replications)
         .map(|r| replication_seed(spec.seed, r))
         .collect();
-    let faults = lower_faults(&spec.faults, &sys)?;
+    let has_repair = spec
+        .faults
+        .iter()
+        .any(|f| matches!(f.recovery, crate::spec::FaultRecovery::Repair(_)));
+    let (faults, fault_schedules) = if has_repair {
+        let per_rep = seeds
+            .iter()
+            .map(|&s| lower_faults_for_seed(&spec.faults, &sys, s))
+            .collect::<Result<Vec<_>, _>>()?;
+        (Vec::new(), Some(per_rep))
+    } else {
+        // Fixed windows never touch the RNG; any seed gives the shared
+        // timeline.
+        (lower_faults_for_seed(&spec.faults, &sys, spec.seed)?, None)
+    };
     let cells = spec
         .inputs
         .iter()
@@ -305,7 +360,9 @@ fn build_variant(
         workload,
         cc: spec.cc,
         cc_switches: spec.cc_phases.clone(),
+        adaptive_cc: spec.cc_adaptive.clone(),
         faults,
+        fault_schedules,
         control,
         controller: spec.controller.clone(),
         horizon_ms: spec.horizon_ms,
@@ -409,6 +466,68 @@ mod tests {
             err.to_string().contains("controler"),
             "unhelpful error: {err}"
         );
+    }
+
+    #[test]
+    fn sweep_axis_targets_offered_load_in_tx_per_s() {
+        // The ROADMAP item: load grids read in the paper's tx/s units;
+        // each cell lowers to the matching interarrival mean.
+        let v = parse(
+            r#"{
+            "name": "ol", "horizon_ms": 1000.0,
+            "system": {"terminals": 60, "offered_load_per_s": 50},
+            "sweep": {"axes": [{"header": "offered_tx_s",
+                                "path": "system.offered_load_per_s",
+                                "values": [50, 100, 250]}]}
+        }"#,
+        );
+        let plan = compile_value(&v, &PathBuf::from("."), false).unwrap();
+        assert_eq!(plan.variants.len(), 3);
+        for (vp, rate) in plan.variants.iter().zip([50.0, 100.0, 250.0]) {
+            let alc_tpsim::config::ArrivalProcess::Open { interarrival } = vp.sys.arrival
+            else {
+                panic!("cell must be open-mode");
+            };
+            assert_eq!(interarrival, alc_des::dist::Dist::exponential(1000.0 / rate));
+        }
+        assert_eq!(
+            plan.variants.iter().map(|v| v.label.as_str()).collect::<Vec<_>>(),
+            vec!["50", "100", "250"]
+        );
+    }
+
+    #[test]
+    fn repair_faults_sample_per_replication_deterministically() {
+        let v = parse(
+            r#"{
+            "name": "rep", "horizon_ms": 60000.0, "replications": 3,
+            "system": {"terminals": 10, "cpus": 4},
+            "faults": [{"at": 10000.0, "repair": {"exponential": 5000}, "cpus_down": 2},
+                       {"at": 30000.0, "duration": 2000.0, "cpus_down": 1}]
+        }"#,
+        );
+        let a = compile_value(&v, &PathBuf::from("."), false).unwrap();
+        let b = compile_value(&v, &PathBuf::from("."), false).unwrap();
+        assert_eq!(a, b, "sampled repair times must be seed-deterministic");
+        let vp = &a.variants[0];
+        assert!(vp.faults.is_empty(), "repair faults move to per-rep timelines");
+        let per_rep = vp.fault_schedules.as_ref().expect("per-rep timelines");
+        assert_eq!(per_rep.len(), 3);
+        for timeline in per_rep {
+            assert_eq!(timeline.len(), 4);
+            assert!(timeline.windows(2).all(|w| w[0].0 <= w[1].0));
+            // The fixed window is identical in every replication.
+            assert!(timeline.iter().any(|&(t, d)| t == 30_000.0 && d == -1));
+            assert!(timeline.iter().any(|&(t, d)| t == 32_000.0 && d == 1));
+        }
+        // The sampled outage differs across replications (distinct seeds).
+        let restore = |tl: &Vec<(f64, i32)>| {
+            tl.iter()
+                .find(|&&(t, d)| d == 2 && t != 32_000.0)
+                .map(|&(t, _)| t)
+                .expect("sampled restore edge")
+        };
+        assert_ne!(restore(&per_rep[0]), restore(&per_rep[1]));
     }
 
     #[test]

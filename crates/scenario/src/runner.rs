@@ -46,8 +46,16 @@ fn run_one(v: &VariantPlan, rep: usize) -> RunRecord {
     if !v.cc_switches.is_empty() {
         sim.set_cc_switches(&v.cc_switches);
     }
-    if !v.faults.is_empty() {
-        sim.set_faults(&v.faults);
+    if let Some(adaptive) = &v.adaptive_cc {
+        let (candidates, policy) = adaptive.build();
+        sim.set_adaptive_cc(candidates, policy);
+    }
+    let faults = v
+        .fault_schedules
+        .as_ref()
+        .map_or(&v.faults, |per_rep| &per_rep[rep]);
+    if !faults.is_empty() {
+        sim.set_faults(faults);
     }
     let stats = sim.run(v.horizon_ms);
     RunRecord {
@@ -121,6 +129,26 @@ pub fn write_trajectories(
             ],
         )?;
         written.push(name);
+        // The switch-event trace rides along for runs that actually
+        // switched protocols (scheduled phases or adaptive selection);
+        // single-protocol runs keep their exact pre-meta file set.
+        if !traj.switches.is_empty() {
+            let name = format!("{}_switches.csv", trajectory_stem(plan, rec, reps));
+            let mut out = String::from("decided_at_ms,completed_at_ms,from,to\n");
+            for e in &traj.switches {
+                use std::fmt::Write as _;
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{}",
+                    e.decided_at_ms,
+                    e.completed_at_ms,
+                    crate::spec::cc_spec_name(e.from),
+                    crate::spec::cc_spec_name(e.to)
+                );
+            }
+            std::fs::write(dir.join(&name), out)?;
+            written.push(name);
+        }
     }
     Ok(written)
 }
@@ -134,7 +162,7 @@ fn format_cell(col: &ColumnSpec, v: &VariantPlan, rec: &RunRecord) -> String {
                 .trajectories
                 .as_ref()
                 .expect("derived columns force trajectory retention at compile time");
-            d.format(traj, v.horizon_ms)
+            d.format(traj, v.horizon_ms, v.cc)
         }
         ColumnSpec::Input(name) => v
             .cells

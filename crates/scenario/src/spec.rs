@@ -27,6 +27,7 @@ use alc_core::controller::{
     ParabolaApproximation, SelfTuningIs as SelfTuningIsCtrl, SelfTuningPa as SelfTuningPaCtrl,
     TayRule, Unlimited,
 };
+use alc_core::meta::{ConflictThreshold, GuardParams, MetaPolicy, RestartRate, ShadowScore};
 use alc_tpsim::config::{CcKind, SystemConfig};
 use alc_tpsim::engine::{RunStats, Trajectories};
 use alc_tpsim::workload::WorkloadConfig;
@@ -55,6 +56,11 @@ pub struct ScenarioSpec {
     /// boundary the engine drains in-flight transactions and swaps the
     /// protocol (the spec's `cc: {"phases": [[0, …], [t, …]]}` form).
     pub cc_phases: Vec<(f64, CcKind)>,
+    /// Closed-loop protocol selection (the spec's `cc: {"adaptive": …}`
+    /// form): a meta-policy picks the protocol online from the measured
+    /// conflict state. Mutually exclusive with `cc_phases` by
+    /// construction; `cc` holds `candidates[0]`.
+    pub cc_adaptive: Option<AdaptiveCcSpec>,
     /// Scheduled station faults (CPU kill/restart windows).
     pub faults: Vec<FaultSpec>,
     /// Shallow overrides on [`SystemConfig`] (dist shorthands allowed;
@@ -97,15 +103,114 @@ pub struct ScenarioSpec {
 pub type VariantInputs = Vec<(String, Vec<(String, String)>)>;
 
 /// One scheduled station fault: `cpus_down` CPUs die at `at_ms` and come
-/// back `duration_ms` later.
+/// back after the recovery window.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultSpec {
     /// Kill time, ms.
     pub at_ms: f64,
-    /// Outage length, ms.
-    pub duration_ms: f64,
-    /// Servers killed (restored at `at_ms + duration_ms`).
+    /// How long the outage lasts.
+    pub recovery: FaultRecovery,
+    /// Servers killed (restored when the recovery window closes).
     pub cpus_down: u32,
+}
+
+/// How a fault's outage length is determined: a fixed window (the
+/// spec's `duration` field) or a mean-time-to-repair distribution (the
+/// `repair` field), sampled once per fault from the run's own
+/// `fault_repair` RNG substream — per-replication deterministic, and
+/// drawing it never perturbs any other stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultRecovery {
+    /// Fixed outage length, ms.
+    Fixed(f64),
+    /// Repair-time distribution, ms (sampled per fault per replication;
+    /// negative samples clamp to an instant repair).
+    Repair(alc_des::dist::Dist),
+}
+
+/// The spec/CSV name of a protocol — the short aliases the `cc` field
+/// accepts, also used by `time_in_protocol` column headers and the
+/// switch-event CSV.
+pub fn cc_spec_name(cc: CcKind) -> &'static str {
+    match cc {
+        CcKind::Certification => "certification",
+        CcKind::TwoPhaseLocking => "2pl",
+        CcKind::TimestampOrdering => "timestamp-ordering",
+        CcKind::WoundWait => "wound-wait",
+        CcKind::WaitDie => "wait-die",
+        CcKind::Multiversion => "mvto",
+    }
+}
+
+/// The `cc: {"adaptive": …}` section: candidate protocols, the policy
+/// choosing among them, and the anti-oscillation guards. The run starts
+/// under `candidates[0]`; at every measurement interval the policy sees
+/// the interval's conflict state and may drain-and-swap to another
+/// candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveCcSpec {
+    /// The candidate protocols, in the order the policy indexes them
+    /// (for the ladder policies: calmest workload first).
+    pub candidates: Vec<CcKind>,
+    /// The selection policy.
+    pub policy: MetaPolicySpec,
+    /// Minimum time between switches, seconds (also from run start).
+    pub min_dwell_s: f64,
+    /// Post-switch settling window, seconds: observations inside it are
+    /// discarded.
+    pub cooldown_s: f64,
+    /// Relative dead band / challenger margin (see `alc_core::meta`).
+    pub hysteresis: f64,
+}
+
+/// The policy inside an adaptive `cc` section.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetaPolicySpec {
+    /// Threshold-with-hysteresis ladder on the EWMA'd conflict ratio.
+    ConflictThreshold {
+        /// Centre of the conflict-ratio band (conflicts per commit).
+        threshold: f64,
+        /// EWMA weight on each new observation, in (0, 1].
+        ewma_weight: f64,
+    },
+    /// The same ladder on the EWMA'd abort (restart) ratio.
+    RestartRate {
+        /// Centre of the abort-ratio band, in (0, 1).
+        threshold: f64,
+        /// EWMA weight on each new observation, in (0, 1].
+        ewma_weight: f64,
+    },
+    /// O|R|P|E-style per-candidate running throughput scores.
+    ShadowScore {
+        /// EWMA weight on each interval's throughput, in (0, 1].
+        ewma_weight: f64,
+    },
+}
+
+impl AdaptiveCcSpec {
+    /// Instantiates the candidate list and the boxed policy for one run.
+    pub fn build(&self) -> (Vec<CcKind>, Box<dyn MetaPolicy>) {
+        let guard = GuardParams {
+            min_dwell_ms: self.min_dwell_s * 1000.0,
+            cooldown_ms: self.cooldown_s * 1000.0,
+            hysteresis: self.hysteresis,
+        };
+        let n = self.candidates.len();
+        let policy: Box<dyn MetaPolicy> = match &self.policy {
+            MetaPolicySpec::ConflictThreshold {
+                threshold,
+                ewma_weight,
+            } => Box::new(ConflictThreshold::new(n, *threshold, *ewma_weight, guard)),
+            MetaPolicySpec::RestartRate {
+                threshold,
+                ewma_weight,
+            } => Box::new(RestartRate::new(n, *threshold, *ewma_weight, guard)),
+            MetaPolicySpec::ShadowScore { ewma_weight } => {
+                Box::new(ShadowScore::new(n, *ewma_weight, guard))
+            }
+        };
+        (self.candidates.clone(), policy)
+    }
 }
 
 /// The sweep section: a grid of axes, each a spec path and a value list;
@@ -444,6 +549,29 @@ pub enum DerivedColumn {
     /// the interval throughput peaked — where on the conflict curve the
     /// run's best operating point sat.
     ConflictRatioAtPeak,
+    /// Completed CC-protocol switches in the run (scheduled or
+    /// policy-driven), from the switch-event trace.
+    SwitchCount,
+    /// Seconds the given protocol was in force over `[0, horizon]`,
+    /// from the switch-event trace (drains count toward the *outgoing*
+    /// protocol — it stays in force until the swap completes).
+    TimeInProtocol {
+        /// The protocol whose residence time is reported.
+        cc: CcKind,
+        /// Column header (default `time_in_protocol:<name>`).
+        header: Option<String>,
+    },
+    /// Seconds from the last switch's completion until the interval
+    /// throughput first enters the ±`band` relative band around its
+    /// settled post-switch level (the mean of the final quarter of the
+    /// post-switch samples); `never` when it doesn't, `-` for runs
+    /// without a switch.
+    PostSwitchSettling {
+        /// Column header (e.g. `post_switch_settling_time_s`).
+        header: String,
+        /// Relative band around the settled level.
+        band: f64,
+    },
 }
 
 impl ColumnSpec {
@@ -457,6 +585,13 @@ impl ColumnSpec {
             ColumnSpec::Derived(DerivedColumn::SettlingTime { header, .. }) => header.clone(),
             ColumnSpec::Derived(DerivedColumn::ConflictRatioAtPeak) => {
                 "conflict_ratio_at_peak".to_string()
+            }
+            ColumnSpec::Derived(DerivedColumn::SwitchCount) => "switch_count".to_string(),
+            ColumnSpec::Derived(DerivedColumn::TimeInProtocol { cc, header }) => header
+                .clone()
+                .unwrap_or_else(|| format!("time_in_protocol:{}", cc_spec_name(*cc))),
+            ColumnSpec::Derived(DerivedColumn::PostSwitchSettling { header, .. }) => {
+                header.clone()
             }
             ColumnSpec::Input(name) => name.clone(),
             ColumnSpec::Literal { header, .. } => header.clone(),
@@ -481,8 +616,10 @@ impl ColumnSpec {
 
 impl DerivedColumn {
     /// Formats the column from a run's trajectories (`horizon_ms` anchors
-    /// the settling clock).
-    pub fn format(&self, traj: &Trajectories, horizon_ms: f64) -> String {
+    /// the settling clock and closes the last protocol-residence segment;
+    /// `initial_cc` is the protocol in force at t = 0, which the switch
+    /// trace alone cannot tell).
+    pub fn format(&self, traj: &Trajectories, horizon_ms: f64, initial_cc: CcKind) -> String {
         use alc_bench::table::num;
         match self {
             DerivedColumn::PostJumpTrackingErr => {
@@ -520,6 +657,50 @@ impl DerivedColumn {
                 peak.and_then(|i| traj.conflict_ratio.points().get(i))
                     .map_or("-".into(), |&(_, v)| num(v))
             }
+            DerivedColumn::SwitchCount => traj.switches.len().to_string(),
+            DerivedColumn::TimeInProtocol { cc, .. } => {
+                // Walk the residence segments: a protocol stays in force
+                // until the swap that replaces it *completes*.
+                let mut total = 0.0;
+                let mut seg_start = 0.0;
+                let mut current = initial_cc;
+                for e in &traj.switches {
+                    if current == *cc {
+                        total += e.completed_at_ms - seg_start;
+                    }
+                    seg_start = e.completed_at_ms;
+                    current = e.to;
+                }
+                if current == *cc {
+                    total += horizon_ms - seg_start;
+                }
+                num(total / 1000.0)
+            }
+            DerivedColumn::PostSwitchSettling { band, .. } => {
+                let Some(last) = traj.switches.last() else {
+                    return "-".into();
+                };
+                let t0 = last.completed_at_ms;
+                let pts: Vec<(f64, f64)> = traj
+                    .throughput
+                    .points()
+                    .iter()
+                    .copied()
+                    .filter(|&(t, _)| t >= t0)
+                    .collect();
+                if pts.is_empty() {
+                    return "never".into();
+                }
+                // The settled level: mean of the final quarter of the
+                // post-switch samples.
+                let tail = &pts[pts.len() * 3 / 4..];
+                let settled =
+                    tail.iter().map(|&(_, x)| x).sum::<f64>() / tail.len().max(1) as f64;
+                pts.iter()
+                    .find(|&&(_, x)| (x - settled).abs() <= band * settled.abs())
+                    .map(|&(t, _)| (t - t0) / 1000.0)
+                    .map_or("never".into(), num)
+            }
         }
     }
 }
@@ -531,13 +712,20 @@ fn column_from_value(v: &Value) -> Result<ColumnSpec, SpecError> {
                 ColumnSpec::Derived(DerivedColumn::PostJumpTrackingErr)
             }
             "conflict_ratio_at_peak" => ColumnSpec::Derived(DerivedColumn::ConflictRatioAtPeak),
+            "switch_count" => ColumnSpec::Derived(DerivedColumn::SwitchCount),
+            "post_switch_settling_time_s" => {
+                ColumnSpec::Derived(DerivedColumn::PostSwitchSettling {
+                    header: "post_switch_settling_time_s".to_string(),
+                    band: 0.25,
+                })
+            }
             name => ColumnSpec::Stat(StatColumn::parse(name)?),
         });
     }
     let Some([(tag, payload)]) = v.as_map() else {
         return Err(SpecError::new(
             "column must be a stat/derived name or a single-key object \
-             (settling_time_s/input/literal)",
+             (settling_time_s/time_in_protocol/post_switch_settling_time_s/input/literal)",
         ));
     };
     Ok(match tag.as_str() {
@@ -586,6 +774,57 @@ fn column_from_value(v: &Value) -> Result<ColumnSpec, SpecError> {
                 band,
             })
         }
+        "time_in_protocol" => {
+            let mut cc = None;
+            let mut header = None;
+            for (k, val) in payload.as_map().unwrap_or(&[]) {
+                match k.as_str() {
+                    "cc" => cc = Some(cc_from_value(val)?),
+                    "header" => match val {
+                        Value::Str(s) if !s.is_empty() => header = Some(s.clone()),
+                        _ => {
+                            return Err(SpecError::new(
+                                "`time_in_protocol.header` must be a non-empty string",
+                            ));
+                        }
+                    },
+                    other => {
+                        return Err(SpecError::new(format!(
+                            "unknown `time_in_protocol` field `{other}`"
+                        )));
+                    }
+                }
+            }
+            ColumnSpec::Derived(DerivedColumn::TimeInProtocol {
+                cc: cc.ok_or_else(|| SpecError::new("`time_in_protocol` needs `cc`"))?,
+                header,
+            })
+        }
+        "post_switch_settling_time_s" => {
+            let mut header = "post_switch_settling_time_s".to_string();
+            let mut band = 0.25;
+            for (k, val) in payload.as_map().unwrap_or(&[]) {
+                match k.as_str() {
+                    "header" => match val {
+                        Value::Str(s) if !s.is_empty() => header = s.clone(),
+                        _ => {
+                            return Err(SpecError::new(
+                                "`post_switch_settling_time_s.header` must be a non-empty string",
+                            ));
+                        }
+                    },
+                    "band" => {
+                        band = positive_f64(val, "post_switch_settling_time_s.band")?;
+                    }
+                    other => {
+                        return Err(SpecError::new(format!(
+                            "unknown `post_switch_settling_time_s` field `{other}`"
+                        )));
+                    }
+                }
+            }
+            ColumnSpec::Derived(DerivedColumn::PostSwitchSettling { header, band })
+        }
         "input" => match payload {
             Value::Str(s) if !s.is_empty() => ColumnSpec::Input(s.clone()),
             _ => return Err(SpecError::new("`input` column needs a non-empty cell name")),
@@ -621,6 +860,26 @@ impl serde::Serialize for ColumnSpec {
             }
             ColumnSpec::Derived(DerivedColumn::ConflictRatioAtPeak) => {
                 Value::Str("conflict_ratio_at_peak".into())
+            }
+            ColumnSpec::Derived(DerivedColumn::SwitchCount) => Value::Str("switch_count".into()),
+            ColumnSpec::Derived(DerivedColumn::TimeInProtocol { cc, header }) => {
+                let mut m = vec![(
+                    "cc".to_string(),
+                    Value::Str(cc_spec_name(*cc).to_string()),
+                )];
+                if let Some(h) = header {
+                    m.push(("header".into(), Value::Str(h.clone())));
+                }
+                Value::Map(vec![("time_in_protocol".into(), Value::Map(m))])
+            }
+            ColumnSpec::Derived(DerivedColumn::PostSwitchSettling { header, band }) => {
+                Value::Map(vec![(
+                    "post_switch_settling_time_s".into(),
+                    Value::Map(vec![
+                        ("header".into(), Value::Str(header.clone())),
+                        ("band".into(), Value::Num(*band)),
+                    ]),
+                )])
             }
             ColumnSpec::Derived(DerivedColumn::SettlingTime {
                 header,
@@ -914,11 +1173,160 @@ fn controller_from_value(v: &Value) -> Result<ControllerSpec, SpecError> {
     })
 }
 
-/// Parses the `cc` field: a plain protocol, or
+/// Parses a positive finite number field.
+fn positive_f64(v: &Value, what: &str) -> Result<f64, SpecError> {
+    v.as_f64()
+        .filter(|x| *x > 0.0 && x.is_finite())
+        .ok_or_else(|| SpecError::new(format!("`{what}` must be a positive number")))
+}
+
+/// Parses the policy object of an adaptive `cc` section.
+fn meta_policy_from_value(v: &Value) -> Result<MetaPolicySpec, SpecError> {
+    let Some([(tag, payload)]) = v.as_map() else {
+        return Err(SpecError::new(
+            "`cc.adaptive.policy` must be a single-key object \
+             (conflict_threshold/restart_rate/shadow_score)",
+        ));
+    };
+    let mut threshold = None;
+    let mut ewma_weight = 0.3;
+    for (k, val) in payload.as_map().unwrap_or(&[]) {
+        match k.as_str() {
+            "threshold" if tag != "shadow_score" => {
+                threshold = Some(positive_f64(val, &format!("{tag}.threshold"))?);
+            }
+            "ewma_weight" => {
+                ewma_weight = val
+                    .as_f64()
+                    .filter(|w| *w > 0.0 && *w <= 1.0)
+                    .ok_or_else(|| {
+                        SpecError::new(format!("`{tag}.ewma_weight` must lie in (0, 1]"))
+                    })?;
+            }
+            other => {
+                return Err(SpecError::new(format!("unknown `{tag}` field `{other}`")));
+            }
+        }
+    }
+    Ok(match tag.as_str() {
+        "conflict_threshold" => MetaPolicySpec::ConflictThreshold {
+            threshold: threshold
+                .ok_or_else(|| SpecError::new("`conflict_threshold` needs `threshold`"))?,
+            ewma_weight,
+        },
+        "restart_rate" => {
+            let threshold =
+                threshold.ok_or_else(|| SpecError::new("`restart_rate` needs `threshold`"))?;
+            if threshold >= 1.0 {
+                return Err(SpecError::new(
+                    "`restart_rate.threshold` is an abort ratio and must be < 1",
+                ));
+            }
+            MetaPolicySpec::RestartRate {
+                threshold,
+                ewma_weight,
+            }
+        }
+        "shadow_score" => MetaPolicySpec::ShadowScore { ewma_weight },
+        other => {
+            return Err(SpecError::new(format!(
+                "unknown adaptive policy `{other}` \
+                 (want conflict_threshold/restart_rate/shadow_score)"
+            )));
+        }
+    })
+}
+
+/// Parses the `{"adaptive": …}` payload of the `cc` field.
+fn adaptive_from_value(v: &Value) -> Result<AdaptiveCcSpec, SpecError> {
+    let entries = v
+        .as_map()
+        .ok_or_else(|| SpecError::new("`cc.adaptive` must be an object"))?;
+    let mut candidates = Vec::new();
+    let mut policy = None;
+    let mut min_dwell_s = None;
+    let mut cooldown_s = 0.0;
+    let mut hysteresis = 0.25;
+    for (k, val) in entries {
+        match k.as_str() {
+            "candidates" => {
+                let seq = val
+                    .as_seq()
+                    .ok_or_else(|| SpecError::new("`cc.adaptive.candidates` must be a list"))?;
+                candidates = seq
+                    .iter()
+                    .map(cc_from_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "policy" => policy = Some(meta_policy_from_value(val)?),
+            "min_dwell_s" => {
+                min_dwell_s = Some(val.as_f64().filter(|x| *x >= 0.0 && x.is_finite()).ok_or_else(
+                    || SpecError::new("`cc.adaptive.min_dwell_s` must be a number ≥ 0"),
+                )?);
+            }
+            "cooldown_s" => {
+                cooldown_s = val
+                    .as_f64()
+                    .filter(|x| *x >= 0.0 && x.is_finite())
+                    .ok_or_else(|| {
+                        SpecError::new("`cc.adaptive.cooldown_s` must be a number ≥ 0")
+                    })?;
+            }
+            "hysteresis" => {
+                hysteresis = val
+                    .as_f64()
+                    .filter(|x| (0.0..1.0).contains(x))
+                    .ok_or_else(|| {
+                        SpecError::new("`cc.adaptive.hysteresis` must lie in [0, 1)")
+                    })?;
+            }
+            other => {
+                return Err(SpecError::new(format!(
+                    "unknown `cc.adaptive` field `{other}`"
+                )));
+            }
+        }
+    }
+    if candidates.len() < 2 {
+        return Err(SpecError::new(
+            "`cc.adaptive.candidates` needs at least two protocols",
+        ));
+    }
+    let mut seen = Vec::new();
+    for c in &candidates {
+        if seen.contains(c) {
+            return Err(SpecError::new(format!(
+                "duplicate adaptive candidate `{}`",
+                cc_spec_name(*c)
+            )));
+        }
+        seen.push(*c);
+    }
+    Ok(AdaptiveCcSpec {
+        candidates,
+        policy: policy.ok_or_else(|| SpecError::new("`cc.adaptive` needs a `policy`"))?,
+        min_dwell_s: min_dwell_s
+            .ok_or_else(|| SpecError::new("`cc.adaptive` needs `min_dwell_s`"))?,
+        cooldown_s,
+        hysteresis,
+    })
+}
+
+/// The parsed `cc` field: initial protocol, scheduled phase switches,
+/// and the adaptive section (at most one of the latter two is
+/// populated).
+type CcField = (CcKind, Vec<(f64, CcKind)>, Option<AdaptiveCcSpec>);
+
+/// Parses the `cc` field: a plain protocol,
 /// `{"phases": [[t_ms, cc], …]}` (ascending, first phase at 0) for
-/// per-phase CC switching.
-fn cc_field_from_value(v: &Value) -> Result<(CcKind, Vec<(f64, CcKind)>), SpecError> {
+/// scheduled per-phase switching, or `{"adaptive": …}` for closed-loop
+/// protocol selection.
+fn cc_field_from_value(v: &Value) -> Result<CcField, SpecError> {
     if let Some([(tag, payload)]) = v.as_map() {
+        if tag == "adaptive" {
+            let adaptive = adaptive_from_value(payload)?;
+            return Ok((adaptive.candidates[0], Vec::new(), Some(adaptive)));
+        }
         if tag == "phases" {
             let seq = payload
                 .as_seq()
@@ -945,18 +1353,19 @@ fn cc_field_from_value(v: &Value) -> Result<(CcKind, Vec<(f64, CcKind)>), SpecEr
                 }
             }
             let initial = phases[0].1;
-            return Ok((initial, phases.split_off(1)));
+            return Ok((initial, phases.split_off(1), None));
         }
     }
-    Ok((cc_from_value(v)?, Vec::new()))
+    Ok((cc_from_value(v)?, Vec::new(), None))
 }
 
 fn fault_from_value(v: &Value) -> Result<FaultSpec, SpecError> {
+    use alc_des::dist::Sample as _;
     let entries = v
         .as_map()
         .ok_or_else(|| SpecError::new("fault must be an object"))?;
     let mut at_ms = None;
-    let mut duration_ms = None;
+    let mut recovery = None;
     let mut cpus_down = None;
     for (k, val) in entries {
         match k.as_str() {
@@ -968,11 +1377,34 @@ fn fault_from_value(v: &Value) -> Result<FaultSpec, SpecError> {
                 );
             }
             "duration" => {
-                duration_ms = Some(
+                if recovery.is_some() {
+                    return Err(SpecError::new(
+                        "fault takes `duration` or `repair`, not both",
+                    ));
+                }
+                recovery = Some(FaultRecovery::Fixed(
                     val.as_f64()
                         .filter(|&d| d > 0.0)
                         .ok_or_else(|| SpecError::new("fault `duration` must be positive"))?,
-                );
+                ));
+            }
+            "repair" => {
+                if recovery.is_some() {
+                    return Err(SpecError::new(
+                        "fault takes `duration` or `repair`, not both",
+                    ));
+                }
+                let norm = crate::value_util::normalize_dist(val)
+                    .map_err(|e| SpecError::new(format!("fault `repair`: {e}")))?;
+                let dist: alc_des::dist::Dist =
+                    <alc_des::dist::Dist as serde::Deserialize>::from_value(&norm)
+                        .map_err(|e| SpecError::new(format!("fault `repair`: {e}")))?;
+                if dist.mean().is_nan() || dist.mean() <= 0.0 {
+                    return Err(SpecError::new(
+                        "fault `repair` needs a distribution with positive mean",
+                    ));
+                }
+                recovery = Some(FaultRecovery::Repair(dist));
             }
             "cpus_down" => {
                 let n = u32_from(val, "fault cpus_down")?;
@@ -988,7 +1420,8 @@ fn fault_from_value(v: &Value) -> Result<FaultSpec, SpecError> {
     }
     Ok(FaultSpec {
         at_ms: at_ms.ok_or_else(|| SpecError::new("fault needs `at`"))?,
-        duration_ms: duration_ms.ok_or_else(|| SpecError::new("fault needs `duration`"))?,
+        recovery: recovery
+            .ok_or_else(|| SpecError::new("fault needs `duration` or `repair`"))?,
         cpus_down: cpus_down.ok_or_else(|| SpecError::new("fault needs `cpus_down`"))?,
     })
 }
@@ -1218,7 +1651,11 @@ fn variant_from_value(v: &Value) -> Result<VariantSpec, SpecError> {
 
 /// Normalizes the `system` override map: dist-valued fields accept the
 /// shorthands, `arrival` accepts its shorthands, and `seed` is rejected
-/// (the top-level `seed` field owns it).
+/// (the top-level `seed` field owns it). `offered_load_per_s` is a
+/// *derived* quantity: a value `λ` lowers to an open Poisson arrival
+/// stream with interarrival mean `1000/λ` ms at parse time, so load
+/// grids (sweep axes, `--set`, quick overrides) read in the paper's
+/// tx/s units instead of interarrival means.
 fn system_overrides_from_value(v: &Value) -> Result<Vec<(String, Value)>, SpecError> {
     const DIST_FIELDS: [&str; 5] = [
         "cpu_phase",
@@ -1227,20 +1664,36 @@ fn system_overrides_from_value(v: &Value) -> Result<Vec<(String, Value)>, SpecEr
         "think",
         "restart_delay",
     ];
-    let mut out = Vec::new();
+    let mut out: Vec<(String, Value)> = Vec::new();
+    let mut arrival_sources = 0u32;
     for (k, val) in override_pairs(v, "system")? {
-        let norm = if DIST_FIELDS.contains(&k.as_str()) {
-            normalize_dist(&val).map_err(|e| SpecError::new(format!("system `{k}`: {e}")))?
+        let (key, norm) = if DIST_FIELDS.contains(&k.as_str()) {
+            let norm = normalize_dist(&val)
+                .map_err(|e| SpecError::new(format!("system `{k}`: {e}")))?;
+            (k, norm)
         } else if k == "arrival" {
-            normalize_arrival(&val)?
+            arrival_sources += 1;
+            (k, normalize_arrival(&val)?)
+        } else if k == "offered_load_per_s" {
+            arrival_sources += 1;
+            let rate = val.as_f64().filter(|&r| r > 0.0).ok_or_else(|| {
+                SpecError::new("`system.offered_load_per_s` must be a positive rate")
+            })?;
+            let open = Value::Map(vec![("open_rate_per_s".into(), Value::Num(rate))]);
+            ("arrival".to_string(), normalize_arrival(&open)?)
         } else if k == "seed" {
             return Err(SpecError::new(
                 "set the top-level `seed` field, not `system.seed`",
             ));
         } else {
-            val
+            (k, val)
         };
-        out.push((k, norm));
+        out.push((key, norm));
+    }
+    if arrival_sources > 1 {
+        return Err(SpecError::new(
+            "set `system.arrival` or `system.offered_load_per_s`, not both",
+        ));
     }
     Ok(out)
 }
@@ -1259,6 +1712,7 @@ impl ScenarioSpec {
         let mut horizon_ms = None;
         let mut cc = CcKind::Certification;
         let mut cc_phases = Vec::new();
+        let mut cc_adaptive = None;
         let mut faults = Vec::new();
         let mut system = Vec::new();
         let mut control = Vec::new();
@@ -1302,7 +1756,7 @@ impl ScenarioSpec {
                             .ok_or_else(|| SpecError::new("`horizon_ms` must be positive"))?,
                     );
                 }
-                "cc" => (cc, cc_phases) = cc_field_from_value(val)?,
+                "cc" => (cc, cc_phases, cc_adaptive) = cc_field_from_value(val)?,
                 "faults" => {
                     let seq = val
                         .as_seq()
@@ -1369,6 +1823,7 @@ impl ScenarioSpec {
                 .ok_or_else(|| SpecError::new("spec needs a positive `horizon_ms`"))?,
             cc,
             cc_phases,
+            cc_adaptive,
             faults,
             system,
             control,
@@ -1500,7 +1955,9 @@ impl serde::Serialize for ScenarioSpec {
     fn to_value(&self) -> Value {
         let pairs_value =
             |pairs: &[(String, Value)]| Value::Map(pairs.to_vec());
-        let cc_value = if self.cc_phases.is_empty() {
+        let cc_value = if let Some(ad) = &self.cc_adaptive {
+            Value::Map(vec![("adaptive".into(), ad.to_value())])
+        } else if self.cc_phases.is_empty() {
             self.cc.to_value()
         } else {
             let mut phases = vec![Value::Seq(vec![Value::Num(0.0), self.cc.to_value()])];
@@ -1537,9 +1994,13 @@ impl serde::Serialize for ScenarioSpec {
                     self.faults
                         .iter()
                         .map(|f| {
+                            let recovery = match &f.recovery {
+                                FaultRecovery::Fixed(d) => ("duration".into(), Value::Num(*d)),
+                                FaultRecovery::Repair(dist) => ("repair".into(), dist.to_value()),
+                            };
                             Value::Map(vec![
                                 ("at".into(), Value::Num(f.at_ms)),
-                                ("duration".into(), Value::Num(f.duration_ms)),
+                                recovery,
                                 ("cpus_down".into(), Value::U64(u64::from(f.cpus_down))),
                             ])
                         })
@@ -1622,6 +2083,52 @@ impl serde::Serialize for ScenarioSpec {
 impl<'de> serde::Deserialize<'de> for ScenarioSpec {
     fn from_value(value: &Value) -> Result<Self, serde::Error> {
         ScenarioSpec::from_value(value).map_err(|e| serde::Error::custom(e.to_string()))
+    }
+}
+
+impl serde::Serialize for AdaptiveCcSpec {
+    fn to_value(&self) -> Value {
+        let policy = match &self.policy {
+            MetaPolicySpec::ConflictThreshold {
+                threshold,
+                ewma_weight,
+            } => Value::Map(vec![(
+                "conflict_threshold".into(),
+                Value::Map(vec![
+                    ("threshold".into(), Value::Num(*threshold)),
+                    ("ewma_weight".into(), Value::Num(*ewma_weight)),
+                ]),
+            )]),
+            MetaPolicySpec::RestartRate {
+                threshold,
+                ewma_weight,
+            } => Value::Map(vec![(
+                "restart_rate".into(),
+                Value::Map(vec![
+                    ("threshold".into(), Value::Num(*threshold)),
+                    ("ewma_weight".into(), Value::Num(*ewma_weight)),
+                ]),
+            )]),
+            MetaPolicySpec::ShadowScore { ewma_weight } => Value::Map(vec![(
+                "shadow_score".into(),
+                Value::Map(vec![("ewma_weight".into(), Value::Num(*ewma_weight))]),
+            )]),
+        };
+        Value::Map(vec![
+            (
+                "candidates".into(),
+                Value::Seq(
+                    self.candidates
+                        .iter()
+                        .map(|c| Value::Str(cc_spec_name(*c).to_string()))
+                        .collect(),
+                ),
+            ),
+            ("policy".into(), policy),
+            ("min_dwell_s".into(), Value::Num(self.min_dwell_s)),
+            ("cooldown_s".into(), Value::Num(self.cooldown_s)),
+            ("hysteresis".into(), Value::Num(self.hysteresis)),
+        ])
     }
 }
 
@@ -1836,6 +2343,33 @@ mod tests {
     }
 
     #[test]
+    fn offered_load_lowers_to_interarrival_mean() {
+        let spec: ScenarioSpec = serde_json::from_str(
+            r#"{"name": "x", "horizon_ms": 1.0,
+                "system": {"terminals": 80, "offered_load_per_s": 250}}"#,
+        )
+        .unwrap();
+        let sys: SystemConfig = crate::value_util::from_overrides(&spec.system, "system").unwrap();
+        let alc_tpsim::config::ArrivalProcess::Open { interarrival } = sys.arrival else {
+            panic!("offered load must lower to an open arrival stream");
+        };
+        assert_eq!(interarrival, alc_des::dist::Dist::exponential(4.0));
+
+        // Both arrival vocabularies at once are ambiguous.
+        let r: Result<ScenarioSpec, _> = serde_json::from_str(
+            r#"{"name": "x", "horizon_ms": 1.0,
+                "system": {"arrival": "closed", "offered_load_per_s": 250}}"#,
+        );
+        assert!(r.is_err(), "conflicting arrival sources accepted");
+        // And the rate must be a positive number.
+        let r: Result<ScenarioSpec, _> = serde_json::from_str(
+            r#"{"name": "x", "horizon_ms": 1.0,
+                "system": {"offered_load_per_s": "fast"}}"#,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
     fn seed_belongs_at_top_level() {
         let r: Result<ScenarioSpec, _> = serde_json::from_str(
             r#"{"name": "x", "horizon_ms": 1.0, "system": {"seed": 42}}"#,
@@ -1903,6 +2437,174 @@ mod tests {
         .unwrap();
         assert_eq!(spec.cc, CcKind::Certification);
         assert_eq!(spec.cc_phases, vec![(500.0, CcKind::TwoPhaseLocking)]);
+    }
+
+    #[test]
+    fn adaptive_cc_parses_and_pins_initial_protocol() {
+        let spec: ScenarioSpec = serde_json::from_str(
+            r#"{"name": "a", "horizon_ms": 1.0,
+                "cc": {"adaptive": {
+                    "candidates": ["certification", "2pl"],
+                    "policy": {"conflict_threshold": {"threshold": 0.8}},
+                    "min_dwell_s": 30.0,
+                    "cooldown_s": 4.0,
+                    "hysteresis": 0.2}}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.cc, CcKind::Certification);
+        assert!(spec.cc_phases.is_empty());
+        let ad = spec.cc_adaptive.expect("adaptive section");
+        assert_eq!(
+            ad.candidates,
+            vec![CcKind::Certification, CcKind::TwoPhaseLocking]
+        );
+        assert_eq!(
+            ad.policy,
+            MetaPolicySpec::ConflictThreshold {
+                threshold: 0.8,
+                ewma_weight: 0.3
+            }
+        );
+        assert_eq!(ad.min_dwell_s, 30.0);
+        let (candidates, policy) = ad.build();
+        assert_eq!(candidates.len(), 2);
+        assert_eq!(policy.candidate_count(), 2);
+        assert_eq!(policy.name(), "conflict-threshold");
+    }
+
+    #[test]
+    fn adaptive_cc_rejects_malformed_sections() {
+        let with_cc = |cc: &str| format!(r#"{{"name": "a", "horizon_ms": 1.0, "cc": {cc}}}"#);
+        for (bad, why) in [
+            (
+                r#"{"adaptive": {"candidates": ["2pl"],
+                    "policy": {"shadow_score": {}}, "min_dwell_s": 1.0}}"#,
+                "single candidate",
+            ),
+            (
+                r#"{"adaptive": {"candidates": ["2pl", "2pl"],
+                    "policy": {"shadow_score": {}}, "min_dwell_s": 1.0}}"#,
+                "duplicate candidates",
+            ),
+            (
+                r#"{"adaptive": {"candidates": ["2pl", "mvto"], "min_dwell_s": 1.0}}"#,
+                "missing policy",
+            ),
+            (
+                r#"{"adaptive": {"candidates": ["2pl", "mvto"],
+                    "policy": {"shadow_score": {}}}}"#,
+                "missing min_dwell_s",
+            ),
+            (
+                r#"{"adaptive": {"candidates": ["2pl", "mvto"],
+                    "policy": {"shadow_score": {"threshold": 1.0}}, "min_dwell_s": 1.0}}"#,
+                "shadow_score takes no threshold",
+            ),
+            (
+                r#"{"adaptive": {"candidates": ["2pl", "mvto"],
+                    "policy": {"restart_rate": {"threshold": 1.5}}, "min_dwell_s": 1.0}}"#,
+                "abort-ratio threshold >= 1",
+            ),
+            (
+                r#"{"adaptive": {"candidates": ["2pl", "mvto"],
+                    "policy": {"conflict_threshold": {"threshold": 0.5}},
+                    "min_dwell_s": 1.0, "hysteresis": 1.0}}"#,
+                "hysteresis out of range",
+            ),
+            (
+                r#"{"adaptive": {"candidates": ["2pl", "mvto"],
+                    "policy": {"conflict_threshold": {"threshold": 0.5}},
+                    "min_dwell_s": 1.0, "dwell": 2.0}}"#,
+                "unknown field",
+            ),
+        ] {
+            let r: Result<ScenarioSpec, _> = serde_json::from_str(&with_cc(bad));
+            assert!(r.is_err(), "accepted bad adaptive section ({why}): {bad}");
+        }
+    }
+
+    #[test]
+    fn adaptive_cc_is_set_addressable() {
+        // `--set cc.adaptive.min_dwell_s=5` must reach into the section.
+        let mut tree: Value = serde_json::from_str(
+            r#"{"name": "a", "horizon_ms": 1.0,
+                "cc": {"adaptive": {
+                    "candidates": ["certification", "2pl"],
+                    "policy": {"conflict_threshold": {"threshold": 0.8}},
+                    "min_dwell_s": 30.0}}}"#,
+        )
+        .unwrap();
+        crate::value_util::set_path(&mut tree, "cc.adaptive.min_dwell_s", Value::Num(5.0))
+            .unwrap();
+        crate::value_util::set_path(
+            &mut tree,
+            "cc.adaptive.policy.conflict_threshold.threshold",
+            Value::Num(2.5),
+        )
+        .unwrap();
+        let spec = ScenarioSpec::from_value(&tree).unwrap();
+        let ad = spec.cc_adaptive.unwrap();
+        assert_eq!(ad.min_dwell_s, 5.0);
+        assert_eq!(
+            ad.policy,
+            MetaPolicySpec::ConflictThreshold {
+                threshold: 2.5,
+                ewma_weight: 0.3
+            }
+        );
+    }
+
+    #[test]
+    fn switch_derived_columns_parse_and_format() {
+        let spec: ScenarioSpec = serde_json::from_str(
+            r#"{"name": "a", "horizon_ms": 1.0, "columns": [
+                "switch_count",
+                {"time_in_protocol": {"cc": "2pl"}},
+                {"time_in_protocol": {"cc": "mvto", "header": "mvto_s"}},
+                "post_switch_settling_time_s",
+                {"post_switch_settling_time_s": {"band": 0.1, "header": "settle"}}
+            ]}"#,
+        )
+        .unwrap();
+        let headers: Vec<String> = spec.columns.iter().map(ColumnSpec::header).collect();
+        assert_eq!(
+            headers,
+            vec![
+                "switch_count",
+                "time_in_protocol:2pl",
+                "mvto_s",
+                "post_switch_settling_time_s",
+                "settle"
+            ]
+        );
+        assert!(spec.columns.iter().all(ColumnSpec::needs_trajectories));
+        assert!(!spec.columns.iter().any(ColumnSpec::needs_optimum));
+
+        // Format against a synthetic trace: cert for 0–10 s, 2pl after.
+        use alc_tpsim::engine::SwitchEvent;
+        let mut traj = Trajectories::new();
+        traj.switches.push(SwitchEvent {
+            decided_at_ms: 9_000.0,
+            completed_at_ms: 10_000.0,
+            from: CcKind::Certification,
+            to: CcKind::TwoPhaseLocking,
+        });
+        for i in 0..20 {
+            let t = alc_des::SimTime::new(f64::from(i) * 1_000.0);
+            // Throughput recovers to 100 (±1) three samples after the swap.
+            let v = if i < 13 { 40.0 } else { 100.0 + f64::from(i % 2) };
+            traj.throughput.push(t, v);
+        }
+        let fmt = |col: &ColumnSpec| match col {
+            ColumnSpec::Derived(d) => d.format(&traj, 20_000.0, CcKind::Certification),
+            _ => unreachable!(),
+        };
+        assert_eq!(fmt(&spec.columns[0]), "1");
+        // 2pl in force from the swap at 10 s to the 20 s horizon.
+        assert_eq!(fmt(&spec.columns[1]), "10.0");
+        assert_eq!(fmt(&spec.columns[2]), "0");
+        // Settles when throughput reaches the final-quarter level at 13 s.
+        assert_eq!(fmt(&spec.columns[3]), "3.00");
     }
 
     #[test]

@@ -152,6 +152,37 @@ fn abl_cc_sweep_port_reproduces_golden_table() {
     assert_report_matches("abl-cc", "abl-cc.csv", "port-abl-cc");
 }
 
+/// The `repair` fault vocabulary is golden-pinned: sampled
+/// mean-time-to-repair outages must stay byte-identical across builds
+/// (the draws come from each replication's dedicated `fault_repair`
+/// RNG substream, so nothing else in the engine can shift them).
+#[test]
+fn fault_repair_spec_reproduces_its_golden_table() {
+    let (plan, records) = run_quick("fault-repair");
+    let vp = &plan.variants[0];
+    assert!(
+        vp.fault_schedules.is_some(),
+        "repair faults must lower to per-replication timelines"
+    );
+    // The two replications sample different outage lengths.
+    let per_rep = vp.fault_schedules.as_ref().unwrap();
+    assert_ne!(per_rep[0], per_rep[1], "replications shared repair draws");
+    let report = alc_scenario::runner::build_report(&plan, &records);
+    let out = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("fault-repair");
+    let _ = std::fs::remove_dir_all(&out);
+    let path = report.write_csv(Path::new(&out)).expect("write csv");
+    let actual = std::fs::read(&path).expect("read actual");
+    let golden = std::fs::read(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fault-repair.csv"),
+    )
+    .expect("golden file");
+    assert!(
+        actual == golden,
+        "fault-repair.csv diverged from its golden pin — the sampled \
+         repair times are no longer reproducible"
+    );
+}
+
 /// Every checked-in spec must compile (full + quick) and the whole
 /// catalog must run end-to-end at quick scale — the acceptance floor for
 /// "a new experiment is a JSON file".

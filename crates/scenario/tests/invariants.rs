@@ -90,6 +90,106 @@ fn fault_scenario_is_deterministic_across_reruns_and_thread_counts() {
     assert!(a[0].stats.commits > 50, "outage run starved");
 }
 
+/// The acceptance pin for closed-loop CC selection: the checked-in
+/// `adaptive-cc` spec must *demonstrably switch protocol* in response to
+/// its hotspot ramp — escalating certification → 2PL as the ramp drives
+/// the conflict ratio across the band and de-escalating once it cools —
+/// with every decision visible in the switch-event trace, the dwell
+/// guard respected, the counters conserved, and the whole run
+/// deterministic across reruns and thread counts.
+#[test]
+fn adaptive_cc_scenario_switches_on_the_hotspot_ramp() {
+    let plan = quick_plan("adaptive-cc");
+    let ad = plan.variants[0]
+        .adaptive_cc
+        .as_ref()
+        .expect("adaptive section");
+    assert_eq!(ad.candidates.len(), 2);
+    let a = run_plan(&plan);
+    let b = run_plan(&plan);
+    assert_same_records(&a, &b, "rerun");
+    let serial = run_serial(&plan);
+    assert_same_records(&a, &serial, "parallel vs serial");
+
+    let traj = a[0].trajectories.as_ref().expect("derived columns retain");
+    let switches = &traj.switches;
+    assert!(
+        switches.len() >= 2,
+        "the hotspot ramp must force an escalation and a return, saw {switches:?}"
+    );
+    use alc_tpsim::config::CcKind;
+    assert_eq!(switches[0].from, CcKind::Certification);
+    assert_eq!(switches[0].to, CcKind::TwoPhaseLocking);
+    assert_eq!(switches[1].from, CcKind::TwoPhaseLocking);
+    assert_eq!(switches[1].to, CcKind::Certification);
+    // Determinism of the trace itself.
+    assert_eq!(switches, &b[0].trajectories.as_ref().unwrap().switches);
+    // The dwell guard: no two decisions closer than min_dwell_s.
+    for w in switches.windows(2) {
+        assert!(
+            w[1].decided_at_ms - w[0].decided_at_ms >= ad.min_dwell_s * 1000.0 - 1e-9,
+            "decisions at {} and {} violate min_dwell",
+            w[0].decided_at_ms,
+            w[1].decided_at_ms
+        );
+    }
+    // Conservation across policy-driven switches: the published ratio is
+    // exactly the counters' ratio (a drain bug would skew one of them).
+    let stats = &a[0].stats;
+    assert!(stats.commits > 200, "adaptive run starved");
+    let expect = stats.aborts as f64 / (stats.commits + stats.aborts) as f64;
+    assert_eq!(stats.abort_ratio, expect, "finished-run counters diverged");
+}
+
+/// Both storm variants (restart-rate ladder, shadow scoring) switch at
+/// least once under the arrival burst and stay deterministic.
+#[test]
+fn adaptive_storm_variants_switch_and_are_deterministic() {
+    let plan = quick_plan("adaptive-cc-storm");
+    let a = run_plan(&plan);
+    let b = run_plan(&plan);
+    assert_same_records(&a, &b, "rerun");
+    for rec in &a {
+        let switches = &rec.trajectories.as_ref().expect("retained").switches;
+        assert!(
+            !switches.is_empty(),
+            "variant `{}` never switched",
+            rec.label
+        );
+        assert!(rec.stats.commits > 100, "variant `{}` starved", rec.label);
+    }
+}
+
+/// The hysteresis/dwell ablation reproduces the oscillation pathology:
+/// the guardless cell flaps an order of magnitude more than the fully
+/// guarded one, and guards are monotone (more guard, fewer switches).
+#[test]
+fn ablation_guards_suppress_protocol_flapping() {
+    let plan = quick_plan("adaptive-cc-ablation");
+    assert_eq!(plan.variants.len(), 9, "3 hysteresis x 3 dwell grid");
+    let records = run_plan(&plan);
+    let count = |label: &str| -> usize {
+        records
+            .iter()
+            .find(|r| r.label == label)
+            .unwrap_or_else(|| panic!("missing cell {label}"))
+            .trajectories
+            .as_ref()
+            .expect("retained")
+            .switches
+            .len()
+    };
+    let flapping = count("h0_d0");
+    let guarded = count("h0.4_d-long");
+    assert!(
+        flapping >= 10 * guarded.max(1),
+        "guards did not suppress oscillation: guardless {flapping} vs guarded {guarded}"
+    );
+    // Each guard alone already helps.
+    assert!(count("h0_d-long") < flapping, "dwell alone failed to help");
+    assert!(count("h0.4_d0") < flapping, "hysteresis alone failed to help");
+}
+
 #[test]
 fn sweep_grid_is_deterministic_across_thread_counts() {
     // 12 cells: enough to span multiple rayon chunks on any machine.

@@ -9,8 +9,9 @@
 use alc_scenario::compile::compile_value;
 use alc_scenario::profile::Profile;
 use alc_scenario::spec::{
-    ColumnSpec, ControllerSpec, DerivedColumn, FaultSpec, PivotSpec, ScenarioSpec, StatColumn,
-    SweepAxis, SweepSpec, VariantSpec, WorkloadSpec,
+    AdaptiveCcSpec, ColumnSpec, ControllerSpec, DerivedColumn, FaultRecovery, FaultSpec,
+    MetaPolicySpec, PivotSpec, ScenarioSpec, StatColumn, SweepAxis, SweepSpec, VariantSpec,
+    WorkloadSpec,
 };
 use alc_tpsim::config::CcKind;
 use proptest::prelude::*;
@@ -190,12 +191,21 @@ fn arb_cc_phases() -> impl Strategy<Value = Vec<(f64, CcKind)>> {
 
 /// Fault windows that can never exceed the generated CPU counts
 /// (`cpus ≥ 2` in `arb_system_overrides`, at most two single-CPU kills).
+/// Mixes fixed `duration` windows with sampled `repair` distributions.
 fn arb_faults() -> impl Strategy<Value = Vec<FaultSpec>> {
-    collection::vec((0.0..800_000.0f64, 1_000.0..400_000.0f64), 0..3).prop_map(|v| {
+    collection::vec(
+        (0.0..800_000.0f64, 1_000.0..400_000.0f64, any::<bool>()),
+        0..3,
+    )
+    .prop_map(|v| {
         v.into_iter()
-            .map(|(at_ms, duration_ms)| FaultSpec {
+            .map(|(at_ms, duration_ms, sampled)| FaultSpec {
                 at_ms,
-                duration_ms,
+                recovery: if sampled {
+                    FaultRecovery::Repair(alc_des::dist::Dist::exponential(duration_ms))
+                } else {
+                    FaultRecovery::Fixed(duration_ms)
+                },
                 cpus_down: 1,
             })
             .collect()
@@ -204,6 +214,47 @@ fn arb_faults() -> impl Strategy<Value = Vec<FaultSpec>> {
 
 fn arb_cc() -> impl Strategy<Value = CcKind> {
     (0usize..CcKind::ALL.len()).prop_map(|i| CcKind::ALL[i])
+}
+
+/// Adaptive CC sections: 2–4 distinct candidates, one of the three
+/// policies, and guard parameters across their full legal ranges.
+fn arb_adaptive() -> impl Strategy<Value = AdaptiveCcSpec> {
+    let policy = prop_oneof![
+        (0.05..8.0f64, 0.05..1.0f64).prop_map(|(threshold, ewma_weight)| {
+            MetaPolicySpec::ConflictThreshold {
+                threshold,
+                ewma_weight,
+            }
+        }),
+        (0.05..0.95f64, 0.05..1.0f64).prop_map(|(threshold, ewma_weight)| {
+            MetaPolicySpec::RestartRate {
+                threshold,
+                ewma_weight,
+            }
+        }),
+        (0.05..1.0f64).prop_map(|ewma_weight| MetaPolicySpec::ShadowScore { ewma_weight }),
+    ];
+    (
+        2usize..CcKind::ALL.len() + 1,
+        0usize..24,
+        policy,
+        0.0..300.0f64,
+        0.0..60.0f64,
+        0.0..0.9f64,
+    )
+        .prop_map(|(n, rot, policy, min_dwell_s, cooldown_s, hysteresis)| {
+            // Distinct candidates: a rotation of the protocol list.
+            let candidates: Vec<CcKind> = (0..n)
+                .map(|i| CcKind::ALL[(i + rot) % CcKind::ALL.len()])
+                .collect();
+            AdaptiveCcSpec {
+                candidates,
+                policy,
+                min_dwell_s,
+                cooldown_s,
+                hysteresis,
+            }
+        })
 }
 
 fn arb_columns() -> impl Strategy<Value = Vec<ColumnSpec>> {
@@ -215,6 +266,19 @@ fn arb_columns() -> impl Strategy<Value = Vec<ColumnSpec>> {
             ColumnSpec::Derived(DerivedColumn::SettlingTime {
                 header: "settle_s".to_string(),
                 after_frac,
+                band,
+            })
+        }),
+        Just(ColumnSpec::Derived(DerivedColumn::SwitchCount)),
+        (arb_cc(), any::<bool>()).prop_map(|(cc, named)| {
+            ColumnSpec::Derived(DerivedColumn::TimeInProtocol {
+                cc,
+                header: named.then(|| "residence_s".to_string()),
+            })
+        }),
+        (0.05..0.5f64).prop_map(|band| {
+            ColumnSpec::Derived(DerivedColumn::PostSwitchSettling {
+                header: "post_switch_settling_time_s".to_string(),
                 band,
             })
         }),
@@ -280,17 +344,28 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
             any::<bool>(),
             arb_columns(),
         ),
-        (arb_variants(), arb_cc_phases(), arb_faults()),
+        (
+            arb_variants(),
+            arb_cc_phases(),
+            arb_faults(),
+            prop_oneof![2 => Just(None), 1 => arb_adaptive().prop_map(Some)],
+        ),
     )
         .prop_map(
             |(
                 (name, seed, replications, horizon_ms, cc, system),
                 (k, factor, controller, record_optimum, trajectories, columns),
-                (variants, cc_phases, faults),
+                (variants, cc_phases, faults, adaptive),
             )| {
                 // Tracking-error columns require the optimum trajectory.
                 let record_optimum =
                     record_optimum || columns.iter().any(ColumnSpec::needs_optimum);
+                // Adaptive selection replaces scheduled phases (the two
+                // are mutually exclusive) and pins `cc` to candidate 0.
+                let (cc, cc_phases) = match &adaptive {
+                    Some(ad) => (ad.candidates[0], Vec::new()),
+                    None => (cc, cc_phases),
+                };
                 ScenarioSpec {
                     name,
                     description: "generated spec".to_string(),
@@ -299,6 +374,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                     horizon_ms,
                     cc,
                     cc_phases,
+                    cc_adaptive: adaptive,
                     faults,
                     system,
                     control: vec![(
@@ -368,6 +444,7 @@ fn arb_sweep_spec() -> impl Strategy<Value = ScenarioSpec> {
                 horizon_ms: 5_000.0,
                 cc: CcKind::Certification,
                 cc_phases: Vec::new(),
+                cc_adaptive: None,
                 faults: Vec::new(),
                 system: Vec::new(),
                 control: vec![("sample_interval_ms".to_string(), Value::Num(500.0))],
@@ -433,8 +510,21 @@ proptest! {
             // on every variant.
             for v in &plan.variants {
                 prop_assert_eq!(v.cc_switches.len(), spec.cc_phases.len());
-                prop_assert_eq!(v.faults.len(), 2 * spec.faults.len());
-                prop_assert!(v.faults.windows(2).all(|w| w[0].0 <= w[1].0));
+                match &v.fault_schedules {
+                    // Sampled repair times: one timeline per replication,
+                    // each ascending with both edges of every window.
+                    Some(per_rep) => {
+                        prop_assert_eq!(per_rep.len(), v.seeds.len());
+                        for timeline in per_rep {
+                            prop_assert_eq!(timeline.len(), 2 * spec.faults.len());
+                            prop_assert!(timeline.windows(2).all(|w| w[0].0 <= w[1].0));
+                        }
+                    }
+                    None => {
+                        prop_assert_eq!(v.faults.len(), 2 * spec.faults.len());
+                        prop_assert!(v.faults.windows(2).all(|w| w[0].0 <= w[1].0));
+                    }
+                }
             }
         }
     }

@@ -17,6 +17,7 @@
 //! trajectory points the paper's figures plot.
 
 use alc_core::controller::LoadController;
+use alc_core::meta::{MetaObservation, MetaPolicy};
 use alc_core::sampler::IntervalSampler;
 use alc_des::dist::Sample as _;
 use alc_des::rng::{RngStream, SeedFactory};
@@ -82,6 +83,24 @@ pub struct RunStats {
     pub lost: u64,
 }
 
+/// One completed CC-protocol switch, as recorded in the switch-event
+/// trace: scheduled (`cc.phases`) and policy-driven (adaptive) switches
+/// both land here. `decided_at_ms` is when the switch was requested
+/// (the scheduled time, or the sample at which the meta-policy decided);
+/// `completed_at_ms` is when the drain reached in-flight-zero and the
+/// protocol actually swapped.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SwitchEvent {
+    /// Decision time, ms.
+    pub decided_at_ms: f64,
+    /// Swap-completion time (end of the drain), ms.
+    pub completed_at_ms: f64,
+    /// Protocol in force before the swap.
+    pub from: CcKind,
+    /// Protocol installed by the swap.
+    pub to: CcKind,
+}
+
 /// The trajectory series the paper's figures plot, sampled once per
 /// measurement interval.
 #[derive(Debug, Clone)]
@@ -100,10 +119,23 @@ pub struct Trajectories {
     /// material of the derived conflict-ratio columns (e.g. the conflict
     /// ratio at the throughput peak of a load sweep).
     pub conflict_ratio: TimeSeries,
+    /// The switch-event trace: every completed CC-protocol switch
+    /// (scheduled or policy-driven), in completion order. Empty for
+    /// single-protocol runs, so the trajectory CSVs of existing
+    /// scenarios stay byte-identical.
+    pub switches: Vec<SwitchEvent>,
+}
+
+impl Default for Trajectories {
+    fn default() -> Self {
+        Trajectories::new()
+    }
 }
 
 impl Trajectories {
-    fn new() -> Self {
+    /// Creates an empty trajectory set (the engine fills it; tests and
+    /// derived-column code may build synthetic ones).
+    pub fn new() -> Self {
         Trajectories {
             bound: TimeSeries::new("bound"),
             observed_mpl: TimeSeries::new("observed_mpl"),
@@ -111,6 +143,7 @@ impl Trajectories {
             optimum: TimeSeries::new("optimum"),
             k: TimeSeries::new("k"),
             conflict_ratio: TimeSeries::new("conflict_ratio"),
+            switches: Vec::new(),
         }
     }
 
@@ -123,6 +156,15 @@ impl Trajectories {
         self.k.reserve(additional);
         self.conflict_ratio.reserve(additional);
     }
+}
+
+/// The engine half of the meta-control loop: the candidate protocols and
+/// the `alc_core::meta` policy choosing among them by index.
+struct MetaCc {
+    candidates: Vec<CcKind>,
+    policy: Box<dyn MetaPolicy>,
+    /// The candidate index currently in force (tracks `cc_kind`).
+    active: usize,
 }
 
 struct Streams {
@@ -166,6 +208,13 @@ pub struct Simulator {
     /// parked until the last in-CC transaction commits or aborts, then the
     /// protocol swaps to this target.
     drain_target: Option<CcKind>,
+    /// Decision time of the switch currently draining (or of the
+    /// just-completed immediate swap) — the `decided_at_ms` of its
+    /// switch-event record.
+    drain_decided_ms: f64,
+    /// Closed-loop protocol selection: candidates, the policy choosing
+    /// among them, and the policy's active index.
+    meta: Option<MetaCc>,
     /// Transactions currently between `cc.begin` and `cc.commit`/`abort`.
     cc_active: u32,
     /// Restart-delay expiries deferred by an in-progress drain (FIFO).
@@ -224,6 +273,8 @@ impl Simulator {
             cc_kind,
             cc_switches: Vec::new(),
             drain_target: None,
+            drain_decided_ms: 0.0,
+            meta: None,
             cc_active: 0,
             parked_restarts: Vec::new(),
             switches_completed: 0,
@@ -298,6 +349,10 @@ impl Simulator {
     /// before running; an empty slice is a no-op (the fault-free and
     /// switch-free paths are byte-identical to a plain run).
     pub fn set_cc_switches(&mut self, switches: &[(f64, CcKind)]) {
+        assert!(
+            self.meta.is_none(),
+            "adaptive CC and scheduled cc switches are mutually exclusive"
+        );
         let mut last = self.now().millis();
         for &(at, _) in switches {
             assert!(at >= last, "cc switch times must be ascending");
@@ -323,6 +378,40 @@ impl Simulator {
         for (idx, &(at, _)) in self.fault_deltas.iter().enumerate() {
             self.cal.schedule(SimTime::new(at), Event::Fault { idx });
         }
+    }
+
+    /// Enables closed-loop protocol selection: at every measurement
+    /// interval the policy sees the interval's conflict state (conflict
+    /// ratio, restart rate, gate queue depth) and may pick another
+    /// candidate; the engine then performs the same drain-and-swap a
+    /// scheduled `set_cc_switches` entry would, so a policy decision is
+    /// exactly as safe as a scheduled phase switch. `candidates[0]` must
+    /// be the protocol the simulator was constructed with, and adaptive
+    /// selection is mutually exclusive with scheduled switches. Call
+    /// before running.
+    pub fn set_adaptive_cc(&mut self, candidates: Vec<CcKind>, policy: Box<dyn MetaPolicy>) {
+        assert!(
+            self.cc_switches.is_empty(),
+            "adaptive CC and scheduled cc switches are mutually exclusive"
+        );
+        assert!(
+            candidates.len() >= 2,
+            "adaptive CC needs at least two candidates"
+        );
+        assert_eq!(
+            candidates.len(),
+            policy.candidate_count(),
+            "policy candidate count must match the candidate list"
+        );
+        assert_eq!(
+            candidates[0], self.cc_kind,
+            "candidates[0] must be the initial protocol"
+        );
+        self.meta = Some(MetaCc {
+            candidates,
+            policy,
+            active: 0,
+        });
     }
 
     /// The CC protocol currently in force.
@@ -501,6 +590,13 @@ impl Simulator {
     /// (last switch wins).
     fn on_cc_switch(&mut self, idx: usize) {
         let target = self.cc_switches[idx].1;
+        self.begin_cc_switch(target);
+    }
+
+    /// Starts a protocol switch (scheduled or policy-driven): immediate
+    /// swap when nothing is inside the CC layer, drain otherwise.
+    fn begin_cc_switch(&mut self, target: CcKind) {
+        self.drain_decided_ms = self.now().millis();
         if self.cc_active == 0 && self.drain_target.is_none() {
             self.complete_cc_switch(target);
         } else {
@@ -513,6 +609,20 @@ impl Simulator {
     /// protocol (fresh state — nothing carries over by construction) and
     /// resume the held work in arrival order.
     fn complete_cc_switch(&mut self, target: CcKind) {
+        let completed_at = self.now().millis();
+        self.trajectories.switches.push(SwitchEvent {
+            decided_at_ms: self.drain_decided_ms,
+            completed_at_ms: completed_at,
+            from: self.cc_kind,
+            to: target,
+        });
+        // Re-anchor the policy's dwell/cooldown guards at the *swap*: a
+        // drain can outlast a cooldown measured from the decision, and
+        // the samples right after the swap measure the drain dip, not
+        // the workload.
+        if let Some(meta) = &mut self.meta {
+            meta.policy.note_swap_complete(completed_at);
+        }
         self.cc = make_cc(target, self.txns.len(), self.sys.db_size as usize);
         self.cc_kind = target;
         self.switches_completed += 1;
@@ -982,6 +1092,33 @@ impl Simulator {
                 workload.analytic_optimum(now.millis(), sys, sys.terminals.max(2))
             });
             self.trajectories.optimum.push(now, f64::from(n_opt));
+        }
+        // Closed-loop protocol selection: the policy sees the interval's
+        // conflict state and may pick another candidate. Decisions are
+        // skipped while a previous switch still drains (the observation
+        // would measure the drain, not the workload; the policy's
+        // cooldown covers the intervals right after the swap). No RNG is
+        // consumed here, so runs without a policy are byte-identical to
+        // pre-meta builds.
+        if self.meta.is_some() && self.drain_target.is_none() {
+            let obs = MetaObservation {
+                at_ms: now.millis(),
+                interval_ms: m.interval_ms,
+                conflicts_per_txn: m.conflicts_per_txn,
+                abort_ratio: m.abort_ratio(),
+                throughput_per_s: m.throughput_per_sec(),
+                gate_queue: self.gate.queue_len(),
+                observed_mpl: m.observed_mpl,
+            };
+            let meta = self.meta.as_mut().expect("checked above");
+            if let Some(next) = meta.policy.decide(meta.active, &obs) {
+                if next != meta.active {
+                    debug_assert!(next < meta.candidates.len());
+                    meta.active = next;
+                    let target = meta.candidates[next];
+                    self.begin_cc_switch(target);
+                }
+            }
         }
         self.cal
             .schedule_in(self.control.sample_interval_ms, Event::Sample);
@@ -1960,6 +2097,194 @@ mod tests {
         let back = sim.run_until(30_000.0);
         assert!(back.commits > 50, "system must recover after the restart");
         assert_eq!(sim.txn_state_census().iter().sum::<usize>(), 10);
+    }
+
+    /// Closed-loop protocol selection: a conflict-threshold policy must
+    /// escalate to the high-contention candidate when the workload turns
+    /// hot, and de-escalate when it calms — with every decision recorded
+    /// in the switch-event trace, conservation intact, and the whole run
+    /// deterministic.
+    #[test]
+    fn adaptive_cc_switches_on_conflict_and_conserves() {
+        use alc_core::meta::{ConflictThreshold, GuardParams};
+        let run = || {
+            // Calm (k=2, few writes) → hot (k=8, small db) → calm again.
+            let workload = WorkloadConfig {
+                k: alc_analytic::surface::Schedule::Piecewise(vec![
+                    (0.0, 2.0),
+                    (8_000.0, 8.0),
+                    (22_000.0, 2.0),
+                ]),
+                query_frac: alc_analytic::surface::Schedule::Constant(0.0),
+                write_frac: alc_analytic::surface::Schedule::Constant(0.8),
+                ..WorkloadConfig::default()
+            };
+            let mut sys = small_sys(25, 91);
+            sys.db_size = 120;
+            let mut sim = Simulator::new(
+                sys,
+                workload,
+                CcKind::Certification,
+                ControlConfig {
+                    sample_interval_ms: 500.0,
+                    initial_bound: 15,
+                    warmup_ms: 0.0,
+                    ..ControlConfig::default()
+                },
+                None,
+            );
+            sim.set_record_optimum(false);
+            let policy = ConflictThreshold::new(
+                2,
+                0.6,
+                0.5,
+                GuardParams {
+                    min_dwell_ms: 3_000.0,
+                    cooldown_ms: 1_000.0,
+                    hysteresis: 0.2,
+                },
+            );
+            sim.set_adaptive_cc(
+                vec![CcKind::Certification, CcKind::TwoPhaseLocking],
+                Box::new(policy),
+            );
+            let stats = sim.run_until(35_000.0);
+            (stats, sim)
+        };
+        let (stats, sim) = run();
+        let switches = &sim.trajectories().switches;
+        assert!(
+            switches.len() >= 2,
+            "expected an escalation and a de-escalation, saw {switches:?}"
+        );
+        assert_eq!(switches[0].from, CcKind::Certification);
+        assert_eq!(switches[0].to, CcKind::TwoPhaseLocking);
+        assert_eq!(
+            sim.cc_switches_completed(),
+            switches.len() as u64,
+            "trace must record every completed switch"
+        );
+        // The dwell guard: consecutive decisions at least min_dwell apart.
+        for w in switches.windows(2) {
+            assert!(
+                w[1].decided_at_ms - w[0].decided_at_ms >= 3_000.0,
+                "decisions at {} and {} violate min_dwell",
+                w[0].decided_at_ms,
+                w[1].decided_at_ms
+            );
+        }
+        for e in switches {
+            assert!(e.completed_at_ms >= e.decided_at_ms);
+        }
+        // Conservation across policy-driven drains.
+        let census = sim.txn_state_census();
+        assert_eq!(census.iter().sum::<usize>(), 25, "slot lost in drain");
+        assert_eq!(
+            sim.gate().in_system() as usize,
+            census[2] + census[3] + census[4]
+        );
+        assert!(stats.commits > 100, "system starved under adaptation");
+        // Determinism across reruns (stats and the full switch trace).
+        let (stats2, sim2) = run();
+        assert_eq!(stats, stats2);
+        assert_eq!(*switches, sim2.trajectories().switches);
+    }
+
+    /// An adaptive run whose policy never fires must be byte-identical
+    /// to the same run without any meta-controller: the wiring itself
+    /// is free.
+    #[test]
+    fn adaptive_cc_with_quiet_policy_is_transparent() {
+        use alc_core::meta::{ConflictThreshold, GuardParams};
+        let base = || {
+            let mut sim = Simulator::new(
+                small_sys(20, 92),
+                WorkloadConfig::default(),
+                CcKind::Certification,
+                no_control(10),
+                None,
+            );
+            sim.set_record_optimum(false);
+            sim
+        };
+        let plain = {
+            let mut sim = base();
+            sim.run(20_000.0)
+        };
+        let adaptive = {
+            // A threshold far above anything the default workload can
+            // produce: the policy observes but never acts.
+            let policy = ConflictThreshold::new(
+                2,
+                1e9,
+                0.3,
+                GuardParams {
+                    min_dwell_ms: 1_000.0,
+                    cooldown_ms: 0.0,
+                    hysteresis: 0.1,
+                },
+            );
+            let mut sim2 = base();
+            sim2.set_adaptive_cc(
+                vec![CcKind::Certification, CcKind::TwoPhaseLocking],
+                Box::new(policy),
+            );
+            sim2.run(20_000.0)
+        };
+        assert_eq!(plain, adaptive);
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn adaptive_cc_rejects_scheduled_switch_mix() {
+        use alc_core::meta::{ConflictThreshold, GuardParams};
+        let mut sim = Simulator::new(
+            small_sys(10, 93),
+            WorkloadConfig::default(),
+            CcKind::Certification,
+            no_control(5),
+            None,
+        );
+        sim.set_cc_switches(&[(1_000.0, CcKind::WaitDie)]);
+        sim.set_adaptive_cc(
+            vec![CcKind::Certification, CcKind::WaitDie],
+            Box::new(ConflictThreshold::new(
+                2,
+                1.0,
+                0.5,
+                GuardParams {
+                    min_dwell_ms: 0.0,
+                    cooldown_ms: 0.0,
+                    hysteresis: 0.0,
+                },
+            )),
+        );
+    }
+
+    /// Scheduled phase switches also land in the switch-event trace, so
+    /// `time_in_protocol` columns work for `cc.phases` specs too.
+    #[test]
+    fn scheduled_switches_are_recorded_in_the_trace() {
+        let workload = WorkloadConfig {
+            query_frac: alc_analytic::surface::Schedule::Constant(1.0),
+            ..WorkloadConfig::default()
+        };
+        let mut sim = Simulator::new(
+            small_sys(15, 94),
+            workload,
+            CcKind::Certification,
+            no_control(10),
+            None,
+        );
+        sim.set_record_optimum(false);
+        sim.set_cc_switches(&[(8_000.0, CcKind::Multiversion)]);
+        sim.run_until(20_000.0);
+        let switches = &sim.trajectories().switches;
+        assert_eq!(switches.len(), 1);
+        assert_eq!(switches[0].from, CcKind::Certification);
+        assert_eq!(switches[0].to, CcKind::Multiversion);
+        assert!(switches[0].decided_at_ms >= 8_000.0);
+        assert!(switches[0].completed_at_ms >= switches[0].decided_at_ms);
     }
 
     #[test]
