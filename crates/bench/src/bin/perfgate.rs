@@ -22,6 +22,9 @@
 //! `--check` runs a CI-sized variant (seconds, not minutes); the ratio
 //! assertion applies in both modes.
 
+// A perf gate times wall-clock by definition.
+#![allow(clippy::disallowed_methods)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};

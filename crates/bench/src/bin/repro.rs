@@ -104,6 +104,7 @@ fn main() {
     .expect("write run_manifest.json");
 
     for (id, _, run) in runs {
+        #[allow(clippy::disallowed_methods)] // CLI progress timing, not simulation time
         let start = std::time::Instant::now();
         let report = run(scale, Some(out_dir.as_path()));
         let csv = report.write_csv(&out_dir).expect("write csv");

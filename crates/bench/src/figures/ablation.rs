@@ -304,6 +304,7 @@ pub fn abl_interval(scale: Scale) -> Report {
         ],
     );
     for (name, dist, scv_true) in processes {
+        // alc-lint: allow(seed-literal, reason="fixed figure-fixture seed, xored per process for distinct streams")
         let mut rng = RngStream::from_seed(0xAB9 ^ scv_true.to_bits());
         let mut ci = CiInterval::new(accuracy, ConfidenceLevel::P95, 50.0, 1e7, 1000.0);
         let true_rate = 0.2; // mean 5 ms

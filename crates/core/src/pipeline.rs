@@ -56,6 +56,7 @@ impl<C: LoadController, P: IntervalPolicy> ControlLoop<C, P> {
                 sampler: IntervalSampler::new(indicator, 0.0, 0),
                 interval,
             }),
+            #[allow(clippy::disallowed_methods)] // runtime control loop; the simulator does not use this type
             epoch: std::time::Instant::now(),
         }
     }
@@ -118,6 +119,8 @@ impl<C: LoadController, P: IntervalPolicy> ControlLoop<C, P> {
 }
 
 #[cfg(test)]
+// Tests drive the live control loop in real time; sleeping is the workload.
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::controller::{IncrementalSteps, IsParams};

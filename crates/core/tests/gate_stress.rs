@@ -2,6 +2,10 @@
 //! limit changes, timeout storms. These are the conditions a production
 //! admission controller actually faces.
 
+// The point of this suite is to exercise the live, wall-clock gate with
+// real threads — sleeps and timeouts ARE the workload here.
+#![allow(clippy::disallowed_methods)]
+
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;

@@ -1,0 +1,506 @@
+//! A hand-rolled token-level Rust lexer.
+//!
+//! The linter's rules are token patterns, not syntax trees: the vendored
+//! offline dependency set cannot absorb a real parser (`syn`), and none
+//! of the enforced invariants need one — "`HashMap` appears in a
+//! simulation module" is a fact about tokens. The lexer therefore has to
+//! get exactly one thing right: *never* misclassify text, so that string
+//! contents, comments and lifetimes can't produce false findings. It
+//! handles line/block comments (nested), string/raw-string/byte-string
+//! literals, char literals vs. lifetimes, numeric literals with
+//! separators/suffixes, and multi-char `::` paths.
+//!
+//! Comments are not discarded: they come back alongside the tokens so the
+//! suppression layer can find `// alc-lint: allow(...)` directives.
+
+/// What a token is, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `static`, `fn`, …).
+    Ident,
+    /// A lifetime such as `'a` or `'static` — distinct from [`TokKind::Ident`]
+    /// so that `&'static str` never trips the `static`-item rule.
+    Lifetime,
+    /// Integer literal (any base, with separators/suffix).
+    Int,
+    /// Float literal.
+    Float,
+    /// String, raw-string or byte-string literal.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Punctuation. `::` is one token; everything else is one char.
+    Punct,
+}
+
+/// One token, borrowing its text from the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    /// Classification.
+    pub kind: TokKind,
+    /// Exact source text (for `Str`, includes the quotes).
+    pub text: &'a str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in bytes).
+    pub col: u32,
+}
+
+/// One comment (line or block), borrowing its text from the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Comment<'a> {
+    /// Comment text including the `//` / `/*` introducer.
+    pub text: &'a str,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The lexer's full output for one file.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    /// All non-comment tokens, in order.
+    pub tokens: Vec<Token<'a>>,
+    /// All comments, in order.
+    pub comments: Vec<Comment<'a>>,
+}
+
+/// Lexes `src`. Unterminated constructs are tolerated (the remainder is
+/// swallowed into the open token): the linter must degrade gracefully on
+/// any input, never panic.
+pub fn lex(src: &str) -> Lexed<'_> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed<'a>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Lexed<'a> {
+        while self.pos < self.bytes.len() {
+            let (line, col, start) = (self.line, self.col, self.pos);
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    let end = self.line_comment_end();
+                    self.out.comments.push(Comment {
+                        text: &self.src[start..end],
+                        line,
+                    });
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    let end = self.block_comment_end();
+                    self.out.comments.push(Comment {
+                        text: &self.src[start..end],
+                        line,
+                    });
+                }
+                b'r' | b'b' => {
+                    if let Some(kind) = self.raw_or_byte_string() {
+                        // `raw_or_byte_string` consumed the literal.
+                        self.push(kind, start, line, col);
+                    } else {
+                        // Plain identifier starting with r/b (incl. `r#raw`
+                        // identifiers, which lex as `r` `#` `ident`).
+                        self.bump();
+                        while self.ident_continue() {
+                            self.bump();
+                        }
+                        self.push(TokKind::Ident, start, line, col);
+                    }
+                }
+                b'"' => {
+                    self.string_literal();
+                    self.push(TokKind::Str, start, line, col);
+                }
+                b'\'' => {
+                    if self.lifetime_ahead() {
+                        self.bump(); // '
+                        while self.ident_continue() {
+                            self.bump();
+                        }
+                        self.push(TokKind::Lifetime, start, line, col);
+                    } else {
+                        self.char_literal();
+                        self.push(TokKind::Char, start, line, col);
+                    }
+                }
+                b'0'..=b'9' => {
+                    let kind = self.number();
+                    self.push(kind, start, line, col);
+                }
+                _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
+                    self.bump();
+                    while self.ident_continue() {
+                        self.bump();
+                    }
+                    self.push(TokKind::Ident, start, line, col);
+                }
+                b':' if self.peek(1) == Some(b':') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Punct, start, line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text: &self.src[start..self.pos],
+            line,
+            col,
+        });
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn ident_continue(&self) -> bool {
+        matches!(self.peek(0), Some(b) if b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80)
+    }
+
+    fn line_comment_end(&mut self) -> usize {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        self.pos
+    }
+
+    fn block_comment_end(&mut self) -> usize {
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1u32;
+        while let Some(b) = self.peek(0) {
+            if b == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if b == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump();
+            }
+        }
+        self.pos
+    }
+
+    /// Consumes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'` etc. if the
+    /// cursor is on one; returns the token kind it consumed. A bare
+    /// `r`/`b` identifier is left untouched (`None`).
+    fn raw_or_byte_string(&mut self) -> Option<TokKind> {
+        let mut look = 1; // past the leading r/b
+        let raw = if self.bytes[self.pos] == b'b' {
+            match self.peek(look) {
+                Some(b'r') => {
+                    look += 1;
+                    true
+                }
+                Some(b'"') => false,
+                Some(b'\'') => {
+                    // b'x' byte literal: consume as a char literal.
+                    self.bump();
+                    self.char_literal();
+                    return Some(TokKind::Char);
+                }
+                _ => return None,
+            }
+        } else {
+            true // leading r
+        };
+        let mut hashes = 0usize;
+        while self.peek(look) == Some(b'#') {
+            hashes += 1;
+            look += 1;
+        }
+        if self.peek(look) != Some(b'"') || (!raw && hashes > 0) {
+            return None; // an identifier like `r#keyword` or plain `r`
+        }
+        if raw {
+            for _ in 0..look + 1 {
+                self.bump(); // r, hashes, opening quote
+            }
+            // Scan for `"` followed by `hashes` hashes. No escapes in raw
+            // strings.
+            'scan: while let Some(b) = self.peek(0) {
+                if b == b'"' {
+                    for h in 0..hashes {
+                        if self.peek(1 + h) != Some(b'#') {
+                            self.bump();
+                            continue 'scan;
+                        }
+                    }
+                    for _ in 0..hashes + 1 {
+                        self.bump();
+                    }
+                    return Some(TokKind::Str);
+                }
+                self.bump();
+            }
+            Some(TokKind::Str) // unterminated: swallowed to EOF
+        } else {
+            self.bump(); // b
+            self.string_literal();
+            Some(TokKind::Str)
+        }
+    }
+
+    fn string_literal(&mut self) {
+        self.bump(); // opening "
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// `'a` is a lifetime, `'a'` / `'\n'` are chars. After the quote: an
+    /// identifier start NOT followed by a closing quote means lifetime.
+    fn lifetime_ahead(&self) -> bool {
+        match self.peek(1) {
+            Some(b) if b == b'_' || b.is_ascii_alphabetic() => {
+                // Walk the identifier; a `'` right after it makes it a char.
+                let mut look = 2;
+                while matches!(self.peek(look), Some(c) if c == b'_' || c.is_ascii_alphanumeric())
+                {
+                    look += 1;
+                }
+                self.peek(look) != Some(b'\'')
+            }
+            _ => false,
+        }
+    }
+
+    fn char_literal(&mut self) {
+        self.bump(); // opening '
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                b'\'' => {
+                    self.bump();
+                    return;
+                }
+                // A newline inside a char literal means it wasn't one;
+                // stop rather than swallow the file.
+                b'\n' => return,
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn number(&mut self) -> TokKind {
+        let mut kind = TokKind::Int;
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.bump();
+            self.bump();
+            while matches!(self.peek(0), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+                self.bump();
+            }
+            return TokKind::Int;
+        }
+        while matches!(self.peek(0), Some(b) if b.is_ascii_digit() || b == b'_') {
+            self.bump();
+        }
+        // A `.` makes it a float only when followed by a digit — `0..n`
+        // ranges and `1.max(x)` method calls stay integers.
+        if self.peek(0) == Some(b'.') && matches!(self.peek(1), Some(b) if b.is_ascii_digit()) {
+            kind = TokKind::Float;
+            self.bump();
+            while matches!(self.peek(0), Some(b) if b.is_ascii_digit() || b == b'_') {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(0), Some(b'e' | b'E'))
+            && (matches!(self.peek(1), Some(b) if b.is_ascii_digit())
+                || (matches!(self.peek(1), Some(b'+' | b'-'))
+                    && matches!(self.peek(2), Some(b) if b.is_ascii_digit())))
+        {
+            kind = TokKind::Float;
+            self.bump();
+            self.bump();
+            while matches!(self.peek(0), Some(b) if b.is_ascii_digit() || b == b'_') {
+                self.bump();
+            }
+        }
+        // Type suffix (`u64`, `f64`, …) — a trailing `f32`/`f64` suffix
+        // marks a float.
+        let suffix_start = self.pos;
+        while self.ident_continue() {
+            self.bump();
+        }
+        let suffix = &self.src[suffix_start..self.pos];
+        if suffix.starts_with('f') {
+            kind = TokKind::Float;
+        }
+        kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).tokens.iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_paths() {
+        assert_eq!(
+            kinds("std::collections::HashMap"),
+            vec![
+                (TokKind::Ident, "std"),
+                (TokKind::Punct, "::"),
+                (TokKind::Ident, "collections"),
+                (TokKind::Punct, "::"),
+                (TokKind::Ident, "HashMap"),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "HashMap::new()";"#);
+        assert!(toks.iter().all(|(k, t)| *k != TokKind::Ident || *t != "HashMap"));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let j = r#"{"HashMap": 1}"#; x"####;
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Str && t.contains("HashMap")));
+        assert_eq!(toks.last().map(|(k, t)| (*k, *t)), Some((TokKind::Ident, "x")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars_or_statics() {
+        let toks = kinds("fn f(s: &'static str) -> &'a str { s }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && *t == "static"));
+    }
+
+    #[test]
+    fn char_literals_lex_as_chars() {
+        let toks = kinds(r"let c = 'x'; let n = '\n'; let q = '\'';");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn numbers_ranges_and_floats() {
+        let toks = kinds("0..n 1.5 0x9E37_79B9 2e-3 7u64 3.0f32 1.max(2)");
+        let ints: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Int).collect();
+        let floats: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Float).collect();
+        assert_eq!(ints.len(), 5, "0, 0x…, 7u64, 1 and 2 from 1.max(2): {ints:?}");
+        assert_eq!(floats.len(), 3, "1.5, 2e-3, 3.0f32: {floats:?}");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && *t == "."));
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let out = lex("// alc-lint: allow(x, reason=\"y\")\nfn f() {} /* block\nstill */ g()");
+        assert_eq!(out.comments.len(), 2);
+        assert_eq!(out.comments[0].line, 1);
+        assert!(out.comments[0].text.contains("alc-lint"));
+        assert_eq!(out.comments[1].line, 2);
+        assert!(!out.tokens.iter().any(|t| t.text == "block"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("/* a /* b */ c */ real");
+        assert_eq!(out.tokens.len(), 1);
+        assert_eq!(out.tokens[0].text, "real");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r##"b"bytes" b'x' br#"raw"# rest"##);
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Str));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Char));
+        assert_eq!(toks.last().map(|(_, t)| *t), Some("rest"));
+    }
+
+    #[test]
+    fn raw_identifiers_stay_identifiers() {
+        // `r#fn` is a raw identifier, not a raw string.
+        let toks = kinds("r#type x");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && *t == "type"));
+    }
+
+    #[test]
+    fn line_and_col_positions() {
+        let out = lex("a\n  bb\n");
+        assert_eq!(out.tokens[0].line, 1);
+        assert_eq!(out.tokens[0].col, 1);
+        assert_eq!(out.tokens[1].line, 2);
+        assert_eq!(out.tokens[1].col, 3);
+    }
+
+    #[test]
+    fn unterminated_string_does_not_panic() {
+        let out = lex("let s = \"oops");
+        assert!(out.tokens.iter().any(|t| t.kind == TokKind::Str));
+    }
+}

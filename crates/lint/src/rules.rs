@@ -1,0 +1,577 @@
+//! The rule registry and token matchers.
+//!
+//! Every rule is a token pattern evaluated inside a configured file
+//! scope (see `lint.toml`). Four families guard the properties the
+//! test suite can only check dynamically:
+//!
+//! * **determinism** — simulation paths must not observe hash-container
+//!   iteration order, wall clocks, sleeps, or the environment;
+//! * **rng** — randomness is constructed in `alc_des::rng` only, and
+//!   never from ad-hoc integer seed literals;
+//! * **hot-path** — modules on the zero-alloc steady-state path must not
+//!   allocate (complementing the counting-allocator gates, which only
+//!   see executed paths);
+//! * **purity** — `controller/`, `estimator/`, `meta/` stay free of RNG,
+//!   time, I/O and global state, pre-clearing the `alc-runtime`
+//!   extraction;
+//!
+//! plus **hygiene**: `unwrap`/`panic!` policy in library code, and the
+//! suppression system policing itself.
+
+use crate::config::Config;
+use crate::lexer::{TokKind, Token};
+use crate::source::SourceFile;
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Rule id, as used in `lint.toml` and `allow(...)`.
+    pub name: &'static str,
+    /// Rule family (diagnostic prefix, report grouping).
+    pub family: &'static str,
+    /// One-line description (README table, `--rules`).
+    pub summary: &'static str,
+    /// Remediation hint appended to diagnostics.
+    pub help: &'static str,
+}
+
+/// Every rule the binary knows, in reporting order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "hash-container",
+        family: "determinism",
+        summary: "no HashMap/HashSet in simulation paths (iteration order is nondeterministic)",
+        help: "use a BTreeMap/BTreeSet or a direct-indexed table",
+    },
+    Rule {
+        name: "wall-clock",
+        family: "determinism",
+        summary: "no Instant/SystemTime in simulation paths (simulated time only)",
+        help: "thread simulated time through explicitly; wall clocks break replayability",
+    },
+    Rule {
+        name: "sleep",
+        family: "determinism",
+        summary: "no thread::sleep in simulation paths",
+        help: "schedule a calendar event instead of blocking the thread",
+    },
+    Rule {
+        name: "env-read",
+        family: "determinism",
+        summary: "no std::env reads in simulation paths (runs must be spec-determined)",
+        help: "plumb configuration through the spec/config structs",
+    },
+    Rule {
+        name: "rng-construction",
+        family: "rng",
+        summary: "RNG construction/seeding only inside alc_des::rng",
+        help: "derive a stream from a SeedFactory substream instead",
+    },
+    Rule {
+        name: "seed-literal",
+        family: "rng",
+        summary: "no integer seed literals outside tests",
+        help: "seeds come from config/replication plumbing, not literals",
+    },
+    Rule {
+        name: "hot-alloc",
+        family: "hot-path",
+        summary: "no allocation tokens (Vec::new, vec!, format!, to_vec, to_owned, collect, Box::new) in hot modules",
+        help: "reuse pooled scratch buffers, or allow() construction-time allocation with a reason",
+    },
+    Rule {
+        name: "purity-rng",
+        family: "purity",
+        summary: "controllers/estimators/meta policies take no randomness",
+        help: "policy decisions must be a pure function of their observations",
+    },
+    Rule {
+        name: "purity-time",
+        family: "purity",
+        summary: "controllers/estimators/meta policies read no clocks (Duration values are fine)",
+        help: "time arrives inside Measurement/MetaObservation, never from a clock",
+    },
+    Rule {
+        name: "purity-io",
+        family: "purity",
+        summary: "controllers/estimators/meta policies do no I/O",
+        help: "return data; let the caller decide what to print or persist",
+    },
+    Rule {
+        name: "purity-global-state",
+        family: "purity",
+        summary: "controllers/estimators/meta policies hold no global or shared mutable state",
+        help: "state lives in the policy struct so instances stay independent",
+    },
+    Rule {
+        name: "unwrap-in-lib",
+        family: "hygiene",
+        summary: "no .unwrap() in library code (tests/bins exempt)",
+        help: "return a Result, or .expect(\"why this cannot fail\")",
+    },
+    Rule {
+        name: "panic-in-lib",
+        family: "hygiene",
+        summary: "no panic!/todo!/unimplemented!/unreachable! in library code",
+        help: "return an error; assert!/debug_assert! remain available for invariants",
+    },
+    Rule {
+        name: "suppression-hygiene",
+        family: "hygiene",
+        summary: "allow() directives need a reason, a known rule, and a finding to suppress",
+        help: "fix the directive or delete it",
+    },
+];
+
+/// Looks up a rule by name.
+pub fn rule(name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// Config ⇄ registry consistency: every known rule must be configured,
+/// every configured rule must exist.
+pub fn check_config(cfg: &Config) -> Result<(), String> {
+    for r in RULES {
+        if !cfg.rules.contains_key(r.name) {
+            return Err(format!("lint.toml does not configure rule `{}`", r.name));
+        }
+    }
+    for name in cfg.rules.keys() {
+        if rule(name).is_none() {
+            let known: Vec<&str> = RULES.iter().map(|r| r.name).collect();
+            return Err(format!(
+                "lint.toml configures unknown rule `{name}` (known: {})",
+                known.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// One finding, suppressed or not.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id.
+    pub rule: &'static str,
+    /// Repo-relative file.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What was found.
+    pub message: String,
+    /// `Some(reason)` when an `allow(...)` covered it.
+    pub suppressed: Option<String>,
+}
+
+/// Runs every enabled rule over one file. `only` restricts to a single
+/// rule (fixture tests); `None` runs all.
+pub fn lint_file(file: &SourceFile<'_>, cfg: &Config, only: Option<&str>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let enabled = |name: &str| only.is_none_or(|o| o == name);
+
+    for r in RULES {
+        if r.name == "suppression-hygiene" || !enabled(r.name) {
+            continue;
+        }
+        let rc = &cfg.rules[r.name];
+        let scope = &cfg.scopes[&rc.scope];
+        if !scope.contains(&file.path) || rc.exclude.iter().any(|p| crate_path_match(p, &file.path))
+        {
+            continue;
+        }
+        let toks: Vec<&Token<'_>> = file
+            .lexed
+            .tokens
+            .iter()
+            .filter(|t| rc.include_tests || !file.in_test_region(t.line))
+            .collect();
+        scan_rule(r.name, &toks, &file.path, &mut findings);
+    }
+
+    apply_suppressions(file, cfg, enabled("suppression-hygiene"), &mut findings);
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    findings
+}
+
+fn crate_path_match(prefix: &str, path: &str) -> bool {
+    path == prefix
+        || (path.starts_with(prefix) && path.as_bytes().get(prefix.len()) == Some(&b'/'))
+}
+
+/// Matches inline `allow(...)` directives against the findings, then
+/// reports the suppression system's own violations.
+fn apply_suppressions(
+    file: &SourceFile<'_>,
+    cfg: &Config,
+    hygiene_enabled: bool,
+    findings: &mut Vec<Finding>,
+) {
+    let mut used = vec![false; file.suppressions.len()];
+    for f in findings.iter_mut() {
+        for (i, s) in file.suppressions.iter().enumerate() {
+            if s.rule == f.rule && s.target_line == f.line {
+                f.suppressed = Some(s.reason.clone());
+                used[i] = true;
+            }
+        }
+    }
+    if !hygiene_enabled {
+        return;
+    }
+    let mut hygiene: Vec<Finding> = Vec::new();
+    for issue in &file.suppression_issues {
+        hygiene.push(Finding {
+            rule: "suppression-hygiene",
+            path: file.path.clone(),
+            line: issue.line,
+            col: 1,
+            message: issue.message.clone(),
+            suppressed: None,
+        });
+    }
+    for (i, s) in file.suppressions.iter().enumerate() {
+        if rule(&s.rule).is_none() {
+            hygiene.push(Finding {
+                rule: "suppression-hygiene",
+                path: file.path.clone(),
+                line: s.line,
+                col: 1,
+                message: format!("allow() names unknown rule `{}`", s.rule),
+                suppressed: None,
+            });
+        } else if !used[i] && s.rule != "suppression-hygiene" {
+            // Rule disabled this run (fixture mode) ⇒ can't judge usefulness.
+            let rule_ran = cfg.rules.contains_key(&s.rule);
+            if rule_ran {
+                hygiene.push(Finding {
+                    rule: "suppression-hygiene",
+                    path: file.path.clone(),
+                    line: s.line,
+                    col: 1,
+                    message: format!(
+                        "unused suppression: no `{}` finding on line {}",
+                        s.rule, s.target_line
+                    ),
+                    suppressed: None,
+                });
+            }
+        }
+    }
+    // Hygiene findings are themselves suppressible — uniformity keeps the
+    // fixture contract (“every rule provably suppressible”) honest.
+    for f in &mut hygiene {
+        for s in &file.suppressions {
+            if s.rule == "suppression-hygiene" && s.target_line == f.line && s.line != f.line {
+                f.suppressed = Some(s.reason.clone());
+            }
+        }
+    }
+    findings.append(&mut hygiene);
+}
+
+/// Dispatches one rule's token scan.
+fn scan_rule(name: &'static str, toks: &[&Token<'_>], path: &str, out: &mut Vec<Finding>) {
+    let mut push = |t: &Token<'_>, message: String| {
+        out.push(Finding {
+            rule: name,
+            path: path.to_string(),
+            line: t.line,
+            col: t.col,
+            message,
+            suppressed: None,
+        });
+    };
+    let ident = |i: usize, s: &str| -> bool {
+        toks.get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == s)
+    };
+    let punct = |i: usize, s: &str| -> bool {
+        toks.get(i)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
+    };
+
+    for i in 0..toks.len() {
+        let t = toks[i];
+        let is_ident = t.kind == TokKind::Ident;
+        match name {
+            "hash-container"
+                if is_ident && (t.text == "HashMap" || t.text == "HashSet") => {
+                    push(t, format!("`{}` in a determinism-scoped module", t.text));
+                }
+            "wall-clock"
+                if is_ident && matches!(t.text, "Instant" | "SystemTime" | "UNIX_EPOCH") => {
+                    push(t, format!("wall-clock type `{}` in a simulation path", t.text));
+                }
+            "sleep"
+                if is_ident && t.text == "sleep" && i >= 2 && ident(i - 2, "thread") && punct(i - 1, "::")
+                => {
+                    push(t, "`thread::sleep` in a simulation path".to_string());
+                }
+            "env-read"
+                if is_ident && t.text == "env" && punct(i + 1, "::") => {
+                    let what = toks.get(i + 2).map_or("?", |x| x.text);
+                    push(t, format!("environment access `env::{what}` in a simulation path"));
+                }
+            "rng-construction"
+                if is_ident
+                    && matches!(
+                        t.text,
+                        "SmallRng"
+                            | "StdRng"
+                            | "ThreadRng"
+                            | "OsRng"
+                            | "thread_rng"
+                            | "from_entropy"
+                            | "SeedableRng"
+                            | "seed_from_u64"
+                    )
+                => {
+                    push(
+                        t,
+                        format!("RNG construction `{}` outside alc_des::rng", t.text),
+                    );
+                }
+            "seed-literal"
+                if t.kind == TokKind::Int && i >= 2 && punct(i - 1, "(") => {
+                    let callee = toks[i - 2];
+                    let literal_call = (callee.kind == TokKind::Ident
+                        && matches!(callee.text, "from_seed" | "seed_from_u64"))
+                        || (ident(i - 2, "new")
+                            && i >= 4
+                            && punct(i - 3, "::")
+                            && ident(i - 4, "SeedFactory"));
+                    if literal_call {
+                        push(
+                            t,
+                            format!("integer seed literal `{}` passed to `{}`", t.text, callee.text),
+                        );
+                    }
+                }
+            "hot-alloc" => {
+                if is_ident
+                    && matches!(t.text, "Vec" | "Box" | "String")
+                    && punct(i + 1, "::")
+                    && ident(i + 2, "new")
+                {
+                    push(t, format!("`{}::new` in a hot-path module", t.text));
+                } else if is_ident && matches!(t.text, "vec" | "format") && punct(i + 1, "!") {
+                    push(t, format!("`{}!` in a hot-path module", t.text));
+                } else if is_ident
+                    && matches!(t.text, "to_vec" | "to_owned" | "to_string" | "collect")
+                    && i >= 1
+                    && punct(i - 1, ".")
+                {
+                    push(t, format!("allocating call `.{}()` in a hot-path module", t.text));
+                }
+            }
+            "purity-rng"
+                if is_ident
+                    && matches!(
+                        t.text,
+                        "rand"
+                            | "RngStream"
+                            | "SeedFactory"
+                            | "SmallRng"
+                            | "StdRng"
+                            | "ThreadRng"
+                            | "thread_rng"
+                            | "from_entropy"
+                            | "seed_from_u64"
+                            | "from_seed"
+                    )
+                => {
+                    push(t, format!("randomness (`{}`) in a purity-scoped module", t.text));
+                }
+            "purity-time" => {
+                if is_ident && matches!(t.text, "Instant" | "SystemTime" | "UNIX_EPOCH") {
+                    push(t, format!("clock type `{}` in a purity-scoped module", t.text));
+                } else if is_ident
+                    && t.text == "time"
+                    && i >= 2
+                    && ident(i - 2, "std")
+                    && punct(i - 1, "::")
+                    && !(punct(i + 1, "::") && ident(i + 2, "Duration"))
+                {
+                    push(t, "`std::time` (beyond Duration) in a purity-scoped module".to_string());
+                } else if is_ident && t.text == "sleep" && i >= 2 && ident(i - 2, "thread") && punct(i - 1, "::")
+                {
+                    push(t, "`thread::sleep` in a purity-scoped module".to_string());
+                }
+            }
+            "purity-io" => {
+                if is_ident
+                    && matches!(t.text, "println" | "print" | "eprintln" | "eprint" | "dbg")
+                    && punct(i + 1, "!")
+                {
+                    push(t, format!("I/O macro `{}!` in a purity-scoped module", t.text));
+                } else if is_ident
+                    && matches!(t.text, "fs" | "io" | "net" | "process")
+                    && i >= 2
+                    && ident(i - 2, "std")
+                    && punct(i - 1, "::")
+                {
+                    push(t, format!("`std::{}` in a purity-scoped module", t.text));
+                } else if is_ident && matches!(t.text, "File" | "TcpStream" | "UdpSocket") {
+                    push(t, format!("I/O type `{}` in a purity-scoped module", t.text));
+                }
+            }
+            "purity-global-state" => {
+                if is_ident && t.text == "static" {
+                    push(t, "`static` item in a purity-scoped module".to_string());
+                } else if is_ident
+                    && (t.text.starts_with("Atomic")
+                        || matches!(
+                            t.text,
+                            "thread_local"
+                                | "OnceLock"
+                                | "OnceCell"
+                                | "LazyLock"
+                                | "Mutex"
+                                | "RwLock"
+                                | "RefCell"
+                                | "UnsafeCell"
+                        ))
+                {
+                    push(
+                        t,
+                        format!("shared/global mutable state (`{}`) in a purity-scoped module", t.text),
+                    );
+                }
+            }
+            "unwrap-in-lib"
+                if is_ident && t.text == "unwrap" && i >= 1 && punct(i - 1, ".") && punct(i + 1, "(")
+                => {
+                    push(t, "`.unwrap()` in library code".to_string());
+                }
+            "panic-in-lib"
+                if is_ident
+                    && matches!(t.text, "panic" | "todo" | "unimplemented" | "unreachable")
+                    && punct(i + 1, "!")
+                => {
+                    push(t, format!("`{}!` in library code", t.text));
+                }
+            // Rule names come from RULES, so this arm is never taken; a
+            // silent no-op keeps the dispatcher panic-free (the linter
+            // holds itself to `panic-in-lib`).
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    /// A config that puts `x.rs` in every scope, so any rule can fire.
+    fn test_config() -> Config {
+        let mut toml = String::from(
+            "[workspace]\nroots = [\".\"]\n[scopes.all]\ninclude = [\"x.rs\"]\n",
+        );
+        for r in RULES {
+            toml.push_str(&format!("[rules.{}]\nscope = \"all\"\n", r.name));
+        }
+        Config::parse(&toml).unwrap()
+    }
+
+    fn findings(src: &str, only: &str) -> Vec<Finding> {
+        let f = SourceFile::new("x.rs".into(), src);
+        lint_file(&f, &test_config(), Some(only))
+    }
+
+    #[test]
+    fn registry_and_config_stay_consistent() {
+        assert!(RULES.len() >= 10, "the issue demands ≥10 rules");
+        check_config(&test_config()).unwrap();
+        let mut missing = test_config();
+        missing.rules.remove("hash-container");
+        assert!(check_config(&missing).is_err());
+    }
+
+    #[test]
+    fn hash_container_fires_on_use_and_import() {
+        let f = findings("use std::collections::HashMap;\nlet s: HashSet<u8>;", "hash-container");
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests { use std::collections::HashMap; }\n";
+        assert!(findings(src, "hash-container").is_empty());
+    }
+
+    #[test]
+    fn sleep_needs_the_thread_path() {
+        assert_eq!(findings("std::thread::sleep(d);", "sleep").len(), 1);
+        assert!(findings("my.sleep(d);", "sleep").is_empty());
+    }
+
+    #[test]
+    fn seed_literal_catches_literal_seeds_only() {
+        assert_eq!(findings("RngStream::from_seed(42)", "seed-literal").len(), 1);
+        assert_eq!(findings("SeedFactory::new(7)", "seed-literal").len(), 1);
+        assert!(findings("RngStream::from_seed(seed)", "seed-literal").is_empty());
+        assert!(findings("SeedFactory::new(cfg.seed)", "seed-literal").is_empty());
+        assert!(findings("numbered_stream(\"t\", 3)", "seed-literal").is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_catches_the_banned_set() {
+        let src = "let a = Vec::new(); let b = vec![1]; let c = format!(\"x\");\n\
+                   let d = xs.to_vec(); let e = s.to_owned(); let f: Vec<_> = it.collect();\n\
+                   let g = Box::new(1); let h = n.to_string();";
+        let f = findings(src, "hot-alloc");
+        assert_eq!(f.len(), 8, "{f:?}");
+        // `Vec::with_capacity` is allowed: preallocation is the pattern
+        // the hot path is built on.
+        assert!(findings("Vec::with_capacity(8)", "hot-alloc").is_empty());
+    }
+
+    #[test]
+    fn purity_rules_fire_and_spare_pure_idioms() {
+        assert_eq!(findings("let r = SeedFactory::new(s);", "purity-rng").len(), 1);
+        assert_eq!(findings("let t = Instant::now();", "purity-time").len(), 1);
+        assert!(findings("use std::time::Duration;", "purity-time").is_empty());
+        assert_eq!(findings("println!(\"x\");", "purity-io").len(), 1);
+        assert_eq!(findings("static X: u8 = 0;", "purity-global-state").len(), 1);
+        assert_eq!(findings("let c = AtomicU64::new(0);", "purity-global-state").len(), 1);
+        // `&'static str` is a lifetime, not a static item.
+        assert!(findings("fn name(&self) -> &'static str { \"x\" }", "purity-global-state")
+            .is_empty());
+    }
+
+    #[test]
+    fn unwrap_and_panic_rules() {
+        assert_eq!(findings("x.unwrap();", "unwrap-in-lib").len(), 1);
+        assert!(findings("x.expect(\"why\");", "unwrap-in-lib").is_empty());
+        assert!(findings("fn unwrap() {}", "unwrap-in-lib").is_empty());
+        assert_eq!(findings("panic!(\"boom\");", "panic-in-lib").len(), 1);
+        assert!(findings("assert!(ok);", "panic-in-lib").is_empty());
+    }
+
+    #[test]
+    fn suppression_marks_findings_and_unused_allows_fire() {
+        let src = "use std::collections::HashMap; // alc-lint: allow(hash-container, reason=\"lookup only\")\n";
+        let f = SourceFile::new("x.rs".into(), src);
+        let all = lint_file(&f, &test_config(), None);
+        let hc: Vec<_> = all.iter().filter(|x| x.rule == "hash-container").collect();
+        assert_eq!(hc.len(), 1);
+        assert_eq!(hc[0].suppressed.as_deref(), Some("lookup only"));
+        assert!(all.iter().all(|x| x.rule != "suppression-hygiene"));
+
+        let unused = "let x = 1; // alc-lint: allow(hash-container, reason=\"nothing here\")\n";
+        let f = SourceFile::new("x.rs".into(), unused);
+        let all = lint_file(&f, &test_config(), None);
+        assert!(all.iter().any(|x| x.rule == "suppression-hygiene"
+            && x.message.contains("unused")));
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = "// HashMap in a comment\nlet s = \"HashMap::new()\";\n";
+        assert!(findings(src, "hash-container").is_empty());
+    }
+}

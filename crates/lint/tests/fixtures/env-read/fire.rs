@@ -1,0 +1,3 @@
+fn update_requested() -> bool {
+    std::env::var_os("UPDATE_GOLDEN").is_some()
+}

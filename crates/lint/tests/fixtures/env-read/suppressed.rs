@@ -1,0 +1,4 @@
+fn update_requested() -> bool {
+    // alc-lint: allow(env-read, reason="explicit opt-in rebless switch, not a simulation input")
+    std::env::var_os("UPDATE_GOLDEN").is_some()
+}

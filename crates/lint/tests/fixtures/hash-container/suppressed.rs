@@ -1,0 +1,1 @@
+use std::collections::HashMap; // alc-lint: allow(hash-container, reason="lookup-only index; iteration order never observed")

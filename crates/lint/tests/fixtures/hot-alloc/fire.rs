@@ -1,0 +1,5 @@
+fn scratch() -> Vec<u64> {
+    let names = format!("{a}-{b}");
+    let copies = xs.to_vec();
+    Vec::new()
+}

@@ -1,0 +1,5 @@
+fn scratch() -> Vec<u64> {
+    let names = format!("{a}-{b}"); // alc-lint: allow(hot-alloc, reason="construction-time labelling, before the measurement window")
+    let copies = xs.to_vec(); // alc-lint: allow(hot-alloc, reason="setup API, called once before the run starts")
+    Vec::new() // alc-lint: allow(hot-alloc, reason="empty Vec::new is allocation-free")
+}

@@ -1,0 +1,6 @@
+fn pick(kind: u8) -> u8 {
+    match kind {
+        0 => 1,
+        _ => unreachable!("kind is validated at parse time"),
+    }
+}

@@ -1,0 +1,7 @@
+fn pick(kind: u8) -> u8 {
+    match kind {
+        0 => 1,
+        // alc-lint: allow(panic-in-lib, reason="kind is validated at parse time, so this arm cannot be reached")
+        _ => unreachable!("kind is validated at parse time"),
+    }
+}

@@ -1,0 +1,1 @@
+static DECISIONS: AtomicU64 = AtomicU64::new(0);

@@ -1,0 +1,2 @@
+// alc-lint: allow(purity-global-state, reason="fixture only; real policy code tolerates no suppressions")
+static DECISIONS: AtomicU64 = AtomicU64::new(0);

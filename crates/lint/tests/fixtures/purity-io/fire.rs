@@ -1,0 +1,3 @@
+fn report(value: f64) {
+    println!("mpl = {value}");
+}

@@ -1,0 +1,3 @@
+fn report(value: f64) {
+    println!("mpl = {value}"); // alc-lint: allow(purity-io, reason="fixture only; real policy code tolerates no suppressions")
+}

@@ -1,0 +1,3 @@
+fn decide(stream: &mut RngStream) -> f64 {
+    stream.next_f64()
+}

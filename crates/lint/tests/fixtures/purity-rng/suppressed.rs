@@ -1,0 +1,4 @@
+// alc-lint: allow(purity-rng, reason="fixture only; real policy code tolerates no suppressions")
+fn decide(stream: &mut RngStream) -> f64 {
+    stream.next_f64()
+}

@@ -1,0 +1,3 @@
+fn observe() -> Instant {
+    Instant::now()
+}

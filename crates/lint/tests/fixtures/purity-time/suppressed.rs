@@ -1,0 +1,4 @@
+fn observe() -> Instant { // alc-lint: allow(purity-time, reason="fixture only; real policy code tolerates no suppressions")
+    // alc-lint: allow(purity-time, reason="fixture only; real policy code tolerates no suppressions")
+    Instant::now()
+}

@@ -1,0 +1,3 @@
+fn fresh() -> SmallRng {
+    SmallRng::seed_from_u64(master)
+}

@@ -1,0 +1,4 @@
+fn fresh() -> SmallRng { // alc-lint: allow(rng-construction, reason="this fixture stands in for alc_des::rng itself")
+    // alc-lint: allow(rng-construction, reason="this fixture stands in for alc_des::rng itself")
+    SmallRng::seed_from_u64(master)
+}

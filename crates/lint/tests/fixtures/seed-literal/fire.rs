@@ -1,0 +1,3 @@
+fn stream() -> RngStream {
+    RngStream::from_seed(42)
+}

@@ -1,0 +1,3 @@
+fn stream() -> RngStream {
+    RngStream::from_seed(42) // alc-lint: allow(seed-literal, reason="fixed fixture seed keeps this benchmark reproducible")
+}

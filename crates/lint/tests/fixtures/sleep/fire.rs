@@ -1,0 +1,3 @@
+fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}

@@ -1,0 +1,4 @@
+fn nap() {
+    // alc-lint: allow(sleep, reason="backoff in the live gate, never reached by the simulator")
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}

@@ -1,0 +1,5 @@
+fn noisy() {
+    let a = 1; // alc-lint: allow(hash-container)
+    let b = 2; // alc-lint: allow(no-such-rule, reason="rule does not exist")
+    let c = 3; // alc-lint: allow(wall-clock, reason="nothing here to suppress")
+}

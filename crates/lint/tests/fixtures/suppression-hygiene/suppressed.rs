@@ -1,0 +1,4 @@
+fn noisy() {
+    // alc-lint: allow(suppression-hygiene, reason="demonstrating a malformed directive in docs")
+    let a = 1; // alc-lint: allow(hash-container)
+}

@@ -1,0 +1,3 @@
+fn last(xs: &[f64]) -> f64 {
+    *xs.last().unwrap()
+}

@@ -1,0 +1,3 @@
+fn last(xs: &[f64]) -> f64 {
+    *xs.last().unwrap() // alc-lint: allow(unwrap-in-lib, reason="caller guarantees xs is non-empty via the constructor")
+}

@@ -1,0 +1,3 @@
+fn stamp() -> Instant {
+    Instant::now()
+}

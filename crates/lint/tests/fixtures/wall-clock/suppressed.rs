@@ -1,0 +1,4 @@
+fn stamp() -> Instant { // alc-lint: allow(wall-clock, reason="real-time component, not on the simulation path")
+    // alc-lint: allow(wall-clock, reason="real-time component, not on the simulation path")
+    Instant::now()
+}

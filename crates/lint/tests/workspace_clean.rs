@@ -1,0 +1,68 @@
+//! The linter applied to its own repository: `cargo test` fails if any
+//! unsuppressed finding exists anywhere in the workspace, making the
+//! static invariants part of the tier-1 gate rather than a separate
+//! opt-in tool.
+
+use std::path::{Path, PathBuf};
+
+use alc_lint::{load_config, run_workspace};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+#[test]
+fn workspace_has_no_unsuppressed_findings() {
+    let root = repo_root();
+    let cfg = load_config(&root).expect("lint.toml loads");
+    let result = run_workspace(&root, &cfg).expect("workspace lints");
+    let offending: Vec<String> = result
+        .unsuppressed()
+        .map(|f| format!("{}:{}:{} [{}] {}", f.path, f.line, f.col, f.rule, f.message))
+        .collect();
+    assert!(
+        offending.is_empty(),
+        "unsuppressed lint findings:\n{}",
+        offending.join("\n")
+    );
+}
+
+#[test]
+fn purity_scoped_modules_carry_no_suppressions_at_all() {
+    // The acceptance bar for controller/, estimator/ and meta/ is
+    // stricter than "clean": the purity rules must hold with no inline
+    // allows, so the alc-runtime extraction inherits genuinely pure code.
+    let root = repo_root();
+    let mut offending = Vec::new();
+    for dir in [
+        "crates/core/src/controller",
+        "crates/core/src/estimator",
+        "crates/core/src/meta",
+    ] {
+        scan_for_allows(&root.join(dir), &mut offending);
+    }
+    assert!(
+        offending.is_empty(),
+        "purity-scoped modules must not contain alc-lint allows:\n{}",
+        offending.join("\n")
+    );
+}
+
+fn scan_for_allows(dir: &Path, out: &mut Vec<String>) {
+    for entry in std::fs::read_dir(dir).expect("purity dir exists") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            scan_for_allows(&path, out);
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            let text = std::fs::read_to_string(&path).expect("read source");
+            for (i, line) in text.lines().enumerate() {
+                if line.contains("alc-lint:") {
+                    out.push(format!("{}:{}: {}", path.display(), i + 1, line.trim()));
+                }
+            }
+        }
+    }
+}

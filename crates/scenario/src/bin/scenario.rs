@@ -101,6 +101,7 @@ fn cmd_run(args: &[String]) {
 
     std::fs::create_dir_all(&out_dir).expect("create output dir");
     for plan in &plans {
+        #[allow(clippy::disallowed_methods)] // CLI progress timing, not simulation time
         let start = std::time::Instant::now();
         let records = alc_scenario::runner::run_plan(plan);
         let report = alc_scenario::runner::build_report(plan, &records);

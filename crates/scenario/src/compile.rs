@@ -182,6 +182,7 @@ fn compile_sweep(base: &Value, base_dir: &Path, quick: bool) -> Result<RunPlan, 
     // Each cell re-parses as a plain spec: strip the sweep section.
     let cell_base = {
         let Value::Map(entries) = &tree else {
+            // alc-lint: allow(panic-in-lib, reason="from_value on this tree just succeeded, so it is a map")
             unreachable!("parsed specs are maps");
         };
         let mut kept: Vec<(String, Value)> = entries.clone();

@@ -33,6 +33,7 @@ pub mod compile;
 pub mod profile;
 pub mod runner;
 pub mod spec;
+pub mod validate;
 pub mod value_util;
 
 use std::path::{Path, PathBuf};

@@ -1496,7 +1496,7 @@ fn sweep_axis_from_value(v: &Value) -> Result<SweepAxis, SpecError> {
     }
     // Labels name output files and must identify cells uniquely: a
     // duplicate label would collapse two grid cells in the report.
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     for i in 0..axis.values.len() {
         let label = axis.label(i);
         if !filename_safe(&label) {
@@ -1565,7 +1565,7 @@ fn sweep_from_value(v: &Value) -> Result<SweepSpec, SpecError> {
             "a pivoted sweep needs ≥ 2 axes (rows + the pivoted columns)",
         ));
     }
-    let mut headers = std::collections::HashSet::new();
+    let mut headers = std::collections::BTreeSet::new();
     for a in &axes {
         if !headers.insert(a.header.as_str()) {
             return Err(SpecError::new(format!("duplicate axis header `{}`", a.header)));
@@ -1849,7 +1849,7 @@ impl ScenarioSpec {
                 "`name` must be non-empty [A-Za-z0-9_-] (it names output files)",
             ));
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for v in &spec.variants {
             if !seen.insert(v.name.as_str()) {
                 return Err(SpecError::new(format!("duplicate variant `{}`", v.name)));
@@ -1947,6 +1947,11 @@ impl ScenarioSpec {
         let _: SystemConfig = crate::value_util::from_overrides(&spec.system, "system")?;
         let _: alc_tpsim::config::ControlConfig =
             crate::value_util::from_overrides(&spec.control, "control")?;
+        // Statically resolve every stored override path (variant
+        // set/quick, spec quick, sweep axes) against the schema, so a
+        // dead path dies at `scenario validate` time — even the quick
+        // paths a full-scale compile would never apply.
+        crate::validate::check_override_paths(&spec)?;
         Ok(spec)
     }
 }

@@ -65,6 +65,7 @@ pub fn set_path(root: &mut Value, path: &str, new: Value) -> Result<(), SpecErro
         }
         cur = slot;
     }
+    // alc-lint: allow(panic-in-lib, reason="split('.') always yields >=1 segment, so the loop returns")
     unreachable!("split('.') yields at least one segment");
 }
 
@@ -77,6 +78,7 @@ where
     T: Default + serde::Serialize + serde::de::DeserializeOwned,
 {
     let Value::Map(mut entries) = T::default().to_value() else {
+        // alc-lint: allow(panic-in-lib, reason="override targets are structs, which serialize to maps")
         unreachable!("override targets serialize to maps");
     };
     for (k, v) in overrides {

@@ -27,7 +27,7 @@ impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
         InlineVec {
             len: 0,
             inline: [T::default(); N],
-            spill: Vec::new(),
+            spill: Vec::new(), // alc-lint: allow(hot-alloc, reason="empty spill vec is allocation-free; spill only allocates past the inline capacity")
         }
     }
 

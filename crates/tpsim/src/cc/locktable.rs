@@ -26,7 +26,7 @@
 //! traffic is the `item → entry` index, which the `HashMap` serves from
 //! retained capacity — the allocator is out of the loop.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque}; // alc-lint: allow(hash-container, reason="item->entry index is looked up per key, never iterated; order is unobservable")
 
 use super::inline_vec::InlineVec;
 use super::TxnId;
@@ -81,6 +81,7 @@ struct Slot {
 pub(crate) struct LockTable {
     /// Locked item → arena entry. Entries leave the index the moment they
     /// empty, so `index.len()` is the number of currently locked items.
+    // alc-lint: allow(hash-container, reason="lookup-only index; iteration order never observed")
     index: HashMap<u64, u32>,
     /// Entry arena; recycled through `free`, never shrunk.
     entries: Vec<LockEntry>,
@@ -94,11 +95,12 @@ impl LockTable {
     /// Creates a table for `slots` transaction slots.
     pub(crate) fn new(slots: usize) -> Self {
         LockTable {
+            // alc-lint: allow(hash-container, reason="lookup-only index; iteration order never observed")
             index: HashMap::new(),
-            entries: Vec::new(),
-            free: Vec::new(),
-            slots: vec![Slot::default(); slots],
-            released_scratch: Vec::new(),
+            entries: Vec::new(), // alc-lint: allow(hot-alloc, reason="construction-time arena; entries are recycled, never dropped")
+            free: Vec::new(), // alc-lint: allow(hot-alloc, reason="construction-time free list")
+            slots: vec![Slot::default(); slots], // alc-lint: allow(hot-alloc, reason="construction-time slot table")
+            released_scratch: Vec::new(), // alc-lint: allow(hot-alloc, reason="construction-time scratch; retains capacity across releases")
         }
     }
 

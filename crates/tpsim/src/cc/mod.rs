@@ -113,12 +113,13 @@ pub trait ConcurrencyControl {
 /// their direct-indexed per-item tables from it).
 pub fn make_cc(kind: CcKind, slots: usize, db_size: usize) -> Box<dyn ConcurrencyControl> {
     match kind {
+        // alc-lint: allow(hot-alloc, reason="one boxed protocol per run, built before the measurement window")
         CcKind::Certification => Box::new(Certification::with_db_size(slots, db_size)),
-        CcKind::TwoPhaseLocking => Box::new(TwoPhaseLocking::new(slots)),
-        CcKind::TimestampOrdering => Box::new(TimestampOrdering::new(slots)),
-        CcKind::WoundWait => Box::new(Prevention::new(PreventionPolicy::WoundWait, slots)),
-        CcKind::WaitDie => Box::new(Prevention::new(PreventionPolicy::WaitDie, slots)),
-        CcKind::Multiversion => Box::new(Mvto::with_db_size(slots, db_size)),
+        CcKind::TwoPhaseLocking => Box::new(TwoPhaseLocking::new(slots)), // alc-lint: allow(hot-alloc, reason="one boxed protocol per run")
+        CcKind::TimestampOrdering => Box::new(TimestampOrdering::with_db_size(slots, db_size)), // alc-lint: allow(hot-alloc, reason="one boxed protocol per run")
+        CcKind::WoundWait => Box::new(Prevention::new(PreventionPolicy::WoundWait, slots)), // alc-lint: allow(hot-alloc, reason="one boxed protocol per run")
+        CcKind::WaitDie => Box::new(Prevention::new(PreventionPolicy::WaitDie, slots)), // alc-lint: allow(hot-alloc, reason="one boxed protocol per run")
+        CcKind::Multiversion => Box::new(Mvto::with_db_size(slots, db_size)), // alc-lint: allow(hot-alloc, reason="one boxed protocol per run")
     }
 }
 

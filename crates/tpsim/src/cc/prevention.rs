@@ -62,8 +62,8 @@ impl Prevention {
         Prevention {
             policy,
             table: LockTable::new(slots),
-            slots: vec![Slot::default(); slots],
-            targets_scratch: Vec::new(),
+            slots: vec![Slot::default(); slots], // alc-lint: allow(hot-alloc, reason="construction-time slot-table allocation")
+            targets_scratch: Vec::new(), // alc-lint: allow(hot-alloc, reason="construction-time scratch; retains capacity across calls")
         }
     }
 
@@ -117,13 +117,13 @@ impl ConcurrencyControl for Prevention {
     }
 
     fn commit(&mut self, txn: TxnId) -> Vec<TxnId> {
-        let mut unblocked = Vec::new();
+        let mut unblocked = Vec::new(); // alc-lint: allow(hot-alloc, reason="convenience wrapper; the engine hot path uses commit_into with a reusable buffer")
         self.commit_into(txn, &mut unblocked);
         unblocked
     }
 
     fn abort(&mut self, txn: TxnId) -> Vec<TxnId> {
-        let mut unblocked = Vec::new();
+        let mut unblocked = Vec::new(); // alc-lint: allow(hot-alloc, reason="convenience wrapper; the engine hot path uses abort_into with a reusable buffer")
         self.abort_into(txn, &mut unblocked);
         unblocked
     }

@@ -12,9 +12,11 @@
 //! commit dependencies) affects constants, not the contention shape this
 //! study needs. The simplification is documented here deliberately.
 
-use std::collections::HashMap;
-
 use super::{AccessOutcome, ConcurrencyControl, TxnId, ValidateOutcome};
+
+/// Direct-indexed per-item tables are preallocated up to this many items;
+/// larger (or unknown-size) databases grow on first touch.
+const PREALLOC_CAP: usize = 1 << 22;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct ItemTs {
@@ -30,17 +32,40 @@ struct TxnState {
 
 /// Basic T/O.
 pub struct TimestampOrdering {
-    items: HashMap<u64, ItemTs>,
+    /// Per-item timestamps, direct-indexed by item id. Untouched items
+    /// hold `{rts: 0, wts: 0}` ("written before every start"), exactly
+    /// the semantics the old hash-map `or_default` lookup provided.
+    items: Vec<ItemTs>,
     txns: Vec<TxnState>,
 }
 
 impl TimestampOrdering {
-    /// Creates the protocol for `slots` transaction slots.
+    /// Creates the protocol for `slots` transaction slots; the item
+    /// table grows on first touch.
     pub fn new(slots: usize) -> Self {
+        Self::with_db_size(slots, 0)
+    }
+
+    /// Creates the protocol with the item table preallocated for
+    /// `db_size` items, so steady state never touches the allocator.
+    pub fn with_db_size(slots: usize, db_size: usize) -> Self {
+        let prealloc = db_size.min(PREALLOC_CAP);
         TimestampOrdering {
-            items: HashMap::new(),
+            // alc-lint: allow(hot-alloc, reason="construction-time preallocation of the per-item table")
+            items: vec![ItemTs::default(); prealloc],
+            // alc-lint: allow(hot-alloc, reason="construction-time slot-table allocation")
             txns: vec![TxnState::default(); slots],
         }
+    }
+
+    fn item_mut(&mut self, item: u64) -> &mut ItemTs {
+        let idx = item as usize;
+        if idx >= self.items.len() {
+            // First touch past the preallocation: grow (amortized; never
+            // hit when `db_size` was known at construction).
+            self.items.resize(idx + 1, ItemTs::default());
+        }
+        &mut self.items[idx]
     }
 }
 
@@ -55,7 +80,7 @@ impl ConcurrencyControl for TimestampOrdering {
 
     fn access(&mut self, txn: TxnId, item: u64, write: bool) -> AccessOutcome {
         let ts = self.txns[txn].ts;
-        let e = self.items.entry(item).or_default();
+        let e = self.item_mut(item);
         if write {
             if ts < e.rts || ts < e.wts {
                 self.txns[txn].conflicts += 1;
@@ -80,11 +105,11 @@ impl ConcurrencyControl for TimestampOrdering {
     }
 
     fn commit(&mut self, _txn: TxnId) -> Vec<TxnId> {
-        Vec::new()
+        Vec::new() // alc-lint: allow(hot-alloc, reason="empty Vec::new is allocation-free; T/O never wakes blocked txns")
     }
 
     fn abort(&mut self, _txn: TxnId) -> Vec<TxnId> {
-        Vec::new()
+        Vec::new() // alc-lint: allow(hot-alloc, reason="empty Vec::new is allocation-free; T/O never wakes blocked txns")
     }
 
     fn deadlock_victim(&mut self, _requester: TxnId) -> Option<TxnId> {

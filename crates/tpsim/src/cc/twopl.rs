@@ -38,11 +38,11 @@ impl TwoPhaseLocking {
     pub fn new(slots: usize) -> Self {
         TwoPhaseLocking {
             table: LockTable::new(slots),
-            ts: vec![0; slots],
-            succ_scratch: Vec::new(),
-            dfs_stack: Vec::new(),
-            dfs_mark: vec![0; slots],
-            dfs_parent: vec![0; slots],
+            ts: vec![0; slots], // alc-lint: allow(hot-alloc, reason="construction-time slot-table allocation")
+            succ_scratch: Vec::new(), // alc-lint: allow(hot-alloc, reason="construction-time scratch; retains capacity across calls")
+            dfs_stack: Vec::new(), // alc-lint: allow(hot-alloc, reason="construction-time scratch; retains capacity across calls")
+            dfs_mark: vec![0; slots], // alc-lint: allow(hot-alloc, reason="construction-time slot-table allocation")
+            dfs_parent: vec![0; slots], // alc-lint: allow(hot-alloc, reason="construction-time slot-table allocation")
             dfs_epoch: 0,
         }
     }
@@ -99,13 +99,13 @@ impl ConcurrencyControl for TwoPhaseLocking {
     }
 
     fn commit(&mut self, txn: TxnId) -> Vec<TxnId> {
-        let mut unblocked = Vec::new();
+        let mut unblocked = Vec::new(); // alc-lint: allow(hot-alloc, reason="convenience wrapper; the engine hot path uses commit_into with a reusable buffer")
         self.commit_into(txn, &mut unblocked);
         unblocked
     }
 
     fn abort(&mut self, txn: TxnId) -> Vec<TxnId> {
-        let mut unblocked = Vec::new();
+        let mut unblocked = Vec::new(); // alc-lint: allow(hot-alloc, reason="convenience wrapper; the engine hot path uses abort_into with a reusable buffer")
         self.abort_into(txn, &mut unblocked);
         unblocked
     }

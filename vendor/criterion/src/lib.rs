@@ -6,6 +6,9 @@
 //! prints a mean ns/iter line. It performs none of criterion's
 //! statistics (no outlier analysis, no HTML reports).
 
+// Wall-clock timing is this crate's entire job.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

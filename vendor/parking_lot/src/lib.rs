@@ -138,6 +138,7 @@ impl Condvar {
         deadline: Instant,
     ) -> WaitTimeoutResult {
         let std_guard = guard.inner.take().expect("guard present");
+        #[allow(clippy::disallowed_methods)] // deadline-based condvar wait is inherently wall-clock
         let timeout = deadline.saturating_duration_since(Instant::now());
         let (reacquired, result) = self
             .inner
@@ -167,6 +168,7 @@ impl fmt::Debug for Condvar {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // wall-clock timeouts are the API under test
 mod tests {
     use super::*;
     use std::sync::Arc;

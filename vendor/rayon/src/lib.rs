@@ -23,7 +23,19 @@ pub mod prelude {
 }
 
 /// The number of worker threads parallel operations will use.
+///
+/// Honors `RAYON_NUM_THREADS` (like real rayon's default thread pool),
+/// so CI can pin the count and assert that runs at 1, 2 and N threads
+/// produce byte-identical output. Unset, empty, zero or unparsable
+/// values fall back to the machine's available parallelism.
 pub fn current_num_threads() -> usize {
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
@@ -228,6 +240,7 @@ impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests exercise real threads; sleep is the contention source
 mod tests {
     use super::prelude::*;
 
@@ -288,5 +301,17 @@ mod tests {
         if super::current_num_threads() > 1 {
             assert!(seen > 1, "expected parallel execution, saw {seen} thread");
         }
+    }
+
+    #[test]
+    fn thread_count_honors_rayon_num_threads() {
+        // Only values > 1 here: tests in this binary run concurrently
+        // and may read the count; anything > 1 keeps them on their
+        // parallel path while this test briefly owns the variable.
+        std::env::set_var("RAYON_NUM_THREADS", "3");
+        assert_eq!(super::current_num_threads(), 3);
+        std::env::set_var("RAYON_NUM_THREADS", "nonsense");
+        assert!(super::current_num_threads() >= 1, "garbage must fall back");
+        std::env::remove_var("RAYON_NUM_THREADS");
     }
 }
