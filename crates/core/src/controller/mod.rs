@@ -37,7 +37,11 @@ pub use rules::{IyerRule, IyerRuleParams, TayRule};
 use crate::measure::Measurement;
 
 /// A feedback controller for the concurrency-level bound `n*`.
-pub trait LoadController {
+///
+/// `Send` is a supertrait so boxed controllers can cross thread
+/// boundaries — the embeddable runtime hands them to its control loop,
+/// and every implementation is a plain data struct anyway.
+pub trait LoadController: Send {
     /// Controller name for tables and trajectory labels.
     fn name(&self) -> &'static str;
 

@@ -31,6 +31,10 @@
 //!   ([`gate::AdaptiveGate`]): FIFO admission under a live-updatable
 //!   limit, RAII permits, wait statistics. This is the enforcement
 //!   mechanism of §4.3 usable in a real server, not only in simulation.
+//! * [`gatelog`] — the replayable record of what the control stack
+//!   observes ([`gatelog::GateEvent`], [`gatelog::GateLogSink`]): the
+//!   shared vocabulary that lets `alc-runtime` replay simulator logs and
+//!   prove decision-sequence conformance.
 //! * [`pipeline`] — [`pipeline::ControlLoop`] wires gate + sampler +
 //!   controller together for runtime (non-simulated) use.
 //!
@@ -62,6 +66,7 @@
 pub mod controller;
 pub mod estimator;
 pub mod gate;
+pub mod gatelog;
 pub mod measure;
 pub mod meta;
 pub mod pipeline;
@@ -72,4 +77,5 @@ pub use controller::{
     ParabolaApproximation, TayRule, Unlimited,
 };
 pub use gate::{AdaptiveGate, GateStats, Permit};
+pub use gatelog::{GateEvent, GateLogSink, MemorySink};
 pub use measure::{Measurement, PerfIndicator};

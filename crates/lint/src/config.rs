@@ -21,6 +21,9 @@
 //! scope = "sim"                 # file set the rule applies to
 //! exclude = ["crates/x/y.rs"]   # per-rule opt-outs (rare; prefer inline allows)
 //! include-tests = false         # default: skip #[cfg(test)]/#[test] regions
+//!
+//! [rules.wall-clock]
+//! scopes = ["sim", "runtime-shell"]  # a rule may bind a union of scopes
 //! ```
 
 use std::collections::BTreeMap;
@@ -55,12 +58,24 @@ fn prefix_match(prefix: &str, path: &str) -> bool {
 /// Per-rule configuration.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RuleConfig {
-    /// Name of the scope (from `[scopes.*]`) the rule applies to.
-    pub scope: String,
-    /// Extra per-rule excludes on top of the scope's.
+    /// Names of the scopes (from `[scopes.*]`) the rule applies to: a
+    /// file is linted when *any* of them contains it. Populated by
+    /// either `scope = "name"` or `scopes = ["a", "b"]`.
+    pub scopes: Vec<String>,
+    /// Extra per-rule excludes on top of the scopes'.
     pub exclude: Vec<String>,
     /// Run the rule inside `#[cfg(test)]` / `#[test]` regions too.
     pub include_tests: bool,
+}
+
+impl RuleConfig {
+    /// Whether `path` is in any of the rule's scopes (rule-level
+    /// excludes are checked separately by the driver).
+    pub fn in_scope(&self, cfg: &Config, path: &str) -> bool {
+        self.scopes
+            .iter()
+            .any(|s| cfg.scopes.get(s).is_some_and(|set| set.contains(path)))
+    }
 }
 
 /// The parsed `lint.toml`.
@@ -117,11 +132,13 @@ impl Config {
             return Err("[workspace] roots must list at least one directory".to_string());
         }
         for (name, rule) in &cfg.rules {
-            if !cfg.scopes.contains_key(&rule.scope) {
-                return Err(format!(
-                    "rule `{name}` references unknown scope `{}`",
-                    rule.scope
-                ));
+            if rule.scopes.is_empty() {
+                return Err(format!("rule `{name}` binds no scope"));
+            }
+            for scope in &rule.scopes {
+                if !cfg.scopes.contains_key(scope) {
+                    return Err(format!("rule `{name}` references unknown scope `{scope}`"));
+                }
             }
         }
         Ok(cfg)
@@ -152,7 +169,8 @@ impl Config {
             Some("rules") => {
                 let rule = self.rules.entry(section[1].clone()).or_default();
                 match key {
-                    "scope" => rule.scope = value.into_string(lineno)?,
+                    "scope" => rule.scopes = vec![value.into_string(lineno)?],
+                    "scopes" => rule.scopes = value.into_strings(lineno)?,
                     "exclude" => rule.exclude = value.into_strings(lineno)?,
                     "include-tests" => rule.include_tests = value.into_bool(lineno)?,
                     _ => return fail(&format!("unknown rule key `{key}`")),
@@ -286,7 +304,7 @@ exclude = ["crates/des/src/stats.rs"]
         let cfg = Config::parse(SAMPLE).unwrap();
         assert_eq!(cfg.roots, vec!["crates", "src"]);
         assert_eq!(cfg.scopes["sim"].include.len(), 2);
-        assert_eq!(cfg.rules["hash-container"].scope, "sim");
+        assert_eq!(cfg.rules["hash-container"].scopes, vec!["sim"]);
         assert_eq!(
             cfg.rules["unwrap-in-lib"].exclude,
             vec!["crates/des/src/stats.rs"]
@@ -311,6 +329,24 @@ exclude = ["crates/des/src/stats.rs"]
         let dangling = "[workspace]\nroots = [\"a\"]\n[rules.x]\nscope = \"missing\"";
         let err = Config::parse(dangling).unwrap_err();
         assert!(err.contains("unknown scope"), "{err}");
+        let scopeless = "[workspace]\nroots = [\"a\"]\n[rules.x]\nexclude = [\"b\"]";
+        let err = Config::parse(scopeless).unwrap_err();
+        assert!(err.contains("binds no scope"), "{err}");
+    }
+
+    #[test]
+    fn rules_may_bind_a_union_of_scopes() {
+        let cfg = Config::parse(
+            "[workspace]\nroots = [\"crates\"]\n\
+             [scopes.a]\ninclude = [\"crates/a\"]\n\
+             [scopes.b]\ninclude = [\"crates/b\"]\n\
+             [rules.wall-clock]\nscopes = [\"a\", \"b\"]\n",
+        )
+        .unwrap();
+        let rc = &cfg.rules["wall-clock"];
+        assert!(rc.in_scope(&cfg, "crates/a/src/x.rs"));
+        assert!(rc.in_scope(&cfg, "crates/b/src/y.rs"));
+        assert!(!rc.in_scope(&cfg, "crates/c/src/z.rs"));
     }
 
     #[test]

@@ -176,8 +176,8 @@ pub fn lint_file(file: &SourceFile<'_>, cfg: &Config, only: Option<&str>) -> Vec
             continue;
         }
         let rc = &cfg.rules[r.name];
-        let scope = &cfg.scopes[&rc.scope];
-        if !scope.contains(&file.path) || rc.exclude.iter().any(|p| crate_path_match(p, &file.path))
+        if !rc.in_scope(cfg, &file.path)
+            || rc.exclude.iter().any(|p| crate_path_match(p, &file.path))
         {
             continue;
         }

@@ -1,0 +1,372 @@
+//! The runtime control loop: a deterministic event-time core inside a
+//! thread-safe wall-clock shell.
+//!
+//! The split is the crate's load-bearing design decision:
+//!
+//! * [`LoopCore`] is the whole control stack — telemetry window, control
+//!   law, optional gate-log recorder — driven exclusively by explicit
+//!   `now_ms` arguments. It never reads a clock, spawns a thread, or
+//!   touches I/O, so a recorded event stream replayed through it (see
+//!   [`crate::replay`]) reproduces the original decision sequence
+//!   bit-for-bit.
+//! * [`ControlLoop`] is the embeddable shell: it owns an
+//!   [`AdaptiveGate`], stamps events with wall-clock time since
+//!   construction, and serializes access to the core. Server threads
+//!   call [`ControlLoop::admit`] / [`ControlLoop::complete`]; any timer
+//!   calls [`ControlLoop::tick`] once per measurement interval.
+//!
+//! The `admit`/`complete` fast path takes two short critical sections
+//! (gate, then core) and allocates nothing after warm-up — the
+//! counting-allocator test in `tests/alloc_gate.rs` pins that.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use alc_core::gate::{AdaptiveGate, Permit};
+use alc_core::gatelog::{GateEvent, GateLogSink};
+use alc_core::measure::PerfIndicator;
+use parking_lot::Mutex;
+
+use crate::law::{ControlLaw, WindowSnapshot};
+use crate::telemetry::{Outcome, TelemetryWindow};
+
+/// What happens to an arrival that finds the gate full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Queue FIFO until a slot frees (never sheds).
+    Queue,
+    /// Queue up to the given patience, then shed.
+    QueueTimeout(Duration),
+    /// Admit only if a slot is free right now; otherwise shed.
+    Shed,
+}
+
+/// One harvested decision: the bound now in force and the window that
+/// produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Harvest time, ms from the loop's epoch.
+    pub at_ms: f64,
+    /// The MPL bound the law chose.
+    pub bound: u32,
+    /// The telemetry window the law saw.
+    pub window: WindowSnapshot,
+}
+
+/// The deterministic event-time control core (no clock, no threads, no
+/// I/O). Drive it with monotonically non-decreasing `now_ms` values.
+///
+/// Time starts at `0.0` with an empty system — the same epoch the
+/// simulator's sampler uses, which is what lets simulator-recorded logs
+/// replay through this type unchanged.
+pub struct LoopCore {
+    telemetry: TelemetryWindow,
+    law: Box<dyn ControlLaw>,
+    log: Option<Box<dyn GateLogSink>>,
+}
+
+impl LoopCore {
+    /// Wires a law to a fresh telemetry window (epoch `0.0`, empty
+    /// system).
+    pub fn new(law: Box<dyn ControlLaw>, indicator: PerfIndicator) -> Self {
+        LoopCore {
+            telemetry: TelemetryWindow::new(indicator, 0.0, 0),
+            law,
+            log: None,
+        }
+    }
+
+    /// Installs a gate-log recorder mirroring every event fed in.
+    pub fn set_gate_log(&mut self, sink: Box<dyn GateLogSink>) {
+        self.log = Some(sink);
+    }
+
+    /// Removes and returns the recorder.
+    pub fn take_gate_log(&mut self) -> Option<Box<dyn GateLogSink>> {
+        self.log.take()
+    }
+
+    /// Read access to the law.
+    pub fn law(&self) -> &dyn ControlLaw {
+        self.law.as_ref()
+    }
+
+    /// Records that the in-system population changed to `in_system`.
+    pub fn on_mpl(&mut self, now_ms: f64, in_system: u32) {
+        self.telemetry.on_mpl_change(now_ms, in_system);
+        if let Some(log) = self.log.as_mut() {
+            log.record(&GateEvent::Mpl {
+                at_ms: now_ms,
+                in_system,
+            });
+        }
+    }
+
+    /// Records a commit.
+    pub fn on_commit(&mut self, now_ms: f64, response_ms: f64, conflicts: u64) {
+        self.telemetry.on_commit(response_ms, conflicts);
+        if let Some(log) = self.log.as_mut() {
+            log.record(&GateEvent::Commit {
+                at_ms: now_ms,
+                response_ms,
+                conflicts,
+            });
+        }
+    }
+
+    /// Records an abort.
+    pub fn on_abort(&mut self, now_ms: f64, conflicts: u64) {
+        self.telemetry.on_abort(conflicts);
+        if let Some(log) = self.log.as_mut() {
+            log.record(&GateEvent::Abort {
+                at_ms: now_ms,
+                conflicts,
+            });
+        }
+    }
+
+    /// Records a shed arrival (rejected without queueing).
+    pub fn on_shed(&mut self) {
+        self.telemetry.on_shed();
+    }
+
+    /// Closes the window at `now_ms` and runs the law.
+    pub fn harvest(&mut self, now_ms: f64, queue_depth: u32) -> Decision {
+        let window = self.telemetry.harvest(now_ms, queue_depth);
+        let bound = self.law.decide(&window);
+        if let Some(log) = self.log.as_mut() {
+            log.record(&GateEvent::Decision {
+                at_ms: now_ms,
+                bound,
+            });
+        }
+        Decision {
+            at_ms: now_ms,
+            bound,
+            window,
+        }
+    }
+}
+
+/// The embeddable admission-control runtime: a thread-safe gate whose
+/// limit a control law adjusts from live telemetry.
+///
+/// ```
+/// use alc_runtime::{AdmissionPolicy, AimdLaw, AimdParams, ControlLoop, Outcome};
+/// use alc_core::measure::PerfIndicator;
+///
+/// let gate = ControlLoop::new(
+///     Box::new(AimdLaw::new(AimdParams::default())),
+///     PerfIndicator::Throughput,
+///     AdmissionPolicy::Queue,
+/// );
+/// let permit = gate.admit().expect("Queue policy never sheds");
+/// // ... do the unit of work ...
+/// gate.complete(permit, Outcome::Commit { response_ms: 12.5, conflicts: 0 });
+/// let decision = gate.tick(); // from a timer, once per interval
+/// assert!(decision.bound >= 1);
+/// ```
+pub struct ControlLoop {
+    gate: Arc<AdaptiveGate>,
+    policy: AdmissionPolicy,
+    core: Mutex<LoopCore>,
+    // alc-lint: allow(wall-clock, reason="the shell's one clock: stamps events with ms since construction; the deterministic core never reads it")
+    epoch: std::time::Instant,
+}
+
+impl ControlLoop {
+    /// Builds the runtime: the gate starts at the law's current bound.
+    pub fn new(
+        law: Box<dyn ControlLaw>,
+        indicator: PerfIndicator,
+        policy: AdmissionPolicy,
+    ) -> Self {
+        let gate = Arc::new(AdaptiveGate::new(law.current_bound()));
+        ControlLoop {
+            gate,
+            policy,
+            core: Mutex::new(LoopCore::new(law, indicator)),
+            #[allow(clippy::disallowed_methods)] // real-time shell: the epoch is its time base
+            // alc-lint: allow(wall-clock, reason="epoch stamp at construction; all later times are durations from it")
+            epoch: std::time::Instant::now(),
+        }
+    }
+
+    /// Installs a gate-log recorder (e.g. [`crate::log::JsonlSink`]).
+    pub fn set_gate_log(&self, sink: Box<dyn GateLogSink>) {
+        self.core.lock().set_gate_log(sink);
+    }
+
+    /// Removes and returns the recorder (to flush/inspect after a run).
+    pub fn take_gate_log(&self) -> Option<Box<dyn GateLogSink>> {
+        self.core.lock().take_gate_log()
+    }
+
+    /// Milliseconds since construction — the loop's time base.
+    pub fn now_ms(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1000.0
+    }
+
+    /// The underlying gate, for stats or direct sharing.
+    pub fn gate(&self) -> &Arc<AdaptiveGate> {
+        &self.gate
+    }
+
+    /// Requests admission under the configured policy. `None` means the
+    /// arrival was shed (immediately under [`AdmissionPolicy::Shed`],
+    /// after the patience under [`AdmissionPolicy::QueueTimeout`]; never
+    /// under [`AdmissionPolicy::Queue`]). Hold the permit for the
+    /// duration of the unit of work and pass it to
+    /// [`ControlLoop::complete`].
+    pub fn admit(&self) -> Option<Permit<'_>> {
+        let permit = match self.policy {
+            AdmissionPolicy::Queue => Some(self.gate.acquire()),
+            AdmissionPolicy::QueueTimeout(patience) => self.gate.acquire_timeout(patience),
+            AdmissionPolicy::Shed => self.gate.try_acquire(),
+        };
+        let now = self.now_ms();
+        let mut core = self.core.lock();
+        match permit {
+            Some(_) => core.on_mpl(now, self.gate.in_use()),
+            None => core.on_shed(),
+        }
+        permit
+    }
+
+    /// Reports how an admitted unit of work ended, releasing its slot.
+    pub fn complete(&self, permit: Permit<'_>, outcome: Outcome) {
+        let now = self.now_ms();
+        let mut core = self.core.lock();
+        match outcome {
+            Outcome::Commit {
+                response_ms,
+                conflicts,
+            } => core.on_commit(now, response_ms, conflicts),
+            Outcome::Abort { conflicts } => core.on_abort(now, conflicts),
+        }
+        drop(permit); // release the slot, then observe the new population
+        core.on_mpl(now, self.gate.in_use());
+    }
+
+    /// Closes the measurement window, runs the law, and pushes the new
+    /// bound into the gate. Call from a timer at the measurement cadence
+    /// (`alc_core::sampler` has interval-sizing policies if the cadence
+    /// itself should adapt).
+    pub fn tick(&self) -> Decision {
+        let now = self.now_ms();
+        let queue_depth = self.gate.stats().waiting;
+        let decision = self.core.lock().harvest(now, queue_depth);
+        self.gate.set_limit(decision.bound);
+        decision
+    }
+
+    /// Read access to the law under the loop's lock.
+    pub fn with_law<R>(&self, f: impl FnOnce(&dyn ControlLaw) -> R) -> R {
+        f(self.core.lock().law())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::law::{AimdLaw, AimdParams};
+
+    fn aimd_loop(policy: AdmissionPolicy, initial_bound: u32) -> ControlLoop {
+        ControlLoop::new(
+            Box::new(AimdLaw::new(AimdParams {
+                initial_bound,
+                ..AimdParams::default()
+            })),
+            PerfIndicator::Throughput,
+            policy,
+        )
+    }
+
+    #[test]
+    fn admit_complete_tick_cycle() {
+        let rt = aimd_loop(AdmissionPolicy::Queue, 2);
+        let p1 = rt.admit().expect("queue policy");
+        let p2 = rt.admit().expect("queue policy");
+        assert_eq!(rt.gate().in_use(), 2);
+        rt.complete(
+            p1,
+            Outcome::Commit {
+                response_ms: 10.0,
+                conflicts: 0,
+            },
+        );
+        rt.complete(p2, Outcome::Abort { conflicts: 1 });
+        assert_eq!(rt.gate().in_use(), 0);
+        let d = rt.tick();
+        assert_eq!(d.window.measurement.departures, 1);
+        assert_eq!(d.window.measurement.aborts, 1);
+        assert_eq!(rt.gate().limit(), d.bound);
+    }
+
+    #[test]
+    fn shed_policy_rejects_at_capacity_and_counts() {
+        let rt = aimd_loop(AdmissionPolicy::Shed, 1);
+        let held = rt.admit().expect("capacity free");
+        assert!(rt.admit().is_none(), "full gate must shed");
+        rt.complete(
+            held,
+            Outcome::Commit {
+                response_ms: 5.0,
+                conflicts: 0,
+            },
+        );
+        let d = rt.tick();
+        assert_eq!(d.window.shed, 1);
+    }
+
+    /// A sink sharing its buffer with the test body.
+    struct SharedSink(Arc<Mutex<Vec<GateEvent>>>);
+
+    impl GateLogSink for SharedSink {
+        fn record(&mut self, event: &GateEvent) {
+            self.0.lock().push(event.clone());
+        }
+    }
+
+    #[test]
+    fn gate_log_mirrors_the_event_stream() {
+        let rt = aimd_loop(AdmissionPolicy::Queue, 4);
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        rt.set_gate_log(Box::new(SharedSink(Arc::clone(&buffer))));
+        let p = rt.admit().expect("queue policy");
+        rt.complete(
+            p,
+            Outcome::Commit {
+                response_ms: 7.0,
+                conflicts: 2,
+            },
+        );
+        let d = rt.tick();
+        let events = buffer.lock().clone();
+        let kinds: Vec<&str> = events
+            .iter()
+            .map(|e| match e {
+                GateEvent::Mpl { .. } => "mpl",
+                GateEvent::Commit { .. } => "commit",
+                GateEvent::Abort { .. } => "abort",
+                GateEvent::Decision { .. } => "decision",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["mpl", "commit", "mpl", "decision"]);
+        match events.last().expect("non-empty") {
+            GateEvent::Decision { bound, .. } => assert_eq!(*bound, d.bound),
+            other => panic!("unexpected final event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_timeout_sheds_when_saturated() {
+        let rt = aimd_loop(
+            AdmissionPolicy::QueueTimeout(Duration::from_millis(10)),
+            1,
+        );
+        let held = rt.admit().expect("first admit");
+        assert!(rt.admit().is_none(), "second admit must time out");
+        drop(held);
+    }
+}

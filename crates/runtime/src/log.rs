@@ -1,0 +1,244 @@
+//! JSONL gate logs: the on-disk form of [`GateEvent`] streams.
+//!
+//! A gate-log file is line-oriented: an optional first line
+//! `{"Header": {...}}` describing where the log came from, then one
+//! externally-tagged [`GateEvent`] per line (`{"Mpl": {...}}`,
+//! `{"Commit": {...}}`, ...). The format is append-friendly (a crashed
+//! writer loses at most its final partial line) and exactly
+//! round-trips every `f64` through the workspace shim's
+//! shortest-representation formatting — the property the byte-identical
+//! conformance pin rests on.
+
+use std::io::{self, BufRead, Write};
+
+use alc_core::gatelog::{GateEvent, GateLogSink};
+use serde::{Deserialize, Serialize, Value};
+
+/// Provenance of a captured log, written as the file's first line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateLogHeader {
+    /// Scenario name the log was captured from ("" for ad-hoc logs).
+    pub scenario: String,
+    /// Variant label within the scenario ("" for the implicit variant).
+    pub variant: String,
+    /// Replication index.
+    pub replication: u32,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Whether the scenario's quick (CI-scale) overrides were applied.
+    pub quick: bool,
+}
+
+/// A problem reading a gate log.
+#[derive(Debug)]
+pub enum GateLogError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that is not valid JSON or not a known event (1-based line
+    /// number and message).
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for GateLogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateLogError::Io(e) => write!(f, "gate log I/O error: {e}"),
+            GateLogError::Parse(line, msg) => write!(f, "gate log line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GateLogError {}
+
+impl From<io::Error> for GateLogError {
+    fn from(e: io::Error) -> Self {
+        GateLogError::Io(e)
+    }
+}
+
+/// Renders one event as its JSONL line (without the newline). This is
+/// the canonical serialization the conformance pin compares.
+pub fn event_line(event: &GateEvent) -> String {
+    serde_json::to_string(event).unwrap_or_else(|_| String::from("null"))
+}
+
+fn header_line(header: &GateLogHeader) -> String {
+    let map = vec![("Header".to_string(), header.to_value())];
+    serde_json::to_string(&Value::Map(map)).unwrap_or_else(|_| String::from("null"))
+}
+
+/// Writes a complete log (header + events) to `w`.
+pub fn write_gate_log<W: Write>(
+    mut w: W,
+    header: &GateLogHeader,
+    events: &[GateEvent],
+) -> io::Result<()> {
+    writeln!(w, "{}", header_line(header))?;
+    for e in events {
+        writeln!(w, "{}", event_line(e))?;
+    }
+    Ok(())
+}
+
+/// Reads a log: the header (if the first line carries one) and every
+/// event, in order.
+pub fn read_gate_log<R: BufRead>(
+    r: R,
+) -> Result<(Option<GateLogHeader>, Vec<GateEvent>), GateLogError> {
+    let mut header = None;
+    let mut events = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let value: Value = serde_json::from_str(trimmed)
+            .map_err(|e| GateLogError::Parse(idx + 1, e.to_string()))?;
+        if idx == 0 {
+            if let Some(h) = value.get("Header") {
+                header = Some(
+                    GateLogHeader::from_value(h)
+                        .map_err(|e| GateLogError::Parse(idx + 1, e.to_string()))?,
+                );
+                continue;
+            }
+        }
+        events.push(
+            GateEvent::from_value(&value)
+                .map_err(|e| GateLogError::Parse(idx + 1, e.to_string()))?,
+        );
+    }
+    Ok((header, events))
+}
+
+/// A [`GateLogSink`] streaming each event to a writer as one JSONL line.
+///
+/// Buffer the writer (`BufWriter`) for hot-path use; `into_inner`
+/// flushes and returns it.
+pub struct JsonlSink<W: Write + Send> {
+    w: W,
+    /// First write error, kept so a lossy log is detectable after the run.
+    error: Option<io::Error>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer, emitting `header` first.
+    pub fn new(mut w: W, header: &GateLogHeader) -> io::Result<Self> {
+        writeln!(w, "{}", header_line(header))?;
+        Ok(JsonlSink { w, error: None })
+    }
+
+    /// Wraps a writer without a header line (ad-hoc logs).
+    pub fn headerless(w: W) -> Self {
+        JsonlSink { w, error: None }
+    }
+
+    /// Flushes and returns the writer, or the first error any write hit.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+impl<W: Write + Send> GateLogSink for JsonlSink<W> {
+    fn record(&mut self, event: &GateEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.w, "{}", event_line(event)) {
+            self.error = Some(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<GateEvent> {
+        vec![
+            GateEvent::Mpl {
+                at_ms: 0.5,
+                in_system: 1,
+            },
+            GateEvent::Commit {
+                at_ms: 123.456,
+                response_ms: 78.90000000000003,
+                conflicts: 1,
+            },
+            GateEvent::Abort {
+                at_ms: 130.0,
+                conflicts: 4,
+            },
+            GateEvent::Decision {
+                at_ms: 1000.0,
+                bound: 9,
+            },
+        ]
+    }
+
+    fn sample_header() -> GateLogHeader {
+        GateLogHeader {
+            scenario: "jump".to_string(),
+            variant: "is".to_string(),
+            replication: 0,
+            seed: 42,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn log_round_trips_bytes() {
+        let header = sample_header();
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_gate_log(&mut buf, &header, &events).expect("write");
+        let (h, back) = read_gate_log(io::BufReader::new(&buf[..])).expect("read");
+        assert_eq!(h, Some(header.clone()));
+        assert_eq!(back, events);
+        // Re-serializing reproduces the file byte-for-byte.
+        let mut again = Vec::new();
+        write_gate_log(&mut again, &header, &back).expect("rewrite");
+        assert_eq!(buf, again);
+    }
+
+    #[test]
+    fn jsonl_sink_streams_the_same_bytes() {
+        let header = sample_header();
+        let events = sample_events();
+        let mut whole = Vec::new();
+        write_gate_log(&mut whole, &header, &events).expect("write");
+        let mut sink = JsonlSink::new(Vec::new(), &header).expect("sink");
+        for e in &events {
+            sink.record(e);
+        }
+        assert_eq!(sink.finish().expect("finish"), whole);
+    }
+
+    #[test]
+    fn headerless_logs_read_back() {
+        let events = sample_events();
+        let mut sink = JsonlSink::headerless(Vec::new());
+        for e in &events {
+            sink.record(e);
+        }
+        let buf = sink.finish().expect("finish");
+        let (h, back) = read_gate_log(io::BufReader::new(&buf[..])).expect("read");
+        assert_eq!(h, None);
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "{\"Mpl\": {\"at_ms\": 1.0, \"in_system\": 2}}\nnot json\n";
+        let err = read_gate_log(io::BufReader::new(text.as_bytes())).unwrap_err();
+        match err {
+            GateLogError::Parse(line, _) => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,17 +1,22 @@
 //! `scenario` — run declarative load-control experiments from JSON specs.
 //!
 //! ```text
-//! scenario run [--quick] [--out DIR] [--set path=value]... <spec.json>...
+//! scenario run [--quick] [--out DIR] [--gate-log DIR] [--set path=value]... <spec.json>...
 //! scenario validate <spec.json>...
+//! scenario replay <spec.json> <log.jsonl>...
 //! scenario list [DIR]
 //! ```
 //!
 //! `run` prints each scenario's report table and writes `<name>.csv`
 //! (plus `<name>[_<variant>]_trajectory.csv` when the spec records
-//! trajectories) into `--out` (default `results/`). `validate` parses
-//! and compiles every spec (both full and quick scale) without running
-//! anything. `list` summarizes a directory of specs (default
-//! `scenarios/`).
+//! trajectories) into `--out` (default `results/`); `--gate-log DIR`
+//! additionally captures one replayable JSONL gate log per run.
+//! `validate` parses and compiles every spec (both full and quick
+//! scale) without running anything. `replay` feeds captured gate logs
+//! back through the `alc-runtime` control core and requires the
+//! re-derived decision sequence to match the recorded one
+//! byte-for-byte (exit 1 on divergence). `list` summarizes a directory
+//! of specs (default `scenarios/`).
 
 use std::path::PathBuf;
 
@@ -21,14 +26,18 @@ use serde::Value;
 fn usage() {
     println!("usage: scenario <run | validate | list> ...");
     println!();
-    println!("  run [--quick] [--out DIR] [--set path=value]... <spec.json>...");
+    println!("  run [--quick] [--out DIR] [--gate-log DIR] [--set path=value]... <spec.json>...");
     println!("      execute specs; tables to stdout, CSVs to --out (default results/)");
     println!("  validate <spec.json>...");
     println!("      parse + compile each spec (full and quick scale); exit 1 on error");
+    println!("  replay <spec.json> <log.jsonl>...");
+    println!("      replay captured gate logs through the alc-runtime control core;");
+    println!("      exit 1 unless every decision sequence matches byte-for-byte");
     println!("  list [DIR]");
     println!("      summarize the specs in DIR (default scenarios/)");
     println!();
     println!("  --quick   apply each spec's `quick` overrides (CI scale)");
+    println!("  --gate-log  also write one replayable gate log per run into DIR");
     println!("  --set     override any spec field by dotted path (numeric");
     println!("            segments index lists), e.g.");
     println!("            --set system.terminals=200 --set cc=2pl");
@@ -57,6 +66,7 @@ fn fail(e: &SpecError) -> ! {
 fn cmd_run(args: &[String]) {
     let mut quick = false;
     let mut out_dir = PathBuf::from("results");
+    let mut gate_log_dir: Option<PathBuf> = None;
     let mut sets: Vec<(String, Value)> = Vec::new();
     let mut specs: Vec<PathBuf> = Vec::new();
     let mut it = args.iter();
@@ -68,6 +78,12 @@ fn cmd_run(args: &[String]) {
                     eprintln!("--out needs a directory");
                     std::process::exit(2);
                 }));
+            }
+            "--gate-log" => {
+                gate_log_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--gate-log needs a directory");
+                    std::process::exit(2);
+                })));
             }
             "--set" => {
                 let kv = it.next().unwrap_or_else(|| {
@@ -100,10 +116,12 @@ fn cmd_run(args: &[String]) {
         .collect();
 
     std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let gate_log = gate_log_dir.map(|dir| alc_scenario::runner::GateLogRequest { dir, quick });
     for plan in &plans {
         #[allow(clippy::disallowed_methods)] // CLI progress timing, not simulation time
         let start = std::time::Instant::now();
-        let records = alc_scenario::runner::run_plan(plan);
+        let records = alc_scenario::runner::run_plan_logged(plan, gate_log.as_ref())
+            .expect("write gate logs");
         let report = alc_scenario::runner::build_report(plan, &records);
         let csv = report.write_csv(&out_dir).expect("write csv");
         let trajectories =
@@ -119,7 +137,55 @@ fn cmd_run(args: &[String]) {
         if !trajectories.is_empty() {
             print!(", {} trajectory file(s)", trajectories.len());
         }
+        if let Some(req) = &gate_log {
+            print!(", {} gate log(s) → {}", records.len(), req.dir.display());
+        }
         println!("]\n");
+    }
+}
+
+fn cmd_replay(args: &[String]) {
+    let (spec_path, logs) = match args.split_first() {
+        Some((s, rest)) if !rest.is_empty() && !s.starts_with('-') => (PathBuf::from(s), rest),
+        _ => {
+            eprintln!("replay needs a spec file and at least one gate log");
+            std::process::exit(2);
+        }
+    };
+    let spec = LoadedSpec::read(&spec_path).unwrap_or_else(|e| fail(&e));
+    let mut failed = false;
+    for log in logs {
+        let log = PathBuf::from(log);
+        match alc_scenario::conformance::replay_log(&spec, &log) {
+            Ok(outcome) if outcome.conformance.is_identical() => {
+                println!(
+                    "OK   {} — {}/{}#{}: {} decision(s) byte-identical",
+                    log.display(),
+                    outcome.scenario,
+                    if outcome.variant.is_empty() { "-" } else { &outcome.variant },
+                    outcome.replication,
+                    outcome.decisions
+                );
+            }
+            Ok(outcome) => {
+                let at = outcome.conformance.first_divergence.unwrap_or(0);
+                let (rec, rep) = outcome.conformance.decision_lines();
+                println!(
+                    "FAIL {} — diverges at decision {at}:\n  recorded: {}\n  replayed: {}",
+                    log.display(),
+                    rec.get(at).map_or("<missing>", String::as_str),
+                    rep.get(at).map_or("<missing>", String::as_str)
+                );
+                failed = true;
+            }
+            Err(e) => {
+                println!("FAIL {} — {e}", log.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 
@@ -199,6 +265,7 @@ fn main() {
         Some("--help" | "-h" | "help") | None => usage(),
         Some("run") => cmd_run(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
         Some(other) => {
             usage();

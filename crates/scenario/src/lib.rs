@@ -19,8 +19,9 @@
 //! The `scenario` binary drives it all:
 //!
 //! ```text
-//! scenario run [--quick] [--out DIR] [--set path=value]... spec.json...
+//! scenario run [--quick] [--out DIR] [--gate-log DIR] [--set path=value]... spec.json...
 //! scenario validate scenarios/*.json
+//! scenario replay <spec.json> <log.jsonl>...
 //! scenario list [DIR]
 //! ```
 //!
@@ -30,6 +31,7 @@
 //! hand-written experiments.
 
 pub mod compile;
+pub mod conformance;
 pub mod profile;
 pub mod runner;
 pub mod spec;

@@ -10,10 +10,13 @@
 //! throughput, optimum, k`), which is what lets the golden port tests
 //! pin the ported scenarios byte-for-byte against the pre-port outputs.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 use alc_bench::report::Report;
+use alc_core::gatelog::{GateEvent, GateLogSink};
 use alc_des::series::write_aligned_csv;
+use alc_runtime::{write_gate_log, GateLogHeader};
 use alc_tpsim::config::SystemConfig;
 use alc_tpsim::engine::{RunStats, Simulator, Trajectories};
 use rayon::prelude::*;
@@ -36,8 +39,50 @@ pub struct RunRecord {
     pub trajectories: Option<Trajectories>,
 }
 
-/// Executes one cell of a plan.
-fn run_one(v: &VariantPlan, rep: usize) -> RunRecord {
+/// Where and how to capture gate logs while running a plan.
+#[derive(Debug, Clone)]
+pub struct GateLogRequest {
+    /// Directory receiving one `<stem>_gatelog.jsonl` per cell.
+    pub dir: PathBuf,
+    /// Recorded in each log's header: whether the plan was compiled with
+    /// the spec's quick (CI-scale) overrides.
+    pub quick: bool,
+}
+
+/// The gate-log file name of one `(variant, replication)` cell:
+/// `<name>[_<variant>][_rep<r>]_gatelog.jsonl` — same stem convention
+/// as the trajectory CSVs.
+pub fn gate_log_file_name(plan: &RunPlan, v: &VariantPlan, rep: u32) -> String {
+    let mut stem = plan.name.clone();
+    if !v.label.is_empty() {
+        stem.push('_');
+        stem.push_str(&v.label);
+    }
+    if v.seeds.len() > 1 {
+        stem.push_str(&format!("_rep{rep}"));
+    }
+    format!("{stem}_gatelog.jsonl")
+}
+
+/// A [`GateLogSink`] buffering events behind a shared handle, so the
+/// runner can keep them after the simulator consumes the boxed sink.
+struct CaptureSink(Arc<Mutex<Vec<GateEvent>>>);
+
+impl GateLogSink for CaptureSink {
+    fn record(&mut self, event: &GateEvent) {
+        if let Ok(mut events) = self.0.lock() {
+            events.push(event.clone());
+        }
+    }
+}
+
+/// Executes one cell of a plan, optionally capturing its gate log.
+fn run_one(
+    plan: &RunPlan,
+    v: &VariantPlan,
+    rep: usize,
+    gate_log: Option<&GateLogRequest>,
+) -> std::io::Result<RunRecord> {
     let seed = v.seeds[rep];
     let sys = SystemConfig { seed, ..v.sys };
     let controller = v.controller.build(&sys, &v.workload);
@@ -57,19 +102,52 @@ fn run_one(v: &VariantPlan, rep: usize) -> RunRecord {
     if !faults.is_empty() {
         sim.set_faults(faults);
     }
+    let captured = gate_log.map(|req| {
+        let events = Arc::new(Mutex::new(Vec::new()));
+        sim.set_gate_log(Box::new(CaptureSink(Arc::clone(&events))));
+        (req, events)
+    });
     let stats = sim.run(v.horizon_ms);
-    RunRecord {
+    if let Some((req, events)) = captured {
+        let header = GateLogHeader {
+            scenario: plan.name.clone(),
+            variant: v.label.clone(),
+            replication: rep as u32,
+            seed,
+            quick: req.quick,
+        };
+        let events = events.lock().map_or_else(|e| e.into_inner().clone(), |g| g.clone());
+        let path = req.dir.join(gate_log_file_name(plan, v, rep as u32));
+        let f = std::fs::File::create(path)?;
+        write_gate_log(std::io::BufWriter::new(f), &header, &events)?;
+    }
+    Ok(RunRecord {
         label: v.label.clone(),
         replication: rep as u32,
         seed,
         stats,
         trajectories: v.keep_trajectories.then(|| sim.trajectories().clone()),
-    }
+    })
 }
 
 /// Runs every `(variant, replication)` cell of the plan in parallel and
 /// returns the records in deterministic (variant-major) order.
 pub fn run_plan(plan: &RunPlan) -> Vec<RunRecord> {
+    // Without a capture request run_one performs no I/O.
+    run_plan_logged(plan, None).expect("gate-log capture disabled; no I/O to fail")
+}
+
+/// [`run_plan`], optionally capturing one gate log per cell into
+/// `gate_log.dir` (created if absent). Each log carries a header naming
+/// its `(scenario, variant, replication, seed, quick)` provenance so
+/// `scenario replay` can rebuild the matching controller.
+pub fn run_plan_logged(
+    plan: &RunPlan,
+    gate_log: Option<&GateLogRequest>,
+) -> std::io::Result<Vec<RunRecord>> {
+    if let Some(req) = gate_log {
+        std::fs::create_dir_all(&req.dir)?;
+    }
     let jobs: Vec<(usize, usize)> = plan
         .variants
         .iter()
@@ -77,7 +155,7 @@ pub fn run_plan(plan: &RunPlan) -> Vec<RunRecord> {
         .flat_map(|(vi, v)| (0..v.seeds.len()).map(move |r| (vi, r)))
         .collect();
     jobs.par_iter()
-        .map(|&(vi, r)| run_one(&plan.variants[vi], r))
+        .map(|&(vi, r)| run_one(plan, &plan.variants[vi], r, gate_log))
         .collect()
 }
 

@@ -17,6 +17,7 @@
 //! trajectory points the paper's figures plot.
 
 use alc_core::controller::LoadController;
+use alc_core::gatelog::{GateEvent, GateLogSink};
 use alc_core::meta::{MetaObservation, MetaPolicy};
 use alc_core::sampler::IntervalSampler;
 use alc_des::dist::Sample as _;
@@ -245,6 +246,10 @@ pub struct Simulator {
     /// Cached Zipf sampler for the hot-spot extension, keyed by the skew
     /// in force when it was built.
     zipf_cache: Option<(f64, alc_des::dist::Zipf)>,
+    /// Optional gate-log recorder mirroring every sampler input and
+    /// controller decision, so runs become replayable through
+    /// `alc-runtime` (see `alc_core::gatelog`). `None` costs nothing.
+    gate_log: Option<Box<dyn GateLogSink>>,
 }
 
 impl Simulator {
@@ -311,6 +316,7 @@ impl Simulator {
             optimum_cache: std::collections::BTreeMap::new(),
             record_optimum: true,
             zipf_cache: None,
+            gate_log: None,
             sys,
             workload,
             control,
@@ -340,6 +346,22 @@ impl Simulator {
     /// Disables the (potentially costly) analytic-optimum trajectory.
     pub fn set_record_optimum(&mut self, on: bool) {
         self.record_optimum = on;
+    }
+
+    /// Installs a gate-log sink. From then on every sampler input (MPL
+    /// change, commit, abort) and every controller decision is mirrored
+    /// into the sink as a [`GateEvent`], making the run replayable: the
+    /// recorded stream fed through an identically built sampler +
+    /// controller reproduces the decision sequence bit-for-bit. Call
+    /// before running; recording does not perturb the simulation.
+    pub fn set_gate_log(&mut self, sink: Box<dyn GateLogSink>) {
+        self.gate_log = Some(sink);
+    }
+
+    /// Removes and returns the installed gate-log sink (typically after
+    /// the run, to extract the recorded events).
+    pub fn take_gate_log(&mut self) -> Option<Box<dyn GateLogSink>> {
+        self.gate_log.take()
     }
 
     /// Schedules per-phase CC-protocol switches: at each `t_ms` the gate
@@ -923,6 +945,13 @@ impl Simulator {
             self.sampler.on_conflicts(v.conflicts);
             let response = now - self.txns[i].submitted_at;
             self.sampler.on_commit(response);
+            if let Some(log) = self.gate_log.as_mut() {
+                log.record(&GateEvent::Commit {
+                    at_ms: now.millis(),
+                    response_ms: response,
+                    conflicts: v.conflicts,
+                });
+            }
             self.response.push(response);
             self.commits += 1;
             // Departure: back to the terminal (closed) or out of the
@@ -954,6 +983,12 @@ impl Simulator {
             self.put_scratch(unblocked);
         } else {
             self.sampler.on_abort(v.conflicts);
+            if let Some(log) = self.gate_log.as_mut() {
+                log.record(&GateEvent::Abort {
+                    at_ms: now.millis(),
+                    conflicts: v.conflicts,
+                });
+            }
             self.conflicts += v.conflicts;
             self.abort_run(i, RestartMode::Delayed);
         }
@@ -1044,6 +1079,12 @@ impl Simulator {
         let m = self.sampler.harvest(now.millis());
         if let Some(ctrl) = self.controller.as_mut() {
             let bound = ctrl.update(&m);
+            if let Some(log) = self.gate_log.as_mut() {
+                log.record(&GateEvent::Decision {
+                    at_ms: now.millis(),
+                    bound,
+                });
+            }
             self.bound_avg.set(now, f64::from(bound).min(1e9));
             let mut admitted = self.take_scratch();
             self.gate.set_bound_into(bound, &mut admitted);
@@ -1150,6 +1191,12 @@ impl Simulator {
         let n = self.gate.in_system();
         self.mpl_avg.set(now, f64::from(n));
         self.sampler.on_mpl_change(now.millis(), n);
+        if let Some(log) = self.gate_log.as_mut() {
+            log.record(&GateEvent::Mpl {
+                at_ms: now.millis(),
+                in_system: n,
+            });
+        }
     }
 }
 

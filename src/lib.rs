@@ -20,9 +20,15 @@
 //!   nonstationary experiments (jumps, ramps, bursts, trace replay) as
 //!   JSON specs compiled into engine run plans and executed by the
 //!   `scenario` binary.
+//! * [`runtime`] (`alc-runtime`) — the embeddable admission-control
+//!   runtime: a thread-safe gate driven by control laws (the paper's
+//!   controllers unchanged, AIMD, retry-budget), JSONL gate logs, and
+//!   the replay driver that pins runtime decisions byte-identical to
+//!   the simulator's.
 
 pub use alc_analytic as analytic;
 pub use alc_core as core;
 pub use alc_des as des;
+pub use alc_runtime as runtime;
 pub use alc_scenario as scenario;
 pub use alc_tpsim as tpsim;
