@@ -19,12 +19,16 @@
 //!   bound" as shipped by commercial systems; "do nothing").
 //! * [`TayRule`] / [`IyerRule`] — §1's "theoretically derived rules of
 //!   thumb" (`k²n/D < 1.5`, conflicts/txn ≤ 0.75).
+//! * [`RetryBudget`] — token-bucket retry budgeting, mirroring the
+//!   runtime's `RetryBudgetLaw` decision-for-decision so retry-storm
+//!   gate logs replay through either side of the conformance pin.
 
 mod fixed;
 mod hybrid;
 mod incremental;
 mod outer;
 mod parabola;
+mod retry_budget;
 mod rules;
 
 pub use fixed::{FixedBound, Unlimited};
@@ -32,6 +36,7 @@ pub use hybrid::{Hybrid, HybridDiagnostics, HybridParams, HybridPhase};
 pub use incremental::{IncrementalSteps, IsParams};
 pub use outer::{OuterParams, PaOuterParams, SelfTuningIs, SelfTuningPa};
 pub use parabola::{FallbackPolicy, PaParams, ParabolaApproximation};
+pub use retry_budget::{RetryBudget, RetryBudgetParams};
 pub use rules::{IyerRule, IyerRuleParams, TayRule};
 
 use crate::measure::Measurement;

@@ -46,16 +46,23 @@ fn usage() {
         print!(" {}", c.name());
     }
     println!();
+    println!("  client columns: issued attempts retries abandoned timeouts");
+    println!("            shed_retries goodput_per_s retry_amplification");
+    println!("            (need a `clients` section in the spec)");
     println!("  derived columns: post_jump_tracking_err conflict_ratio_at_peak");
     println!("            switch_count post_switch_settling_time_s");
     println!("            {{\"settling_time_s\": {{...}}}} {{\"time_in_protocol\": {{...}}}}");
+    println!("            {{\"time_to_recover_s\": {{...}}}}");
     println!("            (see README \"Scenarios\")");
     println!("  spec extras: sweep grids (axes/pivot; system.offered_load_per_s");
     println!("            sweeps in tx/s), cc phases (drain-and-swap protocol");
     println!("            switching), cc adaptive (closed-loop protocol selection");
     println!("            with conflict_threshold/restart_rate/shadow_score");
     println!("            policies), faults (CPU kill/restart windows, fixed");
-    println!("            duration or sampled repair distribution)");
+    println!("            duration or sampled repair distribution), clients");
+    println!("            (closed client pools: timeouts, retry policies with");
+    println!("            backoff/budget/hedging, abandonment, latency feedback,");
+    println!("            retry shedding; pairs with the retry_budget controller)");
 }
 
 fn fail(e: &SpecError) -> ! {

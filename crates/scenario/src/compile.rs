@@ -95,6 +95,9 @@ pub struct VariantPlan {
     /// sampled `repair` distribution (repair times differ per seed);
     /// indexed like `seeds`.
     pub fault_schedules: Option<Vec<Vec<(f64, i32)>>>,
+    /// Closed-loop client pool replacing the patient terminals (timeouts,
+    /// retries, abandonment); `None` runs the paper's patient model.
+    pub clients: Option<alc_tpsim::client::ClientConfig>,
     /// Measurement/control wiring.
     pub control: ControlConfig,
     /// Controller to instantiate per replication.
@@ -339,6 +342,35 @@ fn build_variant(
         // timeline.
         (lower_faults_for_seed(&spec.faults, &sys, spec.seed)?, None)
     };
+    if let Some(clients) = &spec.clients {
+        if !matches!(
+            sys.arrival,
+            alc_tpsim::config::ArrivalProcess::Closed
+        ) {
+            return Err(SpecError::new(
+                "`clients` needs the closed arrival model (clients *are* the \
+                 arrival process; drop `arrival`/`offered_load_per_s`)",
+            ));
+        }
+        // Hedged pools need a second transaction slot per client for the
+        // duplicate attempt.
+        let per_client = if matches!(
+            clients.retry,
+            alc_tpsim::client::RetryPolicy::Hedged { .. }
+        ) {
+            2u64
+        } else {
+            1u64
+        };
+        if u64::from(clients.population) * per_client > u64::from(sys.terminals) {
+            return Err(SpecError::new(format!(
+                "`clients.population` needs {} terminal slot(s) but \
+                 `system.terminals` is {}",
+                u64::from(clients.population) * per_client,
+                sys.terminals
+            )));
+        }
+    }
     let cells = spec
         .inputs
         .iter()
@@ -364,6 +396,7 @@ fn build_variant(
         adaptive_cc: spec.cc_adaptive.clone(),
         faults,
         fault_schedules,
+        clients: spec.clients.clone(),
         control,
         controller: spec.controller.clone(),
         horizon_ms: spec.horizon_ms,

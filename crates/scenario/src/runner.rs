@@ -35,6 +35,8 @@ pub struct RunRecord {
     pub seed: u64,
     /// Aggregate statistics.
     pub stats: RunStats,
+    /// Client-pool counters (when the plan has a `clients` section).
+    pub clients: Option<alc_tpsim::ClientStats>,
     /// Recorded trajectories (when the plan asked for them).
     pub trajectories: Option<Trajectories>,
 }
@@ -102,6 +104,9 @@ fn run_one(
     if !faults.is_empty() {
         sim.set_faults(faults);
     }
+    if let Some(clients) = &v.clients {
+        sim.set_clients(clients.clone());
+    }
     let captured = gate_log.map(|req| {
         let events = Arc::new(Mutex::new(Vec::new()));
         sim.set_gate_log(Box::new(CaptureSink(Arc::clone(&events))));
@@ -126,6 +131,7 @@ fn run_one(
         replication: rep as u32,
         seed,
         stats,
+        clients: sim.client_stats(),
         trajectories: v.keep_trajectories.then(|| sim.trajectories().clone()),
     })
 }
@@ -227,6 +233,18 @@ pub fn write_trajectories(
             std::fs::write(dir.join(&name), out)?;
             written.push(name);
         }
+        // Client runs ride a `_clients.csv` along: per-interval attempt /
+        // retry / abandonment deltas. Clientless runs keep their exact
+        // pre-client file set.
+        if !traj.attempts.is_empty() {
+            let name = format!("{}_clients.csv", trajectory_stem(plan, rec, reps));
+            let f = std::fs::File::create(dir.join(&name))?;
+            write_aligned_csv(
+                std::io::BufWriter::new(f),
+                &[&traj.attempts, &traj.retries, &traj.abandons],
+            )?;
+            written.push(name);
+        }
     }
     Ok(written)
 }
@@ -235,6 +253,7 @@ pub fn write_trajectories(
 fn format_cell(col: &ColumnSpec, v: &VariantPlan, rec: &RunRecord) -> String {
     match col {
         ColumnSpec::Stat(c) => c.format(&rec.stats),
+        ColumnSpec::Client(c) => c.format(rec.clients.as_ref(), rec.stats.duration_ms),
         ColumnSpec::Derived(d) => {
             let traj = rec
                 .trajectories

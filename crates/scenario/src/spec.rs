@@ -24,10 +24,11 @@
 use alc_core::controller::{
     FixedBound, Hybrid as HybridCtrl, HybridParams, IncrementalSteps, IsParams, IyerRule,
     IyerRuleParams, LoadController, OuterParams, PaOuterParams, PaParams,
-    ParabolaApproximation, SelfTuningIs as SelfTuningIsCtrl, SelfTuningPa as SelfTuningPaCtrl,
-    TayRule, Unlimited,
+    ParabolaApproximation, RetryBudget, RetryBudgetParams, SelfTuningIs as SelfTuningIsCtrl,
+    SelfTuningPa as SelfTuningPaCtrl, TayRule, Unlimited,
 };
 use alc_core::meta::{ConflictThreshold, GuardParams, MetaPolicy, RestartRate, ShadowScore};
+use alc_tpsim::client::{ClientConfig, ClientStats, LatencyFeedback, RetryPolicy};
 use alc_tpsim::config::{CcKind, SystemConfig};
 use alc_tpsim::engine::{RunStats, Trajectories};
 use alc_tpsim::workload::WorkloadConfig;
@@ -63,6 +64,11 @@ pub struct ScenarioSpec {
     pub cc_adaptive: Option<AdaptiveCcSpec>,
     /// Scheduled station faults (CPU kill/restart windows).
     pub faults: Vec<FaultSpec>,
+    /// Closed-loop client population replacing the patient terminals:
+    /// timeouts, retry policies, abandonment, and latency→load feedback
+    /// (the overload/metastability vocabulary). `None` keeps the
+    /// paper's patient closed model byte-identical.
+    pub clients: Option<ClientConfig>,
     /// Shallow overrides on [`SystemConfig`] (dist shorthands allowed;
     /// `seed` is set by the top-level field, not here).
     pub system: Vec<(String, Value)>,
@@ -369,6 +375,10 @@ pub enum ControllerSpec {
     Hybrid(HybridParams),
     /// Iyer's conflict-rate rule as a feedback baseline.
     Iyer(IyerRuleParams),
+    /// Token-bucket retry budgeting (mirrors the runtime's
+    /// `RetryBudgetLaw` decision-for-decision, so its gate logs replay
+    /// through the embeddable law).
+    RetryBudget(RetryBudgetParams),
     /// Tay's static `k²n/D < 1.5` rule of thumb.
     Tay {
         /// The (assumed) locks per transaction.
@@ -405,6 +415,7 @@ impl ControllerSpec {
             }
             ControllerSpec::Hybrid(p) => Some(Box::new(HybridCtrl::new(*p))),
             ControllerSpec::Iyer(p) => Some(Box::new(IyerRule::new(*p))),
+            ControllerSpec::RetryBudget(p) => Some(Box::new(RetryBudget::new(*p))),
             ControllerSpec::Tay {
                 k,
                 min_bound,
@@ -507,12 +518,91 @@ impl StatColumn {
     }
 }
 
+/// A client-population column of the report table, rendered from the
+/// run's [`ClientStats`] (`-` for runs without a `clients` section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientColumn {
+    /// Requests issued by the pool.
+    Issued,
+    /// Total attempts (first attempts + retries + hedges).
+    Attempts,
+    /// Retry attempts (including hedge duplicates).
+    Retries,
+    /// Requests abandoned after exhausting patience or budget.
+    Abandoned,
+    /// Attempt timeouts observed.
+    Timeouts,
+    /// Retry attempts bounced at the gate by retry shedding.
+    ShedRetries,
+    /// Committed requests per second — throughput net of wasted retries.
+    GoodputPerS,
+    /// Attempts per issued request (`1.0` = no retry traffic at all).
+    RetryAmplification,
+}
+
+impl ClientColumn {
+    /// Every column, for `scenario --help` listings.
+    pub const ALL: [ClientColumn; 8] = [
+        ClientColumn::Issued,
+        ClientColumn::Attempts,
+        ClientColumn::Retries,
+        ClientColumn::Abandoned,
+        ClientColumn::Timeouts,
+        ClientColumn::ShedRetries,
+        ClientColumn::GoodputPerS,
+        ClientColumn::RetryAmplification,
+    ];
+
+    /// The column's spec/CSV name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClientColumn::Issued => "issued",
+            ClientColumn::Attempts => "attempts",
+            ClientColumn::Retries => "retries",
+            ClientColumn::Abandoned => "abandoned",
+            ClientColumn::Timeouts => "timeouts",
+            ClientColumn::ShedRetries => "shed_retries",
+            ClientColumn::GoodputPerS => "goodput_per_s",
+            ClientColumn::RetryAmplification => "retry_amplification",
+        }
+    }
+
+    /// Parses a spec/CSV name.
+    pub fn parse(s: &str) -> Result<Self, SpecError> {
+        ClientColumn::ALL
+            .into_iter()
+            .find(|c| c.name() == s)
+            .ok_or_else(|| SpecError::new(format!("unknown client column `{s}`")))
+    }
+
+    /// Formats the column from the run's client stats (`-` when the run
+    /// had no client pool).
+    pub fn format(&self, clients: Option<&ClientStats>, duration_ms: f64) -> String {
+        use alc_bench::table::num;
+        let Some(s) = clients else {
+            return "-".to_string();
+        };
+        match self {
+            ClientColumn::Issued => s.issued.to_string(),
+            ClientColumn::Attempts => s.attempts.to_string(),
+            ClientColumn::Retries => s.retries.to_string(),
+            ClientColumn::Abandoned => s.abandoned.to_string(),
+            ClientColumn::Timeouts => s.timeouts.to_string(),
+            ClientColumn::ShedRetries => s.shed.to_string(),
+            ClientColumn::GoodputPerS => num(s.goodput_per_sec(duration_ms)),
+            ClientColumn::RetryAmplification => num(s.retry_amplification()),
+        }
+    }
+}
+
 /// One report column: a raw stat, a trajectory-derived quantity, a
 /// per-variant input cell, or a literal.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ColumnSpec {
     /// A raw-statistics column.
     Stat(StatColumn),
+    /// A client-population column (needs a `clients` section).
+    Client(ClientColumn),
     /// A column computed from the run's [`Trajectories`].
     Derived(DerivedColumn),
     /// The variant's literal cell from the spec's `inputs` map.
@@ -572,6 +662,19 @@ pub enum DerivedColumn {
         /// Relative band around the settled level.
         band: f64,
     },
+    /// Seconds from `after_ms` (a fault-repair time) until interval
+    /// throughput *permanently* re-enters `band × baseline`, where the
+    /// baseline is the mean throughput before `after_ms`. A metastable
+    /// run — retry traffic holding the system down after repair —
+    /// renders `never`.
+    TimeToRecover {
+        /// Column header (default `time_to_recover_s`).
+        header: String,
+        /// The recovery clock's start (the repair completion), ms.
+        after_ms: f64,
+        /// Fraction of the pre-fault baseline that counts as recovered.
+        band: f64,
+    },
 }
 
 impl ColumnSpec {
@@ -593,6 +696,8 @@ impl ColumnSpec {
             ColumnSpec::Derived(DerivedColumn::PostSwitchSettling { header, .. }) => {
                 header.clone()
             }
+            ColumnSpec::Derived(DerivedColumn::TimeToRecover { header, .. }) => header.clone(),
+            ColumnSpec::Client(c) => c.name().to_string(),
             ColumnSpec::Input(name) => name.clone(),
             ColumnSpec::Literal { header, .. } => header.clone(),
         }
@@ -701,6 +806,43 @@ impl DerivedColumn {
                     .map(|&(t, _)| (t - t0) / 1000.0)
                     .map_or("never".into(), num)
             }
+            DerivedColumn::TimeToRecover { after_ms, band, .. } => {
+                let pts = traj.throughput.points();
+                let before: Vec<f64> = pts
+                    .iter()
+                    .filter(|&&(t, _)| t <= *after_ms)
+                    .map(|&(_, x)| x)
+                    .collect();
+                if before.is_empty() {
+                    return "-".into();
+                }
+                let baseline = before.iter().sum::<f64>() / before.len() as f64;
+                let floor = band * baseline;
+                // Recovery must be *permanent*: the first post-repair
+                // sample from which every later sample stays above the
+                // floor. A dip back below (hysteresis) resets the clock,
+                // so a metastable run that oscillates renders `never`.
+                // The comparison uses a trailing 4-sample mean so a
+                // single sparse interval of a healthy closed population
+                // does not read as a relapse.
+                let mut recovered_at = None;
+                let mut window = std::collections::VecDeque::with_capacity(4);
+                for &(t, x) in pts.iter().filter(|&&(t, _)| t >= *after_ms) {
+                    if window.len() == 4 {
+                        window.pop_front();
+                    }
+                    window.push_back(x);
+                    let smoothed = window.iter().sum::<f64>() / window.len() as f64;
+                    if smoothed >= floor {
+                        recovered_at.get_or_insert(t);
+                    } else {
+                        recovered_at = None;
+                    }
+                }
+                recovered_at
+                    .map(|t| (t - after_ms) / 1000.0)
+                    .map_or("never".into(), num)
+            }
         }
     }
 }
@@ -719,13 +861,22 @@ fn column_from_value(v: &Value) -> Result<ColumnSpec, SpecError> {
                     band: 0.25,
                 })
             }
-            name => ColumnSpec::Stat(StatColumn::parse(name)?),
+            name => {
+                if let Ok(c) = StatColumn::parse(name) {
+                    ColumnSpec::Stat(c)
+                } else if let Ok(c) = ClientColumn::parse(name) {
+                    ColumnSpec::Client(c)
+                } else {
+                    return Err(SpecError::new(format!("unknown column `{name}`")));
+                }
+            }
         });
     }
     let Some([(tag, payload)]) = v.as_map() else {
         return Err(SpecError::new(
-            "column must be a stat/derived name or a single-key object \
-             (settling_time_s/time_in_protocol/post_switch_settling_time_s/input/literal)",
+            "column must be a stat/derived/client name or a single-key object \
+             (settling_time_s/time_in_protocol/post_switch_settling_time_s/\
+             time_to_recover_s/input/literal)",
         ));
     };
     Ok(match tag.as_str() {
@@ -825,6 +976,40 @@ fn column_from_value(v: &Value) -> Result<ColumnSpec, SpecError> {
             }
             ColumnSpec::Derived(DerivedColumn::PostSwitchSettling { header, band })
         }
+        "time_to_recover_s" => {
+            let mut header = "time_to_recover_s".to_string();
+            let mut after_ms = None;
+            let mut band = 0.7;
+            for (k, val) in payload.as_map().unwrap_or(&[]) {
+                match k.as_str() {
+                    "header" => match val {
+                        Value::Str(s) if !s.is_empty() => header = s.clone(),
+                        _ => {
+                            return Err(SpecError::new(
+                                "`time_to_recover_s.header` must be a non-empty string",
+                            ));
+                        }
+                    },
+                    "after_ms" => {
+                        after_ms = Some(positive_f64(val, "time_to_recover_s.after_ms")?);
+                    }
+                    "band" => {
+                        band = positive_f64(val, "time_to_recover_s.band")?;
+                    }
+                    other => {
+                        return Err(SpecError::new(format!(
+                            "unknown `time_to_recover_s` field `{other}`"
+                        )));
+                    }
+                }
+            }
+            ColumnSpec::Derived(DerivedColumn::TimeToRecover {
+                header,
+                after_ms: after_ms
+                    .ok_or_else(|| SpecError::new("`time_to_recover_s` needs `after_ms`"))?,
+                band,
+            })
+        }
         "input" => match payload {
             Value::Str(s) if !s.is_empty() => ColumnSpec::Input(s.clone()),
             _ => return Err(SpecError::new("`input` column needs a non-empty cell name")),
@@ -855,6 +1040,19 @@ impl serde::Serialize for ColumnSpec {
     fn to_value(&self) -> Value {
         match self {
             ColumnSpec::Stat(c) => Value::Str(c.name().to_string()),
+            ColumnSpec::Client(c) => Value::Str(c.name().to_string()),
+            ColumnSpec::Derived(DerivedColumn::TimeToRecover {
+                header,
+                after_ms,
+                band,
+            }) => Value::Map(vec![(
+                "time_to_recover_s".into(),
+                Value::Map(vec![
+                    ("header".into(), Value::Str(header.clone())),
+                    ("after_ms".into(), Value::Num(*after_ms)),
+                    ("band".into(), Value::Num(*band)),
+                ]),
+            )]),
             ColumnSpec::Derived(DerivedColumn::PostJumpTrackingErr) => {
                 Value::Str("post_jump_tracking_err".into())
             }
@@ -1145,6 +1343,24 @@ fn controller_from_value(v: &Value) -> Result<ControllerSpec, SpecError> {
             &params("Iyer controller")?,
             "Iyer controller",
         )?),
+        "retry_budget" => {
+            let p: RetryBudgetParams = crate::value_util::from_overrides(
+                &params("retry_budget controller")?,
+                "retry_budget controller",
+            )?;
+            // Mirror the constructor's invariants as spec errors so a bad
+            // spec fails at parse time, not as a runner panic.
+            if p.min_bound < 1
+                || p.min_bound > p.max_bound
+                || p.budget < 0.0
+                || p.burst < 0.0
+                || !(p.decrease > 0.0 && p.decrease < 1.0)
+                || !(0.0..=1.0).contains(&p.headroom)
+            {
+                return Err(SpecError::new("invalid `retry_budget` parameters"));
+            }
+            ControllerSpec::RetryBudget(p)
+        }
         "tay" => {
             let k = payload
                 .get("k")
@@ -1424,6 +1640,249 @@ fn fault_from_value(v: &Value) -> Result<FaultSpec, SpecError> {
             .ok_or_else(|| SpecError::new("fault needs `duration` or `repair`"))?,
         cpus_down: cpus_down.ok_or_else(|| SpecError::new("fault needs `cpus_down`"))?,
     })
+}
+
+/// Parses the retry policy of a `clients` section: a single-key object
+/// `{"backoff": …}` / `{"budget": …}` / `{"hedged": …}`.
+fn retry_policy_from_value(v: &Value) -> Result<RetryPolicy, SpecError> {
+    let Some([(tag, payload)]) = v.as_map() else {
+        return Err(SpecError::new(
+            "`clients.retry` must be a single-key object (backoff/budget/hedged)",
+        ));
+    };
+    Ok(match tag.as_str() {
+        "backoff" => {
+            // The default retry policy is backoff; the fallback arm only
+            // exists to keep this parser panic-free.
+            let (mut base_ms, mut factor, mut max_ms, mut jitter) = match RetryPolicy::default() {
+                RetryPolicy::Backoff {
+                    base_ms,
+                    factor,
+                    max_ms,
+                    jitter,
+                } => (base_ms, factor, max_ms, jitter),
+                _ => (100.0, 2.0, 5000.0, 0.5),
+            };
+            for (k, val) in payload.as_map().unwrap_or(&[]) {
+                match k.as_str() {
+                    "base_ms" => base_ms = positive_f64(val, "backoff.base_ms")?,
+                    "factor" => {
+                        factor = val.as_f64().filter(|f| *f >= 1.0).ok_or_else(|| {
+                            SpecError::new("`backoff.factor` must be a number ≥ 1")
+                        })?;
+                    }
+                    "max_ms" => max_ms = positive_f64(val, "backoff.max_ms")?,
+                    "jitter" => {
+                        jitter = val
+                            .as_f64()
+                            .filter(|j| (0.0..=1.0).contains(j))
+                            .ok_or_else(|| {
+                                SpecError::new("`backoff.jitter` must lie in [0, 1]")
+                            })?;
+                    }
+                    other => {
+                        return Err(SpecError::new(format!(
+                            "unknown `backoff` field `{other}`"
+                        )));
+                    }
+                }
+            }
+            RetryPolicy::Backoff {
+                base_ms,
+                factor,
+                max_ms,
+                jitter,
+            }
+        }
+        "budget" => {
+            let mut per_commit = 0.1;
+            let mut burst = 10.0;
+            let mut delay_ms = 100.0;
+            for (k, val) in payload.as_map().unwrap_or(&[]) {
+                match k.as_str() {
+                    "per_commit" => {
+                        per_commit = val
+                            .as_f64()
+                            .filter(|x| *x >= 0.0 && x.is_finite())
+                            .ok_or_else(|| {
+                                SpecError::new("`budget.per_commit` must be a number ≥ 0")
+                            })?;
+                    }
+                    "burst" => burst = positive_f64(val, "budget.burst")?,
+                    "delay_ms" => delay_ms = positive_f64(val, "budget.delay_ms")?,
+                    other => {
+                        return Err(SpecError::new(format!(
+                            "unknown `budget` field `{other}`"
+                        )));
+                    }
+                }
+            }
+            RetryPolicy::Budget {
+                per_commit,
+                burst,
+                delay_ms,
+            }
+        }
+        "hedged" => {
+            let mut delay_ms = None;
+            for (k, val) in payload.as_map().unwrap_or(&[]) {
+                match k.as_str() {
+                    "delay_ms" => delay_ms = Some(positive_f64(val, "hedged.delay_ms")?),
+                    other => {
+                        return Err(SpecError::new(format!(
+                            "unknown `hedged` field `{other}`"
+                        )));
+                    }
+                }
+            }
+            RetryPolicy::Hedged {
+                delay_ms: delay_ms
+                    .ok_or_else(|| SpecError::new("`hedged` retry needs `delay_ms`"))?,
+            }
+        }
+        other => {
+            return Err(SpecError::new(format!(
+                "unknown retry policy `{other}` (want backoff/budget/hedged)"
+            )));
+        }
+    })
+}
+
+/// Parses the latency→load feedback of a `clients` section.
+fn feedback_from_value(v: &Value) -> Result<LatencyFeedback, SpecError> {
+    let entries = v
+        .as_map()
+        .ok_or_else(|| SpecError::new("`clients.feedback` must be an object"))?;
+    let mut f = LatencyFeedback::default();
+    for (k, val) in entries {
+        match k.as_str() {
+            "gain" => {
+                f.gain = val
+                    .as_f64()
+                    .filter(|g| *g >= 0.0 && g.is_finite())
+                    .ok_or_else(|| SpecError::new("`feedback.gain` must be a number ≥ 0"))?;
+            }
+            "reference_ms" => f.reference_ms = positive_f64(val, "feedback.reference_ms")?,
+            "weight" => {
+                f.weight = val
+                    .as_f64()
+                    .filter(|w| *w > 0.0 && *w <= 1.0)
+                    .ok_or_else(|| SpecError::new("`feedback.weight` must lie in (0, 1]"))?;
+            }
+            other => {
+                return Err(SpecError::new(format!("unknown `feedback` field `{other}`")));
+            }
+        }
+    }
+    Ok(f)
+}
+
+/// Parses the `clients` section into the engine's [`ClientConfig`].
+fn clients_from_value(v: &Value) -> Result<ClientConfig, SpecError> {
+    use alc_des::dist::Sample as _;
+    let entries = v
+        .as_map()
+        .ok_or_else(|| SpecError::new("`clients` must be an object"))?;
+    let mut population = None;
+    let mut timeout = None;
+    let mut max_retries = 3u32;
+    let mut retry = RetryPolicy::default();
+    let mut shed_retries = false;
+    let mut feedback = LatencyFeedback::default();
+    for (k, val) in entries {
+        match k.as_str() {
+            "population" => {
+                let n = u32_from(val, "clients.population")?;
+                if n == 0 {
+                    return Err(SpecError::new("`clients.population` must be ≥ 1"));
+                }
+                population = Some(n);
+            }
+            "timeout" => {
+                let norm = crate::value_util::normalize_dist(val)
+                    .map_err(|e| SpecError::new(format!("clients `timeout`: {e}")))?;
+                let dist: alc_des::dist::Dist =
+                    <alc_des::dist::Dist as serde::Deserialize>::from_value(&norm)
+                        .map_err(|e| SpecError::new(format!("clients `timeout`: {e}")))?;
+                if dist.mean().is_nan() || dist.mean() <= 0.0 {
+                    return Err(SpecError::new(
+                        "clients `timeout` needs a distribution with positive mean",
+                    ));
+                }
+                timeout = Some(dist);
+            }
+            "max_retries" => max_retries = u32_from(val, "clients.max_retries")?,
+            "retry" => retry = retry_policy_from_value(val)?,
+            "shed_retries" => match val {
+                Value::Bool(b) => shed_retries = *b,
+                _ => return Err(SpecError::new("`clients.shed_retries` must be a bool")),
+            },
+            "feedback" => feedback = feedback_from_value(val)?,
+            other => {
+                return Err(SpecError::new(format!("unknown `clients` field `{other}`")));
+            }
+        }
+    }
+    Ok(ClientConfig {
+        population: population
+            .ok_or_else(|| SpecError::new("`clients` needs `population`"))?,
+        timeout: timeout.ok_or_else(|| SpecError::new("`clients` needs `timeout`"))?,
+        max_retries,
+        retry,
+        shed_retries,
+        feedback,
+    })
+}
+
+/// Serializes a [`ClientConfig`] back into the spec's `clients` form.
+fn clients_to_value(c: &ClientConfig) -> Value {
+    let retry = match c.retry {
+        RetryPolicy::Backoff {
+            base_ms,
+            factor,
+            max_ms,
+            jitter,
+        } => Value::Map(vec![(
+            "backoff".into(),
+            Value::Map(vec![
+                ("base_ms".into(), Value::Num(base_ms)),
+                ("factor".into(), Value::Num(factor)),
+                ("max_ms".into(), Value::Num(max_ms)),
+                ("jitter".into(), Value::Num(jitter)),
+            ]),
+        )]),
+        RetryPolicy::Budget {
+            per_commit,
+            burst,
+            delay_ms,
+        } => Value::Map(vec![(
+            "budget".into(),
+            Value::Map(vec![
+                ("per_commit".into(), Value::Num(per_commit)),
+                ("burst".into(), Value::Num(burst)),
+                ("delay_ms".into(), Value::Num(delay_ms)),
+            ]),
+        )]),
+        RetryPolicy::Hedged { delay_ms } => Value::Map(vec![(
+            "hedged".into(),
+            Value::Map(vec![("delay_ms".into(), Value::Num(delay_ms))]),
+        )]),
+    };
+    Value::Map(vec![
+        ("population".into(), Value::U64(u64::from(c.population))),
+        ("timeout".into(), serde::Serialize::to_value(&c.timeout)),
+        ("max_retries".into(), Value::U64(u64::from(c.max_retries))),
+        ("retry".into(), retry),
+        ("shed_retries".into(), Value::Bool(c.shed_retries)),
+        (
+            "feedback".into(),
+            Value::Map(vec![
+                ("gain".into(), Value::Num(c.feedback.gain)),
+                ("reference_ms".into(), Value::Num(c.feedback.reference_ms)),
+                ("weight".into(), Value::Num(c.feedback.weight)),
+            ]),
+        ),
+    ])
 }
 
 /// Characters legal in labels that land in output file names.
@@ -1714,6 +2173,7 @@ impl ScenarioSpec {
         let mut cc_phases = Vec::new();
         let mut cc_adaptive = None;
         let mut faults = Vec::new();
+        let mut clients = None;
         let mut system = Vec::new();
         let mut control = Vec::new();
         let mut workload = WorkloadSpec::default();
@@ -1766,6 +2226,7 @@ impl ScenarioSpec {
                         .map(fault_from_value)
                         .collect::<Result<_, _>>()?;
                 }
+                "clients" => clients = Some(clients_from_value(val)?),
                 "system" => system = system_overrides_from_value(val)?,
                 "control" => control = override_pairs(val, "control")?,
                 "workload" => workload = workload_from_value(val)?,
@@ -1825,6 +2286,7 @@ impl ScenarioSpec {
             cc_phases,
             cc_adaptive,
             faults,
+            clients,
             system,
             control,
             workload,
@@ -1942,6 +2404,17 @@ impl ScenarioSpec {
                  bound against the analytic optimum trajectory)",
             ));
         }
+        if spec.clients.is_none()
+            && spec
+                .columns
+                .iter()
+                .any(|c| matches!(c, ColumnSpec::Client(_)))
+        {
+            return Err(SpecError::new(
+                "client columns (goodput_per_s, retry_amplification, …) need a \
+                 `clients` section",
+            ));
+        }
         // Eagerly dry-run the override merges so a typo'd system/control
         // key fails at parse time, not only at compile time.
         let _: SystemConfig = crate::value_util::from_overrides(&spec.system, "system")?;
@@ -2012,6 +2485,9 @@ impl serde::Serialize for ScenarioSpec {
                         .collect(),
                 ),
             ));
+        }
+        if let Some(c) = &self.clients {
+            m.push(("clients".into(), clients_to_value(c)));
         }
         if !self.variants.is_empty() {
             m.push((
@@ -2219,6 +2695,7 @@ impl serde::Serialize for ControllerSpec {
                 ]),
             ),
             ControllerSpec::Iyer(p) => tag("iyer", p.to_value()),
+            ControllerSpec::RetryBudget(p) => tag("retry_budget", p.to_value()),
             ControllerSpec::Tay {
                 k,
                 min_bound,

@@ -16,7 +16,9 @@
 //! `controller.is.*` override on a spec whose controller is `pa`), but a
 //! path it rejects can never be applied meaningfully.
 
-use alc_core::controller::{IsParams, IyerRuleParams, OuterParams, PaOuterParams, PaParams};
+use alc_core::controller::{
+    IsParams, IyerRuleParams, OuterParams, PaOuterParams, PaParams, RetryBudgetParams,
+};
 use alc_tpsim::config::{ControlConfig, SystemConfig};
 use serde::{Serialize, Value};
 
@@ -81,6 +83,7 @@ fn schema(spec: &ScenarioSpec) -> Node {
         ("is", param_map::<IsParams>()),
         ("pa", param_map::<PaParams>()),
         ("iyer", param_map::<IyerRuleParams>()),
+        ("retry_budget", param_map::<RetryBudgetParams>()),
         (
             "tay",
             keys(vec![
@@ -151,6 +154,43 @@ fn schema(spec: &ScenarioSpec) -> Node {
             })
             .collect(),
     );
+    let clients = keys(vec![
+        ("population", Node::Scalar),
+        ("timeout", Node::Any),
+        ("max_retries", Node::Scalar),
+        (
+            "retry",
+            keys(vec![
+                (
+                    "backoff",
+                    keys(vec![
+                        ("base_ms", Node::Scalar),
+                        ("factor", Node::Scalar),
+                        ("max_ms", Node::Scalar),
+                        ("jitter", Node::Scalar),
+                    ]),
+                ),
+                (
+                    "budget",
+                    keys(vec![
+                        ("per_commit", Node::Scalar),
+                        ("burst", Node::Scalar),
+                        ("delay_ms", Node::Scalar),
+                    ]),
+                ),
+                ("hedged", keys(vec![("delay_ms", Node::Scalar)])),
+            ]),
+        ),
+        ("shed_retries", Node::Scalar),
+        (
+            "feedback",
+            keys(vec![
+                ("gain", Node::Scalar),
+                ("reference_ms", Node::Scalar),
+                ("weight", Node::Scalar),
+            ]),
+        ),
+    ]);
     keys(vec![
         ("name", Node::Scalar),
         ("description", Node::Scalar),
@@ -159,6 +199,7 @@ fn schema(spec: &ScenarioSpec) -> Node {
         ("horizon_ms", Node::Scalar),
         ("cc", cc),
         ("faults", Node::Any),
+        ("clients", clients),
         ("system", system),
         ("control", param_map::<ControlConfig>()),
         ("workload", workload),

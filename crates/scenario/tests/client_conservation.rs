@@ -1,0 +1,232 @@
+//! Property tests for the closed-loop client population: across random
+//! pool configurations — timeout distributions, retry policies (backoff,
+//! token budget, hedged), abandonment limits, retry shedding, latency
+//! feedback, and admission controllers — the client-side conservation
+//! identities hold at end of run, and the whole run is deterministic
+//! across reruns and across thread counts (rayon fan-out vs one cell
+//! per call).
+//!
+//! The identities are the client analogue of the engine's transaction
+//! census: no request is lost or double-counted between issue, commit,
+//! and abandonment, and every attempt is either a first attempt or a
+//! retry/hedge. They must survive the messy paths — timeouts that
+//! cancel queued attempts, sheds bounced at the gate, hedge duplicates,
+//! budget-starved abandons — not just the happy commit loop.
+
+use alc_scenario::compile::RunPlan;
+use alc_scenario::runner::{run_plan, RunRecord};
+use alc_scenario::spec::{ColumnSpec, ControllerSpec, ScenarioSpec, StatColumn, WorkloadSpec};
+use alc_tpsim::config::CcKind;
+use alc_tpsim::{ClientConfig, LatencyFeedback, RetryPolicy};
+use proptest::prelude::*;
+use serde::{Serialize as _, Value};
+
+fn arb_retry() -> impl Strategy<Value = RetryPolicy> {
+    prop_oneof![
+        (5.0..400.0f64, 1.0..3.0f64, 100.0..2_000.0f64, 0.0..1.0f64).prop_map(
+            |(base_ms, factor, max_ms, jitter)| RetryPolicy::Backoff {
+                base_ms,
+                factor,
+                max_ms,
+                jitter,
+            }
+        ),
+        (0.0..2.0f64, 1.0..16.0f64, 10.0..500.0f64).prop_map(|(per_commit, burst, delay_ms)| {
+            RetryPolicy::Budget {
+                per_commit,
+                burst,
+                delay_ms,
+            }
+        }),
+        (10.0..800.0f64).prop_map(|delay_ms| RetryPolicy::Hedged { delay_ms }),
+    ]
+}
+
+/// Pools tuned so the 5-second horizon actually exercises the edge
+/// paths: timeouts short enough to fire against the service times,
+/// populations small enough that debug-mode runs stay cheap.
+fn arb_clients() -> impl Strategy<Value = ClientConfig> {
+    (
+        (2u32..24, 80.0..1_500.0f64, 0u32..6),
+        (arb_retry(), any::<bool>(), 0.0..2.0f64, 0.05..1.0f64),
+    )
+        .prop_map(
+            |((population, timeout_ms, max_retries), (retry, shed_retries, gain, weight))| {
+                ClientConfig {
+                    population,
+                    timeout: alc_des::dist::Dist::constant(timeout_ms),
+                    max_retries,
+                    retry,
+                    shed_retries,
+                    feedback: LatencyFeedback {
+                        gain,
+                        reference_ms: 500.0,
+                        weight,
+                    },
+                }
+            },
+        )
+}
+
+fn arb_controller() -> impl Strategy<Value = ControllerSpec> {
+    use alc_core::controller::RetryBudgetParams;
+    prop_oneof![
+        Just(ControllerSpec::Unlimited),
+        (2u32..32).prop_map(|bound| ControllerSpec::Fixed { bound }),
+        (2u32..16, 16u32..64, 0.1..2.0f64).prop_map(|(lo, hi, budget)| {
+            ControllerSpec::RetryBudget(RetryBudgetParams {
+                initial_bound: lo,
+                min_bound: 1,
+                max_bound: hi,
+                budget,
+                ..RetryBudgetParams::default()
+            })
+        }),
+    ]
+}
+
+/// A complete runnable spec: small contended system, a client pool, and
+/// a shed-flipped variant so the plan has two cells (the serial-vs-
+/// parallel comparison needs more than one).
+fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        any::<u64>(),
+        (2u64..5, 60u64..300),
+        arb_clients(),
+        arb_controller(),
+        50.0..400.0f64,
+    )
+        .prop_map(|(seed, (cpus, db_size), clients, controller, think_ms)| {
+            let shed_flipped = !clients.shed_retries;
+            ScenarioSpec {
+                name: "conservation".to_string(),
+                description: "generated client-pool spec".to_string(),
+                seed,
+                replications: 1,
+                horizon_ms: 5_000.0,
+                cc: CcKind::Certification,
+                cc_phases: Vec::new(),
+                cc_adaptive: None,
+                faults: Vec::new(),
+                clients: Some(clients),
+                system: vec![
+                    ("cpus".to_string(), Value::U64(cpus)),
+                    ("db_size".to_string(), Value::U64(db_size)),
+                    (
+                        "think".to_string(),
+                        Value::Map(vec![(
+                            "Exponential".to_string(),
+                            Value::Map(vec![("mean".to_string(), Value::Num(think_ms))]),
+                        )]),
+                    ),
+                ],
+                control: vec![("sample_interval_ms".to_string(), Value::Num(500.0))],
+                workload: WorkloadSpec {
+                    k: alc_scenario::profile::Profile::Constant(6.0),
+                    ..WorkloadSpec::default()
+                },
+                controller,
+                record_optimum: false,
+                trajectories: false,
+                label_header: "variant".to_string(),
+                columns: vec![ColumnSpec::Stat(StatColumn::ThroughputPerS)],
+                variants: vec![
+                    alc_scenario::spec::VariantSpec {
+                        name: "base".to_string(),
+                        set: Vec::new(),
+                        quick: Vec::new(),
+                    },
+                    alc_scenario::spec::VariantSpec {
+                        name: "shed-flipped".to_string(),
+                        set: vec![(
+                            "clients.shed_retries".to_string(),
+                            Value::Bool(shed_flipped),
+                        )],
+                        quick: Vec::new(),
+                    },
+                ],
+                sweep: None,
+                inputs: Vec::new(),
+                label_from: None,
+                quick: Vec::new(),
+            }
+        })
+}
+
+fn compile(spec: &ScenarioSpec) -> RunPlan {
+    let tree = spec.to_value();
+    alc_scenario::compile::compile_value(&tree, std::path::Path::new("."), false)
+        .expect("generated spec compiles")
+}
+
+/// One cell per `run_plan` call: with a single job the rayon shim stays
+/// on the calling thread, so this is the serial reference execution.
+fn run_serial(plan: &RunPlan) -> Vec<RunRecord> {
+    let mut records = Vec::new();
+    for v in &plan.variants {
+        let sub = RunPlan {
+            variants: vec![v.clone()],
+            ..plan.clone()
+        };
+        records.extend(run_plan(&sub));
+    }
+    records
+}
+
+fn assert_conserved(rec: &RunRecord) {
+    let c = rec
+        .clients
+        .expect("a spec with a clients section reports client stats");
+    assert_eq!(
+        c.issued,
+        c.committed + c.abandoned + c.in_flight,
+        "`{}`: issued != committed + abandoned + in_flight: {c:?}",
+        rec.label
+    );
+    assert_eq!(
+        c.attempts,
+        c.first_attempts + c.retries,
+        "`{}`: attempts != first_attempts + retries: {c:?}",
+        rec.label
+    );
+    assert!(
+        c.issued >= c.first_attempts,
+        "`{}`: more first attempts than requests: {c:?}",
+        rec.label
+    );
+    assert!(
+        c.shed <= c.retries,
+        "`{}`: shed a retry that was never counted: {c:?}",
+        rec.label
+    );
+}
+
+fn assert_same(a: &[RunRecord], b: &[RunRecord], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: record count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.label, y.label, "{what}: order");
+        assert_eq!(x.stats, y.stats, "{what}: stats of `{}`", x.label);
+        assert_eq!(x.clients, y.clients, "{what}: client stats of `{}`", x.label);
+    }
+}
+
+proptest! {
+    // Every case runs six full simulations (2 variants × rerun × serial);
+    // a modest case count still covers all three retry-policy families
+    // and both shed settings because the variant pair flips shedding
+    // within each case.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn client_accounting_conserves_requests_and_attempts(spec in arb_spec()) {
+        let plan = compile(&spec);
+        let a = run_plan(&plan);
+        for rec in &a {
+            assert_conserved(rec);
+        }
+        let b = run_plan(&plan);
+        assert_same(&a, &b, "rerun");
+        let serial = run_serial(&plan);
+        assert_same(&a, &serial, "parallel vs serial");
+    }
+}

@@ -63,6 +63,22 @@ fn sinus_traces_replay_byte_identically_for_both_controllers() {
     assert_replays(&spec, &root.join("scenarios/traces/sinus_PA_gatelog.jsonl"));
 }
 
+/// The retry-storm trace pins the retry-budget gate: its spec names the
+/// `retry_budget` controller, so `replay_log` rebuilds the decision
+/// function from the *runtime's* `RetryBudgetLaw` rather than the
+/// simulator's controller. A byte-identical replay therefore proves the
+/// two implementations are the same decision function — shed-retry
+/// admission refusals stay invisible to the sampler on both sides, and
+/// the storm's cut/rebuild arc reproduces exactly.
+#[test]
+fn retry_storm_trace_replays_byte_identically_through_the_runtime_law() {
+    let root = repo_root();
+    assert_replays(
+        &root.join("scenarios/retry-storm.json"),
+        &root.join("scenarios/traces/retry-storm_gatelog.jsonl"),
+    );
+}
+
 #[test]
 fn freshly_captured_logs_replay_byte_identically() {
     let root = repo_root();

@@ -183,6 +183,46 @@ fn fault_repair_spec_reproduces_its_golden_table() {
     );
 }
 
+/// Quick-scale report of a checked-in spec vs its own-crate golden pin
+/// (`crates/scenario/tests/golden/`).
+fn assert_own_golden_matches(spec_name: &str) {
+    let (plan, records) = run_quick(spec_name);
+    let report = alc_scenario::runner::build_report(&plan, &records);
+    let out = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("own-{spec_name}"));
+    let _ = std::fs::remove_dir_all(&out);
+    let path = report.write_csv(Path::new(&out)).expect("write csv");
+    let actual = std::fs::read(&path).expect("read actual");
+    let golden = std::fs::read(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/{spec_name}.csv")),
+    )
+    .expect("golden file");
+    assert!(
+        actual == golden,
+        "{spec_name}.csv diverged from its golden pin — the client-pool \
+         run is no longer byte-reproducible"
+    );
+}
+
+/// The overload catalog is golden-pinned: client-side counters, retry
+/// amplification, the `never`/prompt recovery verdicts, and the
+/// retry-budget gate's mean bound must stay byte-identical. These CSVs
+/// encode the paper's metastability demonstration — any engine or
+/// client-state-machine drift snaps one of them.
+#[test]
+fn retry_storm_spec_reproduces_its_golden_table() {
+    assert_own_golden_matches("retry-storm");
+}
+
+#[test]
+fn retry_shed_spec_reproduces_its_golden_table() {
+    assert_own_golden_matches("retry-shed");
+}
+
+#[test]
+fn metastable_fault_spec_reproduces_its_golden_table() {
+    assert_own_golden_matches("metastable-fault");
+}
+
 /// Every checked-in spec must compile (full + quick) and the whole
 /// catalog must run end-to-end at quick scale — the acceptance floor for
 /// "a new experiment is a JSON file".

@@ -9,11 +9,12 @@
 use alc_scenario::compile::compile_value;
 use alc_scenario::profile::Profile;
 use alc_scenario::spec::{
-    AdaptiveCcSpec, ColumnSpec, ControllerSpec, DerivedColumn, FaultRecovery, FaultSpec,
-    MetaPolicySpec, PivotSpec, ScenarioSpec, StatColumn, SweepAxis, SweepSpec, VariantSpec,
-    WorkloadSpec,
+    AdaptiveCcSpec, ClientColumn, ColumnSpec, ControllerSpec, DerivedColumn, FaultRecovery,
+    FaultSpec, MetaPolicySpec, PivotSpec, ScenarioSpec, StatColumn, SweepAxis, SweepSpec,
+    VariantSpec, WorkloadSpec,
 };
 use alc_tpsim::config::CcKind;
+use alc_tpsim::{ClientConfig, LatencyFeedback, RetryPolicy};
 use proptest::prelude::*;
 use proptest::{boxed, collection, Union};
 use serde::{Serialize as _, Value};
@@ -94,6 +95,54 @@ fn arb_profile(depth: u32) -> Union<Profile> {
     ])
 }
 
+/// Client retry policies across all three families, drawn inside their
+/// legal parameter ranges.
+fn arb_retry() -> impl Strategy<Value = RetryPolicy> {
+    prop_oneof![
+        (10.0..1_000.0f64, 1.0..4.0f64, 1_000.0..60_000.0f64, 0.0..1.0f64).prop_map(
+            |(base_ms, factor, max_ms, jitter)| RetryPolicy::Backoff {
+                base_ms,
+                factor,
+                max_ms,
+                jitter,
+            }
+        ),
+        (0.0..2.0f64, 1.0..64.0f64, 10.0..2_000.0f64).prop_map(
+            |(per_commit, burst, delay_ms)| RetryPolicy::Budget {
+                per_commit,
+                burst,
+                delay_ms,
+            }
+        ),
+        (10.0..5_000.0f64).prop_map(|delay_ms| RetryPolicy::Hedged { delay_ms }),
+    ]
+}
+
+/// Client pool sections: population, impatience timeout, retry policy,
+/// shedding flag, and latency→demand feedback.
+fn arb_clients() -> impl Strategy<Value = ClientConfig> {
+    (
+        (1u32..64, 500.0..60_000.0f64, 0u32..8),
+        (arb_retry(), any::<bool>(), 0.0..4.0f64, 0.05..1.0f64),
+    )
+        .prop_map(
+            |((population, timeout_mean, max_retries), (retry, shed_retries, gain, weight))| {
+                ClientConfig {
+                    population,
+                    timeout: alc_des::dist::Dist::exponential(timeout_mean),
+                    max_retries,
+                    retry,
+                    shed_retries,
+                    feedback: LatencyFeedback {
+                        gain,
+                        reference_ms: 1_000.0,
+                        weight,
+                    },
+                }
+            },
+        )
+}
+
 fn arb_controller() -> Union<ControllerSpec> {
     use alc_core::controller::{IsParams, IyerRuleParams, PaParams};
     prop_oneof![
@@ -136,6 +185,16 @@ fn arb_controller() -> Union<ControllerSpec> {
             k,
             min_bound: 1,
             max_bound,
+        }),
+        (1u32..64, 64u32..900, 0.0..2.0f64, 0.1..0.9f64).prop_map(|(lo, hi, budget, decrease)| {
+            ControllerSpec::RetryBudget(alc_core::controller::RetryBudgetParams {
+                initial_bound: lo,
+                min_bound: 1,
+                max_bound: hi,
+                budget,
+                decrease,
+                ..alc_core::controller::RetryBudgetParams::default()
+            })
         }),
         (1u32..64, 64u32..900, 0.1..8.0).prop_map(|(lo, hi, beta)| {
             ControllerSpec::SelfTuningIs {
@@ -282,12 +341,24 @@ fn arb_columns() -> impl Strategy<Value = Vec<ColumnSpec>> {
                 band,
             })
         }),
+        (1_000.0..500_000.0f64, 0.05..0.95f64).prop_map(|(after_ms, band)| {
+            ColumnSpec::Derived(DerivedColumn::TimeToRecover {
+                header: "time_to_recover_s".to_string(),
+                after_ms,
+                band,
+            })
+        }),
     ];
+    let client =
+        (0usize..ClientColumn::ALL.len()).prop_map(|i| ColumnSpec::Client(ClientColumn::ALL[i]));
     let literal = arb_name().prop_map(|h| ColumnSpec::Literal {
         header: h,
         value: "-".to_string(),
     });
-    collection::vec(prop_oneof![4 => stat, 1 => derived, 1 => literal], 1..6)
+    collection::vec(
+        prop_oneof![4 => stat, 1 => derived, 1 => client, 1 => literal],
+        1..6,
+    )
 }
 
 /// System/control override pairs drawn from a menu of valid settings.
@@ -349,17 +420,26 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
             arb_cc_phases(),
             arb_faults(),
             prop_oneof![2 => Just(None), 1 => arb_adaptive().prop_map(Some)],
+            prop_oneof![2 => Just(None), 1 => arb_clients().prop_map(Some)],
         ),
     )
         .prop_map(
             |(
                 (name, seed, replications, horizon_ms, cc, system),
                 (k, factor, controller, record_optimum, trajectories, columns),
-                (variants, cc_phases, faults, adaptive),
+                (variants, cc_phases, faults, adaptive, clients),
             )| {
                 // Tracking-error columns require the optimum trajectory.
                 let record_optimum =
                     record_optimum || columns.iter().any(ColumnSpec::needs_optimum);
+                // Client columns require a clients section.
+                let clients = if columns.iter().any(|c| matches!(c, ColumnSpec::Client(_))) {
+                    clients.or_else(|| {
+                        Some(ClientConfig::new(8, alc_des::dist::Dist::exponential(5_000.0)))
+                    })
+                } else {
+                    clients
+                };
                 // Adaptive selection replaces scheduled phases (the two
                 // are mutually exclusive) and pins `cc` to candidate 0.
                 let (cc, cc_phases) = match &adaptive {
@@ -376,6 +456,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
                     cc_phases,
                     cc_adaptive: adaptive,
                     faults,
+                    clients,
                     system,
                     control: vec![(
                         "sample_interval_ms".to_string(),
@@ -446,6 +527,7 @@ fn arb_sweep_spec() -> impl Strategy<Value = ScenarioSpec> {
                 cc_phases: Vec::new(),
                 cc_adaptive: None,
                 faults: Vec::new(),
+                clients: None,
                 system: Vec::new(),
                 control: vec![("sample_interval_ms".to_string(), Value::Num(500.0))],
                 workload: WorkloadSpec::default(),

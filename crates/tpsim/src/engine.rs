@@ -27,6 +27,7 @@ use alc_des::stats::{TimeWeighted, Welford};
 use alc_des::{Calendar, SimTime};
 
 use crate::cc::{make_cc, AccessOutcome, ConcurrencyControl};
+use crate::client::{ClientConfig, ClientPhase, ClientPool, ClientStats, RetryPolicy};
 use crate::config::{ArrivalProcess, CcKind, ControlConfig, SystemConfig};
 use crate::gate::SimGate;
 use crate::station::{CpuJob, CpuStation};
@@ -52,6 +53,15 @@ enum Event {
     CcSwitch { idx: usize },
     /// Scheduled station fault: apply the `idx`-th CPU-capacity delta.
     Fault { idx: usize },
+    /// Client mode: client `client` issues an attempt (first attempt when
+    /// Thinking, retry when in Backoff). `generation` is the *client's*
+    /// tombstone counter, not the transaction slot's.
+    ClientIssue { client: usize, generation: u64 },
+    /// Client mode: patience expired for the client's in-flight attempt.
+    ClientTimeout { client: usize, generation: u64 },
+    /// Client mode: hedging delay elapsed; launch the duplicate attempt
+    /// if the first one is still in flight.
+    HedgeFire { client: usize, generation: u64 },
 }
 
 /// Aggregate statistics of a (post-warm-up) run window.
@@ -125,6 +135,14 @@ pub struct Trajectories {
     /// single-protocol runs, so the trajectory CSVs of existing
     /// scenarios stay byte-identical.
     pub switches: Vec<SwitchEvent>,
+    /// Client mode only: attempts launched per interval (first attempts
+    /// plus retries plus hedges). Empty for runs without a client pool,
+    /// so the trajectory CSVs of existing scenarios stay byte-identical.
+    pub attempts: TimeSeries,
+    /// Client mode only: retry attempts per interval.
+    pub retries: TimeSeries,
+    /// Client mode only: requests abandoned per interval.
+    pub abandons: TimeSeries,
 }
 
 impl Default for Trajectories {
@@ -145,6 +163,9 @@ impl Trajectories {
             k: TimeSeries::new("k"),
             conflict_ratio: TimeSeries::new("conflict_ratio"),
             switches: Vec::new(), // alc-lint: allow(hot-alloc, reason="construction-time; presized via reserve before each run")
+            attempts: TimeSeries::new("attempts"),
+            retries: TimeSeries::new("retries"),
+            abandons: TimeSeries::new("abandons"),
         }
     }
 
@@ -156,6 +177,9 @@ impl Trajectories {
         self.optimum.reserve(additional);
         self.k.reserve(additional);
         self.conflict_ratio.reserve(additional);
+        self.attempts.reserve(additional);
+        self.retries.reserve(additional);
+        self.abandons.reserve(additional);
     }
 }
 
@@ -176,6 +200,12 @@ struct Streams {
     mix: RngStream,
     restart: RngStream,
     arrival: RngStream,
+    /// Client patience draws. Constructed unconditionally (streams are
+    /// label-independent, so runs without clients stay byte-identical)
+    /// but only drawn from in client mode.
+    client_timeout: RngStream,
+    /// Backoff-jitter draws (client mode, `RetryPolicy::Backoff` only).
+    retry_jitter: RngStream,
 }
 
 /// The §7 transaction processing system simulator.
@@ -250,6 +280,14 @@ pub struct Simulator {
     /// controller decision, so runs become replayable through
     /// `alc-runtime` (see `alc_core::gatelog`). `None` costs nothing.
     gate_log: Option<Box<dyn GateLogSink>>,
+    /// Closed-loop client pool (`None` = the paper's patient terminals).
+    /// Installed once by [`Simulator::set_clients`] before the run.
+    clients: Option<ClientPool>,
+    /// Cumulative client counters at the previous sample, for the
+    /// per-interval deltas the client trajectory series record.
+    last_attempts: u64,
+    last_retries: u64,
+    last_abandoned: u64,
 }
 
 impl Simulator {
@@ -295,6 +333,8 @@ impl Simulator {
                 mix: seeds.stream("mix"),
                 restart: seeds.stream("restart"),
                 arrival: seeds.stream("arrival"),
+                client_timeout: seeds.stream("client_timeout"),
+                retry_jitter: seeds.stream("retry_jitter"),
             },
             controller,
             sampler: IntervalSampler::new(control.indicator, 0.0, 0),
@@ -317,6 +357,10 @@ impl Simulator {
             record_optimum: true,
             zipf_cache: None,
             gate_log: None,
+            clients: None,
+            last_attempts: 0,
+            last_retries: 0,
+            last_abandoned: 0,
             sys,
             workload,
             control,
@@ -362,6 +406,53 @@ impl Simulator {
     /// the run, to extract the recorded events).
     pub fn take_gate_log(&mut self) -> Option<Box<dyn GateLogSink>> {
         self.gate_log.take()
+    }
+
+    /// Installs a closed-loop client pool: impatient clients replace the
+    /// paper's patient terminals. Each client owns one transaction slot
+    /// (hedged pools own two — primary and duplicate), cycles through
+    /// think → issue → wait, and on timeout cancels its in-flight
+    /// attempt and consults its retry policy. Timeouts and shed retries
+    /// feed the sampler (and the gate log) as aborts, so retry-aware
+    /// control laws observe the storm they must clamp. Call once, before
+    /// the run, in closed mode only.
+    pub fn set_clients(&mut self, cfg: ClientConfig) {
+        assert!(
+            matches!(self.sys.arrival, ArrivalProcess::Closed),
+            "client pools model closed-loop terminals; open mode has no clients"
+        );
+        assert!(cfg.population >= 1, "a client pool needs at least one client");
+        assert!(self.clients.is_none(), "set_clients may only be called once");
+        let slots_needed = match cfg.retry {
+            RetryPolicy::Hedged { .. } => 2 * cfg.population as usize,
+            _ => cfg.population as usize,
+        };
+        assert!(
+            slots_needed <= self.txns.len(),
+            "client population (with hedge duplicates) must fit the terminal count"
+        );
+        // The constructor's per-terminal Submit events are inert in
+        // client mode (see `on_submit`); each client draws its own first
+        // think delay instead.
+        let t0 = self.now();
+        let factor = self.workload.think_time_factor_at(t0.millis());
+        for c in 0..cfg.population as usize {
+            let delay = self.sys.think.sample(&mut self.rng.think) * factor;
+            self.cal.schedule(
+                t0 + delay,
+                Event::ClientIssue {
+                    client: c,
+                    generation: 0,
+                },
+            );
+        }
+        self.clients = Some(ClientPool::new(cfg));
+    }
+
+    /// Client-pool counters of the current statistics window (`None`
+    /// for runs without a client pool).
+    pub fn client_stats(&self) -> Option<ClientStats> {
+        self.clients.as_ref().map(|p| p.stats)
     }
 
     /// Schedules per-phase CC-protocol switches: at each `t_ms` the gate
@@ -548,6 +639,24 @@ impl Simulator {
         self.bound_avg.reset(now);
         self.cpu.reset_stats(now);
         self.window_start = now;
+        if let Some(pool) = &mut self.clients {
+            // Re-base the client counters so the conservation identities
+            // (`issued == committed + abandoned + in_flight`,
+            // `attempts == first_attempts + retries`) keep holding over
+            // the fresh window: outstanding requests count as issued.
+            let s = &mut pool.stats;
+            s.issued = s.in_flight;
+            s.first_attempts = 0;
+            s.attempts = 0;
+            s.retries = 0;
+            s.committed = 0;
+            s.abandoned = 0;
+            s.timeouts = 0;
+            s.shed = 0;
+        }
+        self.last_attempts = 0;
+        self.last_retries = 0;
+        self.last_abandoned = 0;
     }
 
     fn stats_at(&self, t_end: SimTime) -> RunStats {
@@ -603,6 +712,11 @@ impl Simulator {
             Event::Sample => self.on_sample(),
             Event::CcSwitch { idx } => self.on_cc_switch(idx),
             Event::Fault { idx } => self.on_fault(idx),
+            Event::ClientIssue { client, generation } => self.on_client_issue(client, generation),
+            Event::ClientTimeout { client, generation } => {
+                self.on_client_timeout(client, generation)
+            }
+            Event::HedgeFire { client, generation } => self.on_hedge_fire(client, generation),
         }
     }
 
@@ -727,6 +841,17 @@ impl Simulator {
     }
 
     fn on_submit(&mut self, i: usize) {
+        if self.clients.is_some() {
+            // Client mode: the constructor's terminal Submit events are
+            // inert — clients drive their slots via ClientIssue instead.
+            return;
+        }
+        self.submit_attempt(i);
+    }
+
+    /// One slot arrives at the gate: admitted immediately or queued.
+    /// Shared by terminal submissions and client attempts.
+    fn submit_attempt(&mut self, i: usize) {
         let now = self.now();
         debug_assert_eq!(self.txns[i].state, TxnState::Thinking);
         self.txns[i].submitted_at = now;
@@ -955,16 +1080,22 @@ impl Simulator {
             self.response.push(response);
             self.commits += 1;
             // Departure: back to the terminal (closed) or out of the
-            // system, returning the slot (open).
+            // system, returning the slot (open). In client mode the
+            // client settles the request instead (and may cancel a
+            // hedge twin).
             self.txns[i].state = TxnState::Thinking;
-            match self.sys.arrival {
-                ArrivalProcess::Closed => {
-                    let think = self.sys.think.sample(&mut self.rng.think)
-                        * self.workload.think_time_factor_at(now.millis());
-                    self.cal.schedule_in(think, Event::Submit(i));
-                }
-                ArrivalProcess::Open { .. } => {
-                    self.free_slots.push(i);
+            if self.clients.is_some() {
+                self.on_client_commit(i, response);
+            } else {
+                match self.sys.arrival {
+                    ArrivalProcess::Closed => {
+                        let think = self.sys.think.sample(&mut self.rng.think)
+                            * self.workload.think_time_factor_at(now.millis());
+                        self.cal.schedule_in(think, Event::Submit(i));
+                    }
+                    ArrivalProcess::Open { .. } => {
+                        self.free_slots.push(i);
+                    }
                 }
             }
             // Free the MPL slot and admit waiters.
@@ -1074,6 +1205,323 @@ impl Simulator {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Client state machine (client mode only)
+    // ------------------------------------------------------------------
+
+    /// A client issues an attempt: first attempt of a fresh request when
+    /// Thinking, retry of the outstanding request when in Backoff. Arms
+    /// the patience timeout (and the hedge timer for first attempts of a
+    /// hedged pool) and submits the client's slot to the gate — unless
+    /// retry shedding bounces the attempt at a saturated gate.
+    fn on_client_issue(&mut self, c: usize, generation: u64) {
+        let (retry, shed_cfg, timeout_dist, hedge_delay) = {
+            let Some(pool) = self.clients.as_mut() else {
+                debug_assert!(false, "ClientIssue without a client pool");
+                return;
+            };
+            if pool.clients[c].generation != generation {
+                return; // stale: the client moved on
+            }
+            let retry = pool.clients[c].phase == ClientPhase::Backoff;
+            if retry {
+                pool.stats.retries += 1;
+            } else {
+                debug_assert_eq!(pool.clients[c].phase, ClientPhase::Thinking);
+                pool.stats.issued += 1;
+                pool.stats.first_attempts += 1;
+                pool.stats.in_flight += 1;
+                pool.clients[c].attempt = 0;
+                pool.clients[c].hedged = false;
+            }
+            pool.stats.attempts += 1;
+            pool.clients[c].attempt += 1;
+            pool.clients[c].phase = ClientPhase::Waiting;
+            let hedge_delay = match pool.cfg.retry {
+                RetryPolicy::Hedged { delay_ms } if !retry => Some(delay_ms),
+                _ => None,
+            };
+            (retry, pool.cfg.shed_retries, pool.cfg.timeout, hedge_delay)
+        };
+        // Retry shedding: a retry that meets a saturated (or held) gate
+        // is bounced instead of queued — first attempts always queue. A
+        // shed retry consumed no service, so it is invisible to the
+        // sampler: the controller's clamp signal is the wasted work of
+        // in-system cancellations, not the refusals that prevent it
+        // (counting refusals as spent budget would pin the bound down
+        // forever once it started shedding).
+        if retry && shed_cfg && (self.gate.held() || self.gate.in_system() >= self.gate.bound()) {
+            if let Some(pool) = self.clients.as_mut() {
+                pool.stats.shed += 1;
+            }
+            self.retry_or_abandon(c);
+            return;
+        }
+        let patience = timeout_dist.sample(&mut self.rng.client_timeout);
+        self.cal.schedule_in(
+            patience,
+            Event::ClientTimeout {
+                client: c,
+                generation,
+            },
+        );
+        if let Some(d) = hedge_delay {
+            self.cal.schedule_in(
+                d,
+                Event::HedgeFire {
+                    client: c,
+                    generation,
+                },
+            );
+        }
+        self.submit_attempt(c);
+    }
+
+    /// Patience expired: cancel the in-flight attempt (and its hedge
+    /// twin), count the timeout as sampler-visible lost work, and let
+    /// the retry policy decide what happens next.
+    fn on_client_timeout(&mut self, c: usize, generation: u64) {
+        let hedged = {
+            let Some(pool) = self.clients.as_mut() else {
+                debug_assert!(false, "ClientTimeout without a client pool");
+                return;
+            };
+            if pool.clients[c].generation != generation {
+                return; // stale: the attempt already finished
+            }
+            debug_assert_eq!(pool.clients[c].phase, ClientPhase::Waiting);
+            pool.stats.timeouts += 1;
+            pool.clients[c].hedged
+        };
+        let population = self.client_population();
+        let mut consumed = self.cancel_attempt(c);
+        if hedged {
+            consumed |= self.cancel_attempt(population + c);
+        }
+        // Only attempts that actually consumed service count as
+        // sampler-visible wasted work; a cancellation straight out of the
+        // gate queue is an admission refusal, exactly like a shed retry.
+        if consumed {
+            let now = self.now();
+            self.sampler.on_abort(0);
+            if let Some(log) = self.gate_log.as_mut() {
+                log.record(&GateEvent::Abort {
+                    at_ms: now.millis(),
+                    conflicts: 0,
+                });
+            }
+        }
+        self.retry_or_abandon(c);
+    }
+
+    /// The hedge timer fired with the first attempt still in flight:
+    /// launch the duplicate on the client's second slot. The duplicate
+    /// counts as a retry (work amplification), shares the request's
+    /// timeout, and whichever attempt commits first cancels the other.
+    fn on_hedge_fire(&mut self, c: usize, generation: u64) {
+        let launch = {
+            let Some(pool) = self.clients.as_mut() else {
+                debug_assert!(false, "HedgeFire without a client pool");
+                return;
+            };
+            if pool.clients[c].generation != generation
+                || pool.clients[c].phase != ClientPhase::Waiting
+                || pool.clients[c].hedged
+            {
+                false
+            } else {
+                pool.clients[c].hedged = true;
+                pool.stats.attempts += 1;
+                pool.stats.retries += 1;
+                true
+            }
+        };
+        if launch {
+            let population = self.client_population();
+            self.submit_attempt(population + c);
+        }
+    }
+
+    /// The population of the installed client pool (client mode only).
+    fn client_population(&self) -> usize {
+        self.clients
+            .as_ref()
+            .map_or(0, |p| p.cfg.population as usize)
+    }
+
+    /// After a timeout or a shed retry: retry the outstanding request
+    /// (per the pool's policy) or abandon it, scheduling the client's
+    /// next issue event either way. Bumps the client generation, which
+    /// tombstones any still-pending timeout/hedge events.
+    fn retry_or_abandon(&mut self, c: usize) {
+        let now = self.now();
+        let rng = &mut self.rng;
+        let Some(pool) = self.clients.as_mut() else {
+            debug_assert!(false, "retry decision without a client pool");
+            return;
+        };
+        let attempt = pool.clients[c].attempt;
+        pool.clients[c].generation += 1;
+        let generation = pool.clients[c].generation;
+        // Hedged clients never retry past a timeout (the hedge was their
+        // second attempt); others retry until the per-request budget or
+        // the shared token bucket runs out.
+        let delay = if attempt > pool.cfg.max_retries {
+            None
+        } else {
+            match pool.cfg.retry {
+                RetryPolicy::Hedged { .. } => None,
+                RetryPolicy::Budget { delay_ms, .. } => {
+                    if pool.tokens >= 1.0 {
+                        pool.tokens -= 1.0;
+                        Some(delay_ms)
+                    } else {
+                        None
+                    }
+                }
+                RetryPolicy::Backoff { jitter, .. } => {
+                    let base = pool.backoff_base(attempt).expect("backoff policy");
+                    Some(base * (1.0 - jitter * rng.retry_jitter.uniform01()))
+                }
+            }
+        };
+        match delay {
+            Some(d) => {
+                pool.clients[c].phase = ClientPhase::Backoff;
+                self.cal.schedule(
+                    now + d,
+                    Event::ClientIssue {
+                        client: c,
+                        generation,
+                    },
+                );
+            }
+            None => {
+                pool.stats.abandoned += 1;
+                pool.stats.in_flight -= 1;
+                pool.clients[c].phase = ClientPhase::Thinking;
+                pool.clients[c].attempt = 0;
+                pool.clients[c].hedged = false;
+                let mult = pool.think_multiplier(c);
+                let think = self.sys.think.sample(&mut rng.think)
+                    * self.workload.think_time_factor_at(now.millis())
+                    * mult;
+                self.cal.schedule(
+                    now + think,
+                    Event::ClientIssue {
+                        client: c,
+                        generation,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A client's attempt committed: cancel the hedge twin (if any),
+    /// settle the request, bank retry tokens, fold the observed response
+    /// into the latency-feedback EMA, and schedule the next request.
+    fn on_client_commit(&mut self, i: usize, response_ms: f64) {
+        let (c, sibling) = {
+            let pool = self.clients.as_ref().expect("client mode");
+            let population = pool.cfg.population as usize;
+            let c = if i >= population { i - population } else { i };
+            let sibling = if pool.clients[c].hedged {
+                Some(if i >= population { c } else { population + c })
+            } else {
+                None
+            };
+            (c, sibling)
+        };
+        if let Some(s) = sibling {
+            self.cancel_attempt(s);
+        }
+        let now = self.now();
+        let rng = &mut self.rng;
+        let pool = self.clients.as_mut().expect("client mode");
+        debug_assert_eq!(pool.clients[c].phase, ClientPhase::Waiting);
+        pool.stats.committed += 1;
+        pool.stats.in_flight -= 1;
+        if let RetryPolicy::Budget {
+            per_commit, burst, ..
+        } = pool.cfg.retry
+        {
+            pool.tokens = (pool.tokens + per_commit).min(burst);
+        }
+        let w = pool.cfg.feedback.weight;
+        let ema = &mut pool.clients[c].ema_ms;
+        *ema = if *ema == 0.0 {
+            response_ms
+        } else {
+            w * response_ms + (1.0 - w) * *ema
+        };
+        pool.clients[c].generation += 1; // kills the armed timeout/hedge
+        let generation = pool.clients[c].generation;
+        pool.clients[c].phase = ClientPhase::Thinking;
+        pool.clients[c].attempt = 0;
+        pool.clients[c].hedged = false;
+        let mult = pool.think_multiplier(c);
+        let think = self.sys.think.sample(&mut rng.think)
+            * self.workload.think_time_factor_at(now.millis())
+            * mult;
+        self.cal.schedule(
+            now + think,
+            Event::ClientIssue {
+                client: c,
+                generation,
+            },
+        );
+    }
+
+    /// Tears down an in-flight attempt on slot `i` after a client
+    /// timeout (or a hedge resolution): the run leaves whatever stage it
+    /// occupies — gate queue, CC layer, CPU/disk, restart wait — without
+    /// counting as an engine-level abort, and a freed MPL slot admits
+    /// waiters exactly like a commit departure. Returns whether the
+    /// attempt had been admitted (and so consumed service the sampler
+    /// should see as wasted work).
+    fn cancel_attempt(&mut self, i: usize) -> bool {
+        match self.txns[i].state {
+            TxnState::Thinking => {
+                // Not on the floor (e.g. the hedge twin never launched).
+                self.txns[i].generation += 1;
+                return false;
+            }
+            TxnState::Queued => {
+                let removed = self.gate.remove(i);
+                debug_assert!(removed, "queued attempt missing from the gate queue");
+                self.txns[i].generation += 1;
+                self.txns[i].state = TxnState::Thinking;
+                return false; // never admitted: no MPL slot to free
+            }
+            TxnState::Running { .. } | TxnState::Blocked { .. } => {
+                let mut unblocked = self.take_scratch();
+                self.cc.abort_into(i, &mut unblocked);
+                debug_assert!(self.cc_active > 0, "cancel without an in-CC txn");
+                self.cc_active -= 1;
+                for &u in &unblocked {
+                    self.resume_unblocked(u);
+                }
+                self.put_scratch(unblocked);
+            }
+            TxnState::RestartWait => {
+                // Between abort and restart: already out of the CC layer
+                // but still holding its MPL slot.
+            }
+        }
+        self.txns[i].generation += 1; // kill in-flight burst/restart events
+        self.txns[i].state = TxnState::Thinking;
+        let mut admitted = self.take_scratch();
+        self.gate.depart_into(&mut admitted);
+        self.note_mpl();
+        for &a in &admitted {
+            self.txns[a].state = TxnState::Thinking; // transient
+            self.note_mpl();
+            self.start_instance(a);
+        }
+        self.put_scratch(admitted);
+        true
+    }
+
     fn on_sample(&mut self) {
         let now = self.now();
         let m = self.sampler.harvest(now.millis());
@@ -1120,6 +1568,23 @@ impl Simulator {
             .conflict_ratio
             .push(now, m.conflicts_per_txn);
         self.trajectories.k.push(now, f64::from(w.k));
+        if let Some(pool) = &self.clients {
+            // Per-interval client deltas. Only pushed in client mode, so
+            // the trajectory CSVs of clientless runs stay byte-identical.
+            let s = pool.stats;
+            self.trajectories
+                .attempts
+                .push(now, (s.attempts - self.last_attempts) as f64);
+            self.trajectories
+                .retries
+                .push(now, (s.retries - self.last_retries) as f64);
+            self.trajectories
+                .abandons
+                .push(now, (s.abandoned - self.last_abandoned) as f64);
+            self.last_attempts = s.attempts;
+            self.last_retries = s.retries;
+            self.last_abandoned = s.abandoned;
+        }
         if self.record_optimum {
             let key = (
                 w.k,
@@ -2354,5 +2819,256 @@ mod tests {
             "Little's law violated: X*R = {little}, mean MPL = {}",
             stats.mean_mpl
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Client mode
+    // ------------------------------------------------------------------
+
+    use crate::client::{ClientConfig, LatencyFeedback, RetryPolicy};
+
+    fn client_pool(population: u32, timeout_ms: f64) -> ClientConfig {
+        ClientConfig::new(population, Dist::constant(timeout_ms))
+    }
+
+    fn assert_client_conservation(sim: &Simulator) {
+        let s = sim.client_stats().expect("client mode");
+        assert_eq!(
+            s.issued,
+            s.committed + s.abandoned + s.in_flight,
+            "request conservation violated: {s:?}"
+        );
+        assert_eq!(
+            s.attempts,
+            s.first_attempts + s.retries,
+            "attempt conservation violated: {s:?}"
+        );
+    }
+
+    #[test]
+    fn patient_clients_commit_and_conserve_requests() {
+        // Generous timeout: clients behave like slightly richer terminals.
+        let mut sim = Simulator::new(
+            small_sys(20, 7),
+            WorkloadConfig::default(),
+            CcKind::Certification,
+            no_control(u32::MAX),
+            None,
+        );
+        sim.set_record_optimum(false);
+        sim.set_clients(client_pool(20, 60_000.0));
+        let stats = sim.run(20_000.0);
+        let s = sim.client_stats().expect("client mode");
+        assert!(stats.commits > 100, "only {} commits", stats.commits);
+        assert_eq!(s.committed, stats.commits, "every commit is a client commit");
+        assert_eq!(s.timeouts, 0, "nobody should time out at this patience");
+        assert_eq!(s.retries, 0);
+        assert_client_conservation(&sim);
+    }
+
+    #[test]
+    fn impatient_clients_time_out_retry_and_conserve() {
+        // Tight timeout against a tiny gate: timeouts and retries flow.
+        let mut sim = Simulator::new(
+            small_sys(16, 11),
+            WorkloadConfig::default(),
+            CcKind::Certification,
+            no_control(2),
+            None,
+        );
+        sim.set_record_optimum(false);
+        let mut cfg = client_pool(16, 120.0);
+        cfg.retry = RetryPolicy::Backoff {
+            base_ms: 40.0,
+            factor: 2.0,
+            max_ms: 500.0,
+            jitter: 0.5,
+        };
+        cfg.max_retries = 2;
+        sim.set_clients(cfg);
+        sim.run(20_000.0);
+        let s = sim.client_stats().expect("client mode");
+        assert!(s.timeouts > 0, "expected timeouts: {s:?}");
+        assert!(s.retries > 0, "expected retries: {s:?}");
+        assert!(s.abandoned > 0, "expected abandonment: {s:?}");
+        assert_client_conservation(&sim);
+        let census = sim.txn_state_census();
+        assert_eq!(census.iter().sum::<usize>(), 16, "slots conserved");
+    }
+
+    #[test]
+    fn client_runs_are_deterministic() {
+        let run = || {
+            let mut sim = Simulator::new(
+                small_sys(12, 33),
+                WorkloadConfig::default(),
+                CcKind::Certification,
+                no_control(3),
+                None,
+            );
+            sim.set_record_optimum(false);
+            let mut cfg = client_pool(12, 200.0);
+            cfg.retry = RetryPolicy::Backoff {
+                base_ms: 30.0,
+                factor: 2.0,
+                max_ms: 400.0,
+                jitter: 0.5,
+            };
+            sim.set_clients(cfg);
+            let stats = sim.run(15_000.0);
+            (stats, sim.client_stats())
+        };
+        assert_eq!(run(), run(), "same seed must give identical client runs");
+    }
+
+    #[test]
+    fn clientless_runs_are_unperturbed_by_the_client_code_path() {
+        // The client layer must be invisible when unused: identical
+        // stats to a build that never had it. (Golden CSVs pin this
+        // repo-wide; this is the in-crate canary.)
+        let a = run_fixed(
+            15,
+            10,
+            CcKind::Certification,
+            WorkloadConfig::default(),
+            10_000.0,
+            42,
+        );
+        assert!(a.commits > 0);
+        assert_eq!(a.lost, 0);
+    }
+
+    #[test]
+    fn hedged_clients_duplicate_work_and_cancel_the_loser() {
+        let mut sim = Simulator::new(
+            small_sys(24, 5),
+            WorkloadConfig::default(),
+            CcKind::Certification,
+            no_control(u32::MAX),
+            None,
+        );
+        sim.set_record_optimum(false);
+        let mut cfg = client_pool(12, 5_000.0);
+        cfg.retry = RetryPolicy::Hedged { delay_ms: 30.0 };
+        sim.set_clients(cfg);
+        sim.run(20_000.0);
+        let s = sim.client_stats().expect("client mode");
+        assert!(s.retries > 0, "hedges count as retries: {s:?}");
+        assert!(s.committed > 0);
+        assert_client_conservation(&sim);
+        let census = sim.txn_state_census();
+        assert_eq!(census.iter().sum::<usize>(), 24);
+    }
+
+    #[test]
+    fn budget_retries_are_bounded_by_the_bucket() {
+        let mut sim = Simulator::new(
+            small_sys(16, 21),
+            WorkloadConfig::default(),
+            CcKind::Certification,
+            no_control(1),
+            None,
+        );
+        sim.set_record_optimum(false);
+        let mut cfg = client_pool(16, 80.0);
+        cfg.retry = RetryPolicy::Budget {
+            per_commit: 0.1,
+            burst: 4.0,
+            delay_ms: 25.0,
+        };
+        cfg.max_retries = 100;
+        sim.set_clients(cfg);
+        sim.run(15_000.0);
+        let s = sim.client_stats().expect("client mode");
+        assert_client_conservation(&sim);
+        // The bucket caps retry amplification: retries can never exceed
+        // initial burst + per_commit × commits (within the window,
+        // re-based at warm-up, so compare against the cumulative form).
+        assert!(
+            (s.retries as f64) <= 4.0 + 0.1 * (s.committed as f64) + (s.shed as f64) + 1.0
+                || s.retries < s.timeouts,
+            "retries outran the token bucket: {s:?}"
+        );
+        assert!(s.abandoned > 0, "empty bucket must abandon: {s:?}");
+    }
+
+    #[test]
+    fn retry_shedding_bounces_retries_at_a_saturated_gate() {
+        let mut sim = Simulator::new(
+            small_sys(16, 13),
+            WorkloadConfig::default(),
+            CcKind::Certification,
+            no_control(1),
+            None,
+        );
+        sim.set_record_optimum(false);
+        let mut cfg = client_pool(16, 100.0);
+        cfg.shed_retries = true;
+        cfg.max_retries = 3;
+        sim.set_clients(cfg);
+        sim.run(15_000.0);
+        let s = sim.client_stats().expect("client mode");
+        assert!(s.shed > 0, "a bound of 1 must shed retries: {s:?}");
+        assert_client_conservation(&sim);
+    }
+
+    #[test]
+    fn latency_feedback_stretches_think_and_lowers_offered_load() {
+        let offered = |gain: f64| {
+            let mut sim = Simulator::new(
+                small_sys(16, 17),
+                WorkloadConfig::default(),
+                CcKind::Certification,
+                no_control(2),
+                None,
+            );
+            sim.set_record_optimum(false);
+            let mut cfg = client_pool(16, 2_000.0);
+            cfg.feedback = LatencyFeedback {
+                gain,
+                reference_ms: 100.0,
+                weight: 0.2,
+            };
+            sim.set_clients(cfg);
+            sim.run(20_000.0);
+            sim.client_stats().expect("client mode").issued
+        };
+        let patient = offered(0.0);
+        let deferring = offered(4.0);
+        assert!(
+            deferring < patient,
+            "feedback gain must reduce issued requests: {deferring} !< {patient}"
+        );
+    }
+
+    #[test]
+    fn client_trajectories_record_interval_deltas_only_in_client_mode() {
+        let mut plain = Simulator::new(
+            small_sys(10, 3),
+            WorkloadConfig::default(),
+            CcKind::Certification,
+            no_control(5),
+            None,
+        );
+        plain.set_record_optimum(false);
+        plain.run(8_000.0);
+        assert!(plain.trajectories().attempts.is_empty());
+        assert!(plain.trajectories().retries.is_empty());
+        assert!(plain.trajectories().abandons.is_empty());
+
+        let mut sim = Simulator::new(
+            small_sys(10, 3),
+            WorkloadConfig::default(),
+            CcKind::Certification,
+            no_control(5),
+            None,
+        );
+        sim.set_record_optimum(false);
+        sim.set_clients(client_pool(10, 500.0));
+        sim.run(8_000.0);
+        let traj = sim.trajectories();
+        assert!(!traj.attempts.is_empty());
+        assert_eq!(traj.attempts.len(), traj.retries.len());
+        assert_eq!(traj.attempts.len(), traj.abandons.len());
     }
 }

@@ -148,6 +148,20 @@ impl SimGate {
         self.queue.push_front(txn);
     }
 
+    /// Removes a *queued* transaction (a client timeout cancelling an
+    /// attempt that never got admitted). Returns whether it was found.
+    /// O(queue_len), but only ever runs on the timeout path — never in
+    /// the steady-state commit loop.
+    pub fn remove(&mut self, txn: usize) -> bool {
+        match self.queue.iter().position(|&t| t == txn) {
+            Some(idx) => {
+                self.queue.remove(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
     fn drain_queue_into(&mut self, admitted: &mut Vec<usize>) {
         while !self.hold && self.in_system < self.bound {
             match self.queue.pop_front() {
@@ -248,6 +262,19 @@ mod tests {
         assert_eq!(admitted, vec![2]);
         assert!(!g.held());
         assert_eq!(g.in_system(), 2);
+    }
+
+    #[test]
+    fn remove_cancels_a_waiter_without_touching_admissions() {
+        let mut g = SimGate::new(1);
+        g.arrive(0);
+        g.arrive(1);
+        g.arrive(2);
+        assert!(g.remove(1));
+        assert!(!g.remove(1), "already gone");
+        assert_eq!(g.in_system(), 1);
+        // Slot 1 no longer exists in the queue; the departure admits 2.
+        assert_eq!(g.depart(), vec![2]);
     }
 
     #[test]

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod cc;
+pub mod client;
 pub mod config;
 pub mod engine;
 pub mod experiment;
@@ -40,6 +41,7 @@ pub mod station;
 pub mod txn;
 pub mod workload;
 
+pub use client::{ClientConfig, ClientStats, LatencyFeedback, RetryPolicy};
 pub use config::{ControlConfig, SystemConfig};
 pub use engine::{RunStats, Simulator, Trajectories};
 pub use workload::WorkloadConfig;
