@@ -19,15 +19,18 @@
 //! (gate, then core) and allocates nothing after warm-up — the
 //! counting-allocator test in `tests/alloc_gate.rs` pins that.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use alc_core::gate::{AdaptiveGate, Permit};
 use alc_core::gatelog::{GateEvent, GateLogSink};
 use alc_core::measure::PerfIndicator;
+use alc_trace::{cat as tcat, name as tname, Args as TraceArgs, TraceEvent, TraceSink};
 use parking_lot::Mutex;
 
 use crate::law::{ControlLaw, WindowSnapshot};
+use crate::metrics::MetricsSnapshot;
 use crate::telemetry::{Outcome, TelemetryWindow};
 
 /// What happens to an arrival that finds the gate full.
@@ -63,6 +66,11 @@ pub struct LoopCore {
     telemetry: TelemetryWindow,
     law: Box<dyn ControlLaw>,
     log: Option<Box<dyn GateLogSink>>,
+    commits: u64,
+    aborts: u64,
+    sheds: u64,
+    decisions: u64,
+    last: Option<Decision>,
 }
 
 impl LoopCore {
@@ -73,6 +81,11 @@ impl LoopCore {
             telemetry: TelemetryWindow::new(indicator, 0.0, 0),
             law,
             log: None,
+            commits: 0,
+            aborts: 0,
+            sheds: 0,
+            decisions: 0,
+            last: None,
         }
     }
 
@@ -104,6 +117,7 @@ impl LoopCore {
 
     /// Records a commit.
     pub fn on_commit(&mut self, now_ms: f64, response_ms: f64, conflicts: u64) {
+        self.commits += 1;
         self.telemetry.on_commit(response_ms, conflicts);
         if let Some(log) = self.log.as_mut() {
             log.record(&GateEvent::Commit {
@@ -116,6 +130,7 @@ impl LoopCore {
 
     /// Records an abort.
     pub fn on_abort(&mut self, now_ms: f64, conflicts: u64) {
+        self.aborts += 1;
         self.telemetry.on_abort(conflicts);
         if let Some(log) = self.log.as_mut() {
             log.record(&GateEvent::Abort {
@@ -127,6 +142,7 @@ impl LoopCore {
 
     /// Records a shed arrival (rejected without queueing).
     pub fn on_shed(&mut self) {
+        self.sheds += 1;
         self.telemetry.on_shed();
     }
 
@@ -140,11 +156,25 @@ impl LoopCore {
                 bound,
             });
         }
-        Decision {
+        self.decisions += 1;
+        let decision = Decision {
             at_ms: now_ms,
             bound,
             window,
-        }
+        };
+        self.last = Some(decision.clone());
+        decision
+    }
+
+    /// Cumulative `(commits, aborts, sheds, decisions)` since
+    /// construction.
+    pub fn totals(&self) -> (u64, u64, u64, u64) {
+        (self.commits, self.aborts, self.sheds, self.decisions)
+    }
+
+    /// The last harvested decision, if any window has closed yet.
+    pub fn last_decision(&self) -> Option<&Decision> {
+        self.last.as_ref()
     }
 }
 
@@ -170,9 +200,34 @@ pub struct ControlLoop {
     gate: Arc<AdaptiveGate>,
     policy: AdmissionPolicy,
     core: Mutex<LoopCore>,
+    trace: Mutex<Option<Box<dyn TraceSink>>>,
+    seq: AtomicU64,
     // alc-lint: allow(wall-clock, reason="the shell's one clock: stamps events with ms since construction; the deterministic core never reads it")
     epoch: std::time::Instant,
 }
+
+/// A held admission slot, returned by [`ControlLoop::admit`]. Wraps the
+/// gate's permit with the admission timestamp and a sequence number, so
+/// [`ControlLoop::complete`] can emit the attempt's lifecycle span
+/// without any per-attempt bookkeeping in the loop. Dropping it releases
+/// the slot (without reporting an outcome), exactly like the raw permit.
+pub struct AdmittedPermit<'a> {
+    inner: Permit<'a>,
+    admitted_at_ms: f64,
+    seq: u64,
+}
+
+impl AdmittedPermit<'_> {
+    /// When this permit was granted, ms since the loop's epoch.
+    pub fn admitted_at_ms(&self) -> f64 {
+        self.admitted_at_ms
+    }
+}
+
+/// How many worker lanes attempt spans are spread over in traces: the
+/// sequence number is folded modulo this, keeping concurrent attempts on
+/// distinct Perfetto rows without unbounded lane growth.
+const TRACE_LANES: u64 = 32;
 
 impl ControlLoop {
     /// Builds the runtime: the gate starts at the law's current bound.
@@ -186,6 +241,8 @@ impl ControlLoop {
             gate,
             policy,
             core: Mutex::new(LoopCore::new(law, indicator)),
+            trace: Mutex::new(None),
+            seq: AtomicU64::new(0),
             #[allow(clippy::disallowed_methods)] // real-time shell: the epoch is its time base
             // alc-lint: allow(wall-clock, reason="epoch stamp at construction; all later times are durations from it")
             epoch: std::time::Instant::now(),
@@ -200,6 +257,41 @@ impl ControlLoop {
     /// Removes and returns the recorder (to flush/inspect after a run).
     pub fn take_gate_log(&self) -> Option<Box<dyn GateLogSink>> {
         self.core.lock().take_gate_log()
+    }
+
+    /// Installs a span/event trace sink (e.g. an
+    /// [`alc_trace::ChromeWriter`]). The loop then emits the same
+    /// vocabulary the simulator uses: an `attempt` span per admitted
+    /// unit of work (outcome-tagged at completion), `mpl`/`bound`
+    /// counters, `gate.decision` instants on each tick, and
+    /// `client.shed` instants for shed arrivals — all stamped with ms
+    /// since the loop's epoch.
+    pub fn set_trace_sink(&self, sink: Box<dyn TraceSink>) {
+        let mut trace = self.trace.lock();
+        *trace = Some(sink);
+        if let Some(t) = trace.as_mut() {
+            t.emit(&TraceEvent::process_name(alc_trace::PID_NODE, "runtime", None));
+            t.emit(&TraceEvent::thread_name(
+                alc_trace::PID_NODE,
+                alc_trace::TID_CONTROL,
+                "control",
+                None,
+            ));
+            for lane in 0..TRACE_LANES {
+                let lane = lane as u32;
+                t.emit(&TraceEvent::thread_name(
+                    alc_trace::PID_NODE,
+                    1 + lane,
+                    "worker-",
+                    Some(lane),
+                ));
+            }
+        }
+    }
+
+    /// Removes and returns the trace sink (to finish/flush it).
+    pub fn take_trace_sink(&self) -> Option<Box<dyn TraceSink>> {
+        self.trace.lock().take()
     }
 
     /// Milliseconds since construction — the loop's time base.
@@ -218,34 +310,95 @@ impl ControlLoop {
     /// under [`AdmissionPolicy::Queue`]). Hold the permit for the
     /// duration of the unit of work and pass it to
     /// [`ControlLoop::complete`].
-    pub fn admit(&self) -> Option<Permit<'_>> {
+    pub fn admit(&self) -> Option<AdmittedPermit<'_>> {
         let permit = match self.policy {
             AdmissionPolicy::Queue => Some(self.gate.acquire()),
             AdmissionPolicy::QueueTimeout(patience) => self.gate.acquire_timeout(patience),
             AdmissionPolicy::Shed => self.gate.try_acquire(),
         };
         let now = self.now_ms();
-        let mut core = self.core.lock();
-        match permit {
-            Some(_) => core.on_mpl(now, self.gate.in_use()),
-            None => core.on_shed(),
+        {
+            let mut core = self.core.lock();
+            match permit {
+                Some(_) => core.on_mpl(now, self.gate.in_use()),
+                None => core.on_shed(),
+            }
         }
-        permit
+        match permit {
+            Some(inner) => {
+                let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = self.trace.lock().as_mut() {
+                    t.emit(&TraceEvent::counter(
+                        tname::MPL,
+                        now,
+                        alc_trace::PID_NODE,
+                        f64::from(self.gate.in_use()),
+                    ));
+                }
+                Some(AdmittedPermit {
+                    inner,
+                    admitted_at_ms: now,
+                    seq,
+                })
+            }
+            None => {
+                if let Some(t) = self.trace.lock().as_mut() {
+                    t.emit(&TraceEvent::instant(
+                        tname::CLIENT_SHED,
+                        tcat::CLIENT,
+                        now,
+                        alc_trace::PID_NODE,
+                        alc_trace::TID_CONTROL,
+                    ));
+                }
+                None
+            }
+        }
     }
 
     /// Reports how an admitted unit of work ended, releasing its slot.
-    pub fn complete(&self, permit: Permit<'_>, outcome: Outcome) {
+    pub fn complete(&self, permit: AdmittedPermit<'_>, outcome: Outcome) {
         let now = self.now_ms();
-        let mut core = self.core.lock();
-        match outcome {
-            Outcome::Commit {
-                response_ms,
-                conflicts,
-            } => core.on_commit(now, response_ms, conflicts),
-            Outcome::Abort { conflicts } => core.on_abort(now, conflicts),
+        let AdmittedPermit {
+            inner,
+            admitted_at_ms,
+            seq,
+        } = permit;
+        let outcome_name = match outcome {
+            Outcome::Commit { .. } => "commit",
+            Outcome::Abort { .. } => "abort",
+        };
+        {
+            let mut core = self.core.lock();
+            match outcome {
+                Outcome::Commit {
+                    response_ms,
+                    conflicts,
+                } => core.on_commit(now, response_ms, conflicts),
+                Outcome::Abort { conflicts } => core.on_abort(now, conflicts),
+            }
+            drop(inner); // release the slot, then observe the new population
+            core.on_mpl(now, self.gate.in_use());
         }
-        drop(permit); // release the slot, then observe the new population
-        core.on_mpl(now, self.gate.in_use());
+        if let Some(t) = self.trace.lock().as_mut() {
+            t.emit(
+                &TraceEvent::complete(
+                    tname::ATTEMPT,
+                    tcat::TXN,
+                    admitted_at_ms,
+                    now - admitted_at_ms,
+                    alc_trace::PID_NODE,
+                    1 + (seq % TRACE_LANES) as u32,
+                )
+                .with(TraceArgs::Outcome(outcome_name)),
+            );
+            t.emit(&TraceEvent::counter(
+                tname::MPL,
+                now,
+                alc_trace::PID_NODE,
+                f64::from(self.gate.in_use()),
+            ));
+        }
     }
 
     /// Closes the measurement window, runs the law, and pushes the new
@@ -257,7 +410,61 @@ impl ControlLoop {
         let queue_depth = self.gate.stats().waiting;
         let decision = self.core.lock().harvest(now, queue_depth);
         self.gate.set_limit(decision.bound);
+        if let Some(t) = self.trace.lock().as_mut() {
+            t.emit(
+                &TraceEvent::instant(
+                    tname::GATE_DECISION,
+                    tcat::GATE,
+                    now,
+                    alc_trace::PID_NODE,
+                    alc_trace::TID_CONTROL,
+                )
+                .with(TraceArgs::Bound(decision.bound)),
+            );
+            t.emit(&TraceEvent::counter(
+                tname::BOUND,
+                now,
+                alc_trace::PID_NODE,
+                f64::from(decision.bound),
+            ));
+        }
         decision
+    }
+
+    /// Flattens the loop's live state into one [`MetricsSnapshot`]:
+    /// gate occupancy now, cumulative outcome counters, and the last
+    /// harvested window (zeros before the first [`ControlLoop::tick`]).
+    /// Export a sampled series with
+    /// [`write_metrics_jsonl`](crate::metrics::write_metrics_jsonl).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let now = self.now_ms();
+        let stats = self.gate.stats();
+        let core = self.core.lock();
+        let (commits, aborts, sheds, decisions) = core.totals();
+        let last = core.last_decision();
+        let (window, queue_depth) = match last {
+            Some(d) => (Some(&d.window), d.window.queue_depth),
+            None => (None, 0),
+        };
+        MetricsSnapshot {
+            at_ms: now,
+            bound: stats.limit,
+            in_use: stats.in_use,
+            waiting: stats.waiting,
+            commits,
+            aborts,
+            sheds,
+            decisions,
+            window_departures: window.map_or(0, |w| w.measurement.departures),
+            window_aborts: window.map_or(0, |w| w.measurement.aborts),
+            window_shed: window.map_or(0, |w| w.shed),
+            observed_mpl: window.map_or(0.0, |w| w.measurement.observed_mpl),
+            mean_response_ms: window.map_or(0.0, |w| w.measurement.mean_response_ms),
+            p50_ms: window.map_or(0.0, |w| w.p50_ms),
+            p95_ms: window.map_or(0.0, |w| w.p95_ms),
+            p99_ms: window.map_or(0.0, |w| w.p99_ms),
+            queue_depth,
+        }
     }
 
     /// Read access to the law under the loop's lock.
@@ -357,6 +564,56 @@ mod tests {
             GateEvent::Decision { bound, .. } => assert_eq!(*bound, d.bound),
             other => panic!("unexpected final event {other:?}"),
         }
+    }
+
+    /// A trace sink sharing its event buffer with the test body.
+    struct SharedTrace(Arc<Mutex<Vec<TraceEvent>>>);
+
+    impl TraceSink for SharedTrace {
+        fn emit(&mut self, ev: &TraceEvent) {
+            self.0.lock().push(*ev);
+        }
+    }
+
+    #[test]
+    fn trace_and_metrics_see_the_same_run() {
+        let rt = aimd_loop(AdmissionPolicy::Shed, 1);
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        rt.set_trace_sink(Box::new(SharedTrace(Arc::clone(&buffer))));
+        let held = rt.admit().expect("capacity free");
+        assert!(held.admitted_at_ms() >= 0.0);
+        assert!(rt.admit().is_none(), "full gate must shed");
+        rt.complete(
+            held,
+            Outcome::Commit {
+                response_ms: 5.0,
+                conflicts: 0,
+            },
+        );
+        let d = rt.tick();
+        let events = buffer.lock().clone();
+        let attempt = events
+            .iter()
+            .find(|e| e.ph == alc_trace::Phase::Complete && e.name == tname::ATTEMPT)
+            .expect("attempt span");
+        assert!(matches!(attempt.args, TraceArgs::Outcome("commit")));
+        assert!(attempt.dur_ms >= 0.0);
+        assert!(events
+            .iter()
+            .any(|e| e.ph == alc_trace::Phase::Mark && e.name == tname::CLIENT_SHED));
+        assert!(events
+            .iter()
+            .any(|e| e.ph == alc_trace::Phase::Mark && e.name == tname::GATE_DECISION));
+        assert!(events
+            .iter()
+            .any(|e| e.ph == alc_trace::Phase::Counter && e.name == tname::MPL));
+        let m = rt.metrics();
+        assert_eq!((m.commits, m.aborts, m.sheds, m.decisions), (1, 0, 1, 1));
+        assert_eq!(m.window_departures, 1);
+        assert_eq!(m.window_shed, 1);
+        assert_eq!(m.bound, d.bound);
+        assert_eq!(m.in_use, 0);
+        assert!(rt.take_trace_sink().is_some());
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   shed counting.
 //! * [`log`] — the JSONL gate-log format ([`JsonlSink`] writer,
 //!   [`read_gate_log`] reader) over `alc_core::gatelog::GateEvent`.
+//! * [`metrics`] — [`MetricsSnapshot`]: the loop's live state (gate
+//!   occupancy, cumulative counters, last window with P² quantiles)
+//!   flattened for export, with a byte-round-tripping JSONL form.
 //! * [`replay`] — [`check_conformance`]: feed a recorded log back
 //!   through a fresh [`LoopCore`] and require the decision sequence to
 //!   match byte-for-byte.
@@ -41,13 +44,17 @@
 pub mod control;
 pub mod law;
 pub mod log;
+pub mod metrics;
 pub mod replay;
 pub mod telemetry;
 
-pub use control::{AdmissionPolicy, ControlLoop, Decision, LoopCore};
+pub use control::{AdmissionPolicy, AdmittedPermit, ControlLoop, Decision, LoopCore};
 pub use law::{
     AimdLaw, AimdParams, ControlLaw, PaperLaw, RetryBudgetLaw, RetryBudgetParams, WindowSnapshot,
 };
 pub use log::{event_line, read_gate_log, write_gate_log, GateLogError, GateLogHeader, JsonlSink};
+pub use metrics::{
+    metrics_line, read_metrics_jsonl, write_metrics_jsonl, MetricsError, MetricsSnapshot,
+};
 pub use replay::{check_conformance, replay, Conformance};
 pub use telemetry::{Outcome, TelemetryWindow};

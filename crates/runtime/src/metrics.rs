@@ -1,0 +1,191 @@
+//! Runtime metrics snapshots and their JSONL export.
+//!
+//! [`ControlLoop::metrics`](crate::ControlLoop::metrics) flattens the
+//! loop's live state — gate occupancy, cumulative outcome counters, and
+//! the last harvested window (P² latency quantiles included) — into one
+//! [`MetricsSnapshot`]. The JSONL form mirrors the gate-log format
+//! (`log.rs`): one externally-tagged object per line, every `f64`
+//! round-tripping exactly through the workspace shim's
+//! shortest-representation formatting, so an exported series reads back
+//! equal to what was written.
+
+use std::io::{self, BufRead, Write};
+
+use serde::{Deserialize, Serialize};
+
+/// One flattened observation of a running [`ControlLoop`].
+///
+/// Cumulative counters (`commits`, `aborts`, `sheds`, `decisions`)
+/// count since construction; the `window_*` and quantile fields carry
+/// the last harvested window and are zero before the first tick.
+///
+/// [`ControlLoop`]: crate::ControlLoop
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Snapshot time, ms since the loop's epoch.
+    pub at_ms: f64,
+    /// The MPL bound currently enforced by the gate.
+    pub bound: u32,
+    /// Permits currently held.
+    pub in_use: u32,
+    /// Arrivals currently queued at the gate.
+    pub waiting: u32,
+    /// Commits reported since construction.
+    pub commits: u64,
+    /// Aborts reported since construction.
+    pub aborts: u64,
+    /// Arrivals shed since construction.
+    pub sheds: u64,
+    /// Harvest decisions taken since construction.
+    pub decisions: u64,
+    /// Committed transactions in the last harvested window.
+    pub window_departures: u64,
+    /// Aborts in the last harvested window.
+    pub window_aborts: u64,
+    /// Arrivals shed during the last harvested window.
+    pub window_shed: u64,
+    /// Time-averaged concurrency over the last window.
+    pub observed_mpl: f64,
+    /// Mean response time of the last window's commits, ms.
+    pub mean_response_ms: f64,
+    /// P² median response time of the last window, ms.
+    pub p50_ms: f64,
+    /// P² 95th-percentile response time of the last window, ms.
+    pub p95_ms: f64,
+    /// P² 99th-percentile response time of the last window, ms.
+    pub p99_ms: f64,
+    /// Gate queue depth at the last harvest.
+    pub queue_depth: u32,
+}
+
+/// A problem reading a metrics JSONL stream.
+#[derive(Debug)]
+pub enum MetricsError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that is not a valid snapshot (1-based line number and
+    /// message).
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricsError::Io(e) => write!(f, "metrics I/O error: {e}"),
+            MetricsError::Parse(line, msg) => write!(f, "metrics line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+impl From<io::Error> for MetricsError {
+    fn from(e: io::Error) -> Self {
+        MetricsError::Io(e)
+    }
+}
+
+/// Renders one snapshot as its JSONL line (without the newline).
+pub fn metrics_line(snapshot: &MetricsSnapshot) -> String {
+    serde_json::to_string(snapshot).unwrap_or_else(|_| String::from("null"))
+}
+
+/// Writes a snapshot series to `w`, one JSONL line each.
+pub fn write_metrics_jsonl<W: Write>(
+    mut w: W,
+    snapshots: &[MetricsSnapshot],
+) -> io::Result<()> {
+    for s in snapshots {
+        writeln!(w, "{}", metrics_line(s))?;
+    }
+    Ok(())
+}
+
+/// Reads a snapshot series back, in order. Blank lines are skipped.
+pub fn read_metrics_jsonl<R: BufRead>(r: R) -> Result<Vec<MetricsSnapshot>, MetricsError> {
+    let mut out = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let value: serde::Value = serde_json::from_str(trimmed)
+            .map_err(|e| MetricsError::Parse(idx + 1, e.to_string()))?;
+        out.push(
+            MetricsSnapshot::from_value(&value)
+                .map_err(|e| MetricsError::Parse(idx + 1, e.to_string()))?,
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<MetricsSnapshot> {
+        vec![
+            MetricsSnapshot {
+                at_ms: 0.0,
+                bound: 4,
+                in_use: 0,
+                waiting: 0,
+                commits: 0,
+                aborts: 0,
+                sheds: 0,
+                decisions: 0,
+                window_departures: 0,
+                window_aborts: 0,
+                window_shed: 0,
+                observed_mpl: 0.0,
+                mean_response_ms: 0.0,
+                p50_ms: 0.0,
+                p95_ms: 0.0,
+                p99_ms: 0.0,
+                queue_depth: 0,
+            },
+            MetricsSnapshot {
+                at_ms: 2000.125,
+                bound: 7,
+                in_use: 5,
+                waiting: 2,
+                commits: 341,
+                aborts: 12,
+                sheds: 3,
+                decisions: 1,
+                window_departures: 341,
+                window_aborts: 12,
+                window_shed: 3,
+                observed_mpl: 4.833333333333333,
+                mean_response_ms: 18.700000000000003,
+                p50_ms: 14.5,
+                p95_ms: 61.25,
+                p99_ms: 90.0,
+                queue_depth: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn metrics_jsonl_round_trips_bytes() {
+        let series = sample();
+        let mut buf = Vec::new();
+        write_metrics_jsonl(&mut buf, &series).expect("write");
+        let back = read_metrics_jsonl(io::BufReader::new(&buf[..])).expect("read");
+        assert_eq!(back, series);
+        let mut again = Vec::new();
+        write_metrics_jsonl(&mut again, &back).expect("rewrite");
+        assert_eq!(buf, again);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "\nnot json\n";
+        let err = read_metrics_jsonl(io::BufReader::new(text.as_bytes())).unwrap_err();
+        match err {
+            MetricsError::Parse(line, _) => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

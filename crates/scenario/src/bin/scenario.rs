@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! scenario run [--quick] [--out DIR] [--gate-log DIR] [--set path=value]... <spec.json>...
+//! scenario trace [--quick] [--out DIR] [--variant LABEL] [--rep N] [--set path=value]... <spec.json>...
+//! scenario report [--quick] [--out DIR] [--html FILE] [--set path=value]... <spec.json>
 //! scenario validate <spec.json>...
 //! scenario replay <spec.json> <log.jsonl>...
 //! scenario list [DIR]
@@ -11,12 +13,18 @@
 //! (plus `<name>[_<variant>]_trajectory.csv` when the spec records
 //! trajectories) into `--out` (default `results/`); `--gate-log DIR`
 //! additionally captures one replayable JSONL gate log per run.
-//! `validate` parses and compiles every spec (both full and quick
-//! scale) without running anything. `replay` feeds captured gate logs
-//! back through the `alc-runtime` control core and requires the
-//! re-derived decision sequence to match the recorded one
-//! byte-for-byte (exit 1 on divergence). `list` summarizes a directory
-//! of specs (default `scenarios/`).
+//! `trace` runs one `(variant, replication)` cell with the lifecycle
+//! trace sink installed, writes a Perfetto-loadable
+//! `<stem>_trace.json`, and exits 1 unless every span balanced and
+//! every span/instant tally reconciles with the run's own counters.
+//! `report` runs a plan with trajectories retained and renders a
+//! dependency-free static-HTML dashboard. `validate` parses and
+//! compiles every spec (both full and quick scale) without running
+//! anything. `replay` feeds captured gate logs back through the
+//! `alc-runtime` control core and requires the re-derived decision
+//! sequence to match the recorded one byte-for-byte (exit 1 on
+//! divergence). `list` summarizes a directory of specs (default
+//! `scenarios/`).
 
 use std::path::PathBuf;
 
@@ -24,10 +32,18 @@ use alc_scenario::{parse_set_arg, spec::StatColumn, LoadedSpec, SpecError};
 use serde::Value;
 
 fn usage() {
-    println!("usage: scenario <run | validate | list> ...");
+    println!("usage: scenario <run | trace | report | validate | replay | list> ...");
     println!();
     println!("  run [--quick] [--out DIR] [--gate-log DIR] [--set path=value]... <spec.json>...");
     println!("      execute specs; tables to stdout, CSVs to --out (default results/)");
+    println!("  trace [--quick] [--out DIR] [--variant LABEL] [--rep N] [--set path=value]...");
+    println!("        <spec.json>...");
+    println!("      run one cell per spec with span tracing on; write a Perfetto-");
+    println!("      loadable <stem>_trace.json into --out (default results/) and");
+    println!("      exit 1 unless the trace reconciles with the run's counters");
+    println!("  report [--quick] [--out DIR] [--html FILE] [--set path=value]... <spec.json>");
+    println!("      run a plan with trajectories retained and render a static-HTML");
+    println!("      dashboard (default --out/<name>_dashboard.html)");
     println!("  validate <spec.json>...");
     println!("      parse + compile each spec (full and quick scale); exit 1 on error");
     println!("  replay <spec.json> <log.jsonl>...");
@@ -151,6 +167,200 @@ fn cmd_run(args: &[String]) {
     }
 }
 
+fn cmd_trace(args: &[String]) {
+    let mut quick = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut variant: Option<String> = None;
+    let mut rep: usize = 0;
+    let mut sets: Vec<(String, Value)> = Vec::new();
+    let mut specs: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_dir = PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--variant" => {
+                variant = Some(
+                    it.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--variant needs a label");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
+            "--rep" => {
+                rep = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--rep needs a replication index");
+                        std::process::exit(2);
+                    });
+            }
+            "--set" => {
+                let kv = it.next().unwrap_or_else(|| {
+                    eprintln!("--set needs path=value");
+                    std::process::exit(2);
+                });
+                sets.push(parse_set_arg(kv).unwrap_or_else(|e| fail(&e)));
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => specs.push(PathBuf::from(other)),
+        }
+    }
+    if specs.is_empty() {
+        usage();
+        eprintln!("\nerror: no spec selected");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &specs {
+        let mut loaded = LoadedSpec::read(path).unwrap_or_else(|e| fail(&e));
+        loaded.apply_sets(&sets).unwrap_or_else(|e| fail(&e));
+        let plan = loaded.compile(quick).unwrap_or_else(|e| fail(&e));
+        let v = match &variant {
+            Some(label) => plan
+                .variants
+                .iter()
+                .find(|v| &v.label == label)
+                .unwrap_or_else(|| {
+                    eprintln!("{}: no variant labeled `{label}`", plan.name);
+                    std::process::exit(2);
+                }),
+            None => &plan.variants[0],
+        };
+        if rep >= v.seeds.len() {
+            eprintln!(
+                "{}: replication {rep} out of range ({} seed(s))",
+                plan.name,
+                v.seeds.len()
+            );
+            std::process::exit(2);
+        }
+        let out = alc_scenario::trace::trace_cell(&plan, v, rep, &out_dir)
+            .expect("run traced cell");
+        let file = out_dir.join(&out.file_name);
+        let parsed = alc_scenario::trace::validate_trace_file(&file);
+        println!(
+            "{} — {} event(s), {} span(s) opened / {} closed → {}",
+            plan.name,
+            out.events,
+            out.span_begins,
+            out.span_ends,
+            file.display()
+        );
+        for c in &out.checks {
+            println!(
+                "  {} {:<58} report {:>8}  trace {:>8}",
+                if c.ok() { "OK  " } else { "FAIL" },
+                c.what,
+                c.report,
+                c.trace
+            );
+        }
+        if let Some((pid, tid, name, begins, ends)) = out.unbalanced {
+            println!("  FAIL unbalanced span {name} on {pid}/{tid}: {begins} begin(s), {ends} end(s)");
+        }
+        match parsed {
+            Ok(n) if n == out.events => {
+                println!("  OK   file parses as trace JSON with all {n} event(s)");
+            }
+            Ok(n) => {
+                println!("  FAIL file parses but holds {n} of {} event(s)", out.events);
+                failed = true;
+            }
+            Err(e) => {
+                println!("  FAIL {e}");
+                failed = true;
+            }
+        }
+        if !out.ok() {
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_report(args: &[String]) {
+    let mut quick = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut html: Option<PathBuf> = None;
+    let mut sets: Vec<(String, Value)> = Vec::new();
+    let mut specs: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_dir = PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--html" => {
+                html = Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--html needs a file");
+                    std::process::exit(2);
+                })));
+            }
+            "--set" => {
+                let kv = it.next().unwrap_or_else(|| {
+                    eprintln!("--set needs path=value");
+                    std::process::exit(2);
+                });
+                sets.push(parse_set_arg(kv).unwrap_or_else(|e| fail(&e)));
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => specs.push(PathBuf::from(other)),
+        }
+    }
+    if specs.is_empty() {
+        usage();
+        eprintln!("\nerror: no spec selected");
+        std::process::exit(2);
+    }
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    for path in &specs {
+        let mut loaded = LoadedSpec::read(path).unwrap_or_else(|e| fail(&e));
+        loaded.apply_sets(&sets).unwrap_or_else(|e| fail(&e));
+        let mut plan = loaded.compile(quick).unwrap_or_else(|e| fail(&e));
+        // The dashboard needs every cell's trajectories, whether or not
+        // the spec asked for CSVs; the CSV writers stay gated on the
+        // spec's own `trajectories` flag, so run artifacts don't change.
+        for v in &mut plan.variants {
+            v.keep_trajectories = true;
+        }
+        let records = alc_scenario::runner::run_plan(&plan);
+        let report = alc_scenario::runner::build_report(&plan, &records);
+        let page = alc_scenario::html::render_dashboard(&plan, &records, &report);
+        let target = html
+            .clone()
+            .unwrap_or_else(|| out_dir.join(format!("{}_dashboard.html", plan.name)));
+        std::fs::write(&target, &page).expect("write dashboard");
+        println!(
+            "{} — {} cell(s) → {} ({} bytes)",
+            plan.name,
+            records.len(),
+            target.display(),
+            page.len()
+        );
+    }
+}
+
 fn cmd_replay(args: &[String]) {
     let (spec_path, logs) = match args.split_first() {
         Some((s, rest)) if !rest.is_empty() && !s.starts_with('-') => (PathBuf::from(s), rest),
@@ -271,6 +481,8 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("--help" | "-h" | "help") | None => usage(),
         Some("run") => cmd_run(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("list") => cmd_list(&args[1..]),

@@ -32,9 +32,11 @@
 
 pub mod compile;
 pub mod conformance;
+pub mod html;
 pub mod profile;
 pub mod runner;
 pub mod spec;
+pub mod trace;
 pub mod validate;
 pub mod value_util;
 

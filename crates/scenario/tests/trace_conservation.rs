@@ -1,0 +1,163 @@
+//! Span-conservation property tests for the lifecycle trace.
+//!
+//! Across random small systems — with and without client pools, with
+//! and without capacity faults, under different admission controllers —
+//! the trace emitted by a run must be *conservative*: every span that
+//! opens closes exactly once (the horizon closes stragglers), every
+//! admitted attempt ends in exactly one of commit / displaced / cancel,
+//! and the span/instant tallies reconcile with the run's own report
+//! counters ([`trace_cell`] checks the full identity list). The written
+//! Chrome-trace JSON must parse, hold every counted event, and be
+//! byte-identical across reruns — tracing must never perturb or be
+//! perturbed by anything nondeterministic.
+
+use alc_scenario::compile::RunPlan;
+use alc_scenario::spec::{ColumnSpec, ControllerSpec, ScenarioSpec, StatColumn, WorkloadSpec};
+use alc_scenario::trace::{trace_cell, trace_file_name, validate_trace_file};
+use alc_tpsim::config::CcKind;
+use alc_tpsim::{ClientConfig, LatencyFeedback, RetryPolicy};
+use proptest::prelude::*;
+use serde::{Serialize as _, Value};
+
+fn arb_clients() -> impl Strategy<Value = ClientConfig> {
+    (
+        2u32..16,
+        80.0..1_200.0f64,
+        0u32..5,
+        any::<bool>(),
+        prop_oneof![
+            (5.0..300.0f64).prop_map(|base_ms| RetryPolicy::Backoff {
+                base_ms,
+                factor: 2.0,
+                max_ms: 2_000.0,
+                jitter: 0.5,
+            }),
+            (10.0..600.0f64).prop_map(|delay_ms| RetryPolicy::Hedged { delay_ms }),
+        ],
+    )
+        .prop_map(|(population, timeout_ms, max_retries, shed_retries, retry)| ClientConfig {
+            population,
+            timeout: alc_des::dist::Dist::constant(timeout_ms),
+            max_retries,
+            retry,
+            shed_retries,
+            feedback: LatencyFeedback::default(),
+        })
+}
+
+fn arb_controller() -> impl Strategy<Value = ControllerSpec> {
+    prop_oneof![
+        Just(ControllerSpec::Unlimited),
+        (2u32..24).prop_map(|bound| ControllerSpec::Fixed { bound }),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        any::<u64>(),
+        (2u64..5, 60u64..300, 50.0..400.0f64),
+        prop_oneof![Just(None), arb_clients().prop_map(Some)],
+        arb_controller(),
+        any::<bool>(),
+        0.0..2_000.0f64,
+    )
+        .prop_map(
+            |(seed, (cpus, db_size, think_ms), clients, controller, fault, warmup_ms)| {
+                ScenarioSpec {
+                    name: "trace-conservation".to_string(),
+                    description: "generated trace-conservation spec".to_string(),
+                    seed,
+                    replications: 1,
+                    horizon_ms: 5_000.0,
+                    cc: CcKind::Certification,
+                    cc_phases: Vec::new(),
+                    cc_adaptive: None,
+                    faults: if fault {
+                        vec![alc_scenario::spec::FaultSpec {
+                            at_ms: 1_500.0,
+                            recovery: alc_scenario::spec::FaultRecovery::Fixed(2_000.0),
+                            cpus_down: 1,
+                        }]
+                    } else {
+                        Vec::new()
+                    },
+                    clients,
+                    system: vec![
+                        ("cpus".to_string(), Value::U64(cpus)),
+                        ("db_size".to_string(), Value::U64(db_size)),
+                        (
+                            "think".to_string(),
+                            Value::Map(vec![(
+                                "Exponential".to_string(),
+                                Value::Map(vec![("mean".to_string(), Value::Num(think_ms))]),
+                            )]),
+                        ),
+                    ],
+                    control: vec![
+                        ("sample_interval_ms".to_string(), Value::Num(500.0)),
+                        ("warmup_ms".to_string(), Value::Num(warmup_ms)),
+                    ],
+                    workload: WorkloadSpec {
+                        k: alc_scenario::profile::Profile::Constant(6.0),
+                        ..WorkloadSpec::default()
+                    },
+                    controller,
+                    record_optimum: false,
+                    trajectories: false,
+                    label_header: "variant".to_string(),
+                    columns: vec![ColumnSpec::Stat(StatColumn::ThroughputPerS)],
+                    variants: Vec::new(),
+                    sweep: None,
+                    inputs: Vec::new(),
+                    label_from: None,
+                    quick: Vec::new(),
+                }
+            },
+        )
+}
+
+fn compile(spec: &ScenarioSpec) -> RunPlan {
+    let tree = spec.to_value();
+    alc_scenario::compile::compile_value(&tree, std::path::Path::new("."), false)
+        .expect("generated spec compiles")
+}
+
+fn case_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("alc_trace_prop_{}_{tag}", std::process::id()))
+}
+
+proptest! {
+    // Each case runs two full traced simulations (for the byte-identity
+    // rerun); a modest case count still crosses clients × faults ×
+    // warmup × controller because each axis is an independent draw.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_trace_balances_reconciles_and_reruns_identically(spec in arb_spec()) {
+        let plan = compile(&spec);
+        let v = &plan.variants[0];
+        let (dir_a, dir_b) = (case_dir("a"), case_dir("b"));
+        let a = trace_cell(&plan, v, 0, &dir_a).expect("traced run");
+        prop_assert!(a.unbalanced.is_none(), "unbalanced span: {:?}", a.unbalanced);
+        prop_assert_eq!(a.span_begins, a.span_ends, "span begin/end totals differ");
+        for check in &a.checks {
+            prop_assert!(
+                check.ok(),
+                "identity `{}` broke: report {} vs trace {}",
+                check.what, check.report, check.trace
+            );
+        }
+        let file_a = dir_a.join(trace_file_name(&plan, v, 0));
+        let parsed = validate_trace_file(&file_a).expect("trace file parses");
+        prop_assert_eq!(parsed, a.events, "file event count vs counting sink");
+
+        let b = trace_cell(&plan, v, 0, &dir_b).expect("traced rerun");
+        let bytes_a = std::fs::read(&file_a).expect("read first trace");
+        let bytes_b =
+            std::fs::read(dir_b.join(trace_file_name(&plan, v, 0))).expect("read second trace");
+        prop_assert_eq!(a.events, b.events, "rerun event count");
+        prop_assert!(bytes_a == bytes_b, "rerun is not byte-identical");
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+}

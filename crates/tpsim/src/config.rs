@@ -131,6 +131,18 @@ impl CcKind {
         CcKind::WaitDie,
         CcKind::Multiversion,
     ];
+
+    /// Short static name, as used in trace events and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            CcKind::Certification => "certification",
+            CcKind::TwoPhaseLocking => "2pl",
+            CcKind::TimestampOrdering => "timestamp",
+            CcKind::WoundWait => "wound-wait",
+            CcKind::WaitDie => "wait-die",
+            CcKind::Multiversion => "multiversion",
+        }
+    }
 }
 
 /// How displacement (§4.3) picks which running transaction to abort when

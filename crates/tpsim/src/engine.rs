@@ -25,6 +25,7 @@ use alc_des::rng::{RngStream, SeedFactory};
 use alc_des::series::TimeSeries;
 use alc_des::stats::{TimeWeighted, Welford};
 use alc_des::{Calendar, SimTime};
+use alc_trace::{cat as tcat, name as tname, Args as TraceArgs, TraceEvent, TraceSink};
 
 use crate::cc::{make_cc, AccessOutcome, ConcurrencyControl};
 use crate::client::{ClientConfig, ClientPhase, ClientPool, ClientStats, RetryPolicy};
@@ -280,6 +281,11 @@ pub struct Simulator {
     /// controller decision, so runs become replayable through
     /// `alc-runtime` (see `alc_core::gatelog`). `None` costs nothing.
     gate_log: Option<Box<dyn GateLogSink>>,
+    /// Optional span/event trace sink (see `alc_trace`): per-transaction
+    /// lifecycle spans, service bursts, control decisions, CC switches,
+    /// faults and client events, stamped with simulated time. `None`
+    /// costs nothing and keeps runs byte-identical to untraced ones.
+    trace: Option<Box<dyn TraceSink>>,
     /// Closed-loop client pool (`None` = the paper's patient terminals).
     /// Installed once by [`Simulator::set_clients`] before the run.
     clients: Option<ClientPool>,
@@ -357,6 +363,7 @@ impl Simulator {
             record_optimum: true,
             zipf_cache: None,
             gate_log: None,
+            trace: None,
             clients: None,
             last_attempts: 0,
             last_retries: 0,
@@ -406,6 +413,203 @@ impl Simulator {
     /// the run, to extract the recorded events).
     pub fn take_gate_log(&mut self) -> Option<Box<dyn GateLogSink>> {
         self.gate_log.take()
+    }
+
+    /// Installs a span/event trace sink. From then on the engine emits
+    /// the `alc_trace` event vocabulary: per-transaction lifecycle spans
+    /// (gate wait, admitted attempt, execution runs, lock blocks,
+    /// restart waits), CPU/disk service bursts, gate decisions and
+    /// MPL/bound counters, CC switch decide/complete markers, faults,
+    /// and client timeout/shed/abandon/hedge events with retry chains
+    /// linked by flow ids. Everything is stamped with simulated time
+    /// and ids come from deterministic counters, so traces are
+    /// byte-identical across reruns. Call after [`Simulator::set_clients`]
+    /// (client lane metadata is emitted at install time) and before the
+    /// run. Tracing draws no randomness and never perturbs the run.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+        self.trace_metadata();
+    }
+
+    /// Removes and returns the trace sink, first closing every span
+    /// still open at the current time with outcome `"open"` — a taken
+    /// trace always has balanced begin/end counts per lane.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace_close_open_spans();
+        self.trace.take()
+    }
+
+    /// Emits process/thread naming metadata for every lane the run can
+    /// touch: the node's control plane and transaction slots, plus the
+    /// client population when one is installed.
+    fn trace_metadata(&mut self) {
+        let n_slots = self.txns.len();
+        let population = self.client_population();
+        let Some(t) = self.trace.as_mut() else { return };
+        t.emit(&TraceEvent::process_name(alc_trace::PID_NODE, "node", Some(0)));
+        t.emit(&TraceEvent::thread_name(
+            alc_trace::PID_NODE,
+            alc_trace::TID_CONTROL,
+            "control",
+            None,
+        ));
+        for i in 0..n_slots {
+            t.emit(&TraceEvent::thread_name(
+                alc_trace::PID_NODE,
+                1 + i as u32,
+                "txn-slot-",
+                Some(i as u32),
+            ));
+        }
+        if population > 0 {
+            t.emit(&TraceEvent::process_name(alc_trace::PID_CLIENTS, "clients", None));
+            for c in 0..population {
+                t.emit(&TraceEvent::thread_name(
+                    alc_trace::PID_CLIENTS,
+                    c as u32,
+                    "client-",
+                    Some(c as u32),
+                ));
+            }
+        }
+    }
+
+    /// Closes the spans of every slot not at its terminal (Thinking)
+    /// state, so a trace taken mid-flight still balances.
+    fn trace_close_open_spans(&mut self) {
+        if self.trace.is_none() {
+            return;
+        }
+        for i in 0..self.txns.len() {
+            match self.txns[i].state {
+                TxnState::Thinking => {}
+                TxnState::Queued => self.tr_end(tname::WAIT, i, "open"),
+                TxnState::Running { .. } => {
+                    self.tr_end(tname::RUN, i, "open");
+                    self.tr_end(tname::ATTEMPT, i, "open");
+                }
+                TxnState::Blocked { .. } => {
+                    self.tr_end(tname::BLOCKED, i, "open");
+                    self.tr_end(tname::RUN, i, "open");
+                    self.tr_end(tname::ATTEMPT, i, "open");
+                }
+                TxnState::RestartWait => {
+                    self.tr_end(tname::RESTART_WAIT, i, "open");
+                    self.tr_end(tname::ATTEMPT, i, "open");
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Trace emission helpers. All are no-ops without an installed sink;
+    // none draws randomness or mutates simulation state, so tracing can
+    // never perturb a run (the golden CSVs pin that).
+    // ------------------------------------------------------------------
+
+    /// Opens span `name` on transaction slot `i`'s lane.
+    #[inline]
+    fn tr_begin(&mut self, name: &'static str, i: usize) {
+        let ts = self.cal.now().millis();
+        if let Some(t) = self.trace.as_mut() {
+            t.emit(&TraceEvent::begin(
+                name,
+                tcat::TXN,
+                ts,
+                alc_trace::PID_NODE,
+                1 + i as u32,
+            ));
+        }
+    }
+
+    /// Closes span `name` on slot `i`'s lane with `outcome`.
+    #[inline]
+    fn tr_end(&mut self, name: &'static str, i: usize, outcome: &'static str) {
+        let ts = self.cal.now().millis();
+        if let Some(t) = self.trace.as_mut() {
+            t.emit(
+                &TraceEvent::end(name, tcat::TXN, ts, alc_trace::PID_NODE, 1 + i as u32)
+                    .with(TraceArgs::Outcome(outcome)),
+            );
+        }
+    }
+
+    /// Emits a service burst starting now on slot `i`'s lane.
+    #[inline]
+    fn tr_burst(&mut self, name: &'static str, i: usize, dur_ms: f64) {
+        let ts = self.cal.now().millis();
+        if let Some(t) = self.trace.as_mut() {
+            t.emit(&TraceEvent::complete(
+                name,
+                tcat::SVC,
+                ts,
+                dur_ms,
+                alc_trace::PID_NODE,
+                1 + i as u32,
+            ));
+        }
+    }
+
+    /// Emits a control-plane instant marker.
+    #[inline]
+    fn tr_instant(&mut self, name: &'static str, cat: &'static str, args: TraceArgs) {
+        let ts = self.cal.now().millis();
+        if let Some(t) = self.trace.as_mut() {
+            t.emit(
+                &TraceEvent::instant(name, cat, ts, alc_trace::PID_NODE, alc_trace::TID_CONTROL)
+                    .with(args),
+            );
+        }
+    }
+
+    /// Emits an instant on client `c`'s lane.
+    #[inline]
+    fn tr_client_instant(&mut self, name: &'static str, c: usize) {
+        let ts = self.cal.now().millis();
+        if let Some(t) = self.trace.as_mut() {
+            t.emit(&TraceEvent::instant(
+                name,
+                tcat::CLIENT,
+                ts,
+                alc_trace::PID_CLIENTS,
+                c as u32,
+            ));
+        }
+    }
+
+    /// Emits a control-plane counter sample.
+    #[inline]
+    fn tr_counter(&mut self, name: &'static str, value: f64) {
+        let ts = self.cal.now().millis();
+        if let Some(t) = self.trace.as_mut() {
+            t.emit(&TraceEvent::counter(name, ts, alc_trace::PID_NODE, value));
+        }
+    }
+
+    /// Links a retry chain: the flow id is derived from the client index
+    /// and its tombstone generation, both deterministic counters, so the
+    /// start (when the retry is scheduled) and the finish (when it
+    /// issues) pair up without any stored state.
+    #[inline]
+    fn tr_retry_flow(&mut self, start: bool, c: usize, generation: u64) {
+        let ts = self.cal.now().millis();
+        if let Some(t) = self.trace.as_mut() {
+            let id = ((c as u64) << 32) | (generation & 0xffff_ffff);
+            let ev = if start {
+                TraceEvent::flow_start(tname::RETRY, tcat::CLIENT, id, ts, alc_trace::PID_CLIENTS, c as u32)
+            } else {
+                TraceEvent::flow_end(tname::RETRY, tcat::CLIENT, id, ts, alc_trace::PID_CLIENTS, c as u32)
+            };
+            t.emit(&ev);
+        }
+    }
+
+    /// A queued slot was admitted: close its wait span and open the
+    /// attempt span. Shared by every gate-departure admission loop.
+    #[inline]
+    fn tr_admitted_from_queue(&mut self, a: usize) {
+        self.tr_end(tname::WAIT, a, "admit");
+        self.tr_begin(tname::ATTEMPT, a);
     }
 
     /// Installs a closed-loop client pool: impatient clients replace the
@@ -732,6 +936,14 @@ impl Simulator {
     /// Starts a protocol switch (scheduled or policy-driven): immediate
     /// swap when nothing is inside the CC layer, drain otherwise.
     fn begin_cc_switch(&mut self, target: CcKind) {
+        self.tr_instant(
+            tname::CC_DECIDE,
+            tcat::CC,
+            TraceArgs::Switch {
+                from: self.cc_kind.name(),
+                to: target.name(),
+            },
+        );
         self.drain_decided_ms = self.now().millis();
         if self.cc_active == 0 && self.drain_target.is_none() {
             self.complete_cc_switch(target);
@@ -752,6 +964,14 @@ impl Simulator {
             from: self.cc_kind,
             to: target,
         });
+        self.tr_instant(
+            tname::CC_COMPLETE,
+            tcat::CC,
+            TraceArgs::Switch {
+                from: self.cc_kind.name(),
+                to: target.name(),
+            },
+        );
         // Re-anchor the policy's dwell/cooldown guards at the *swap*: a
         // drain can outlast a cooldown measured from the decision, and
         // the samples right after the swap measure the drain dip, not
@@ -780,6 +1000,7 @@ impl Simulator {
         self.gate.release_hold_into(&mut admitted);
         for &a in &admitted {
             self.txns[a].state = TxnState::Thinking; // transient
+            self.tr_admitted_from_queue(a);
             self.note_mpl();
             self.start_instance(a);
         }
@@ -800,6 +1021,7 @@ impl Simulator {
     /// schedule completions for any queued jobs a restore dispatched.
     fn on_fault(&mut self, idx: usize) {
         let delta = self.fault_deltas[idx].1;
+        self.tr_instant(tname::FAULT, tcat::FAULT, TraceArgs::Delta(delta));
         let target = (i64::from(self.cpu.servers()) + i64::from(delta)).max(0) as u32;
         let now = self.now();
         let mut started = std::mem::take(&mut self.fault_scratch);
@@ -811,6 +1033,7 @@ impl Simulator {
             &mut started,
         );
         for job in started.drain(..) {
+            self.tr_burst(tname::CPU, job.txn, job.burst_ms);
             self.cal.schedule_in(
                 job.burst_ms,
                 Event::CpuDone {
@@ -856,10 +1079,12 @@ impl Simulator {
         debug_assert_eq!(self.txns[i].state, TxnState::Thinking);
         self.txns[i].submitted_at = now;
         if self.gate.arrive(i) {
+            self.tr_begin(tname::ATTEMPT, i);
             self.note_mpl();
             self.start_instance(i);
         } else {
             self.txns[i].state = TxnState::Queued;
+            self.tr_begin(tname::WAIT, i);
         }
     }
 
@@ -941,6 +1166,7 @@ impl Simulator {
         }
         self.cc.begin(i, ts);
         self.cc_active += 1;
+        self.tr_begin(tname::RUN, i);
         self.request_cpu(i);
     }
 
@@ -953,6 +1179,7 @@ impl Simulator {
             burst_ms: burst,
         };
         if let Some(job) = self.cpu.offer(now, job) {
+            self.tr_burst(tname::CPU, job.txn, job.burst_ms);
             self.cal.schedule_in(
                 job.burst_ms,
                 Event::CpuDone {
@@ -972,6 +1199,7 @@ impl Simulator {
             .cpu
             .complete(now, |j| j.generation != txns[j.txn].generation)
         {
+            self.tr_burst(tname::CPU, job.txn, job.burst_ms);
             self.cal.schedule_in(
                 job.burst_ms,
                 Event::CpuDone {
@@ -996,6 +1224,7 @@ impl Simulator {
             } else {
                 self.sys.disk_init_commit.sample(&mut self.rng.disk)
             };
+            self.tr_burst(tname::DISK, i, d);
             self.cal.schedule_in(d, Event::DiskDone { txn: i, generation });
         } else {
             debug_assert!(false, "CpuDone for a non-running transaction");
@@ -1032,6 +1261,7 @@ impl Simulator {
                 AccessOutcome::Granted => self.request_cpu(i),
                 AccessOutcome::Blocked => {
                     self.txns[i].state = TxnState::Blocked { phase };
+                    self.tr_begin(tname::BLOCKED, i);
                     // Drain the protocol's victims: a detector breaks one
                     // cycle per call, wound-wait preempts younger blockers
                     // one at a time, wait-die kills the requester itself.
@@ -1079,6 +1309,8 @@ impl Simulator {
             }
             self.response.push(response);
             self.commits += 1;
+            self.tr_end(tname::RUN, i, "commit");
+            self.tr_end(tname::ATTEMPT, i, "commit");
             // Departure: back to the terminal (closed) or out of the
             // system, returning the slot (open). In client mode the
             // client settles the request instead (and may cancel a
@@ -1104,6 +1336,7 @@ impl Simulator {
             self.note_mpl();
             for &a in &admitted {
                 self.txns[a].state = TxnState::Thinking; // transient
+                self.tr_admitted_from_queue(a);
                 self.note_mpl();
                 self.start_instance(a);
             }
@@ -1130,6 +1363,7 @@ impl Simulator {
             debug_assert!(false, "unblock of a non-blocked transaction");
             return;
         };
+        self.tr_end(tname::BLOCKED, u, "resume");
         self.txns[u].state = TxnState::Running {
             phase,
             stage: Stage::Cpu,
@@ -1139,6 +1373,7 @@ impl Simulator {
 
     fn abort_run(&mut self, i: usize, mode: RestartMode) {
         let now = self.now();
+        let prior = self.txns[i].state;
         // Displacement may hit a transaction already out of the CC layer
         // (a `RestartWait` between abort and restart) — only runs that
         // actually sit between `cc.begin` and commit/abort leave it here.
@@ -1153,11 +1388,25 @@ impl Simulator {
             self.cc_active -= 1;
         }
         self.aborts += 1;
+        let outcome = match mode {
+            RestartMode::Delayed => "abort",
+            RestartMode::Displaced => "displaced",
+        };
+        if matches!(prior, TxnState::Blocked { .. }) {
+            self.tr_end(tname::BLOCKED, i, outcome);
+        }
+        if was_in_cc {
+            self.tr_end(tname::RUN, i, outcome);
+        }
+        if prior == TxnState::RestartWait {
+            self.tr_end(tname::RESTART_WAIT, i, outcome);
+        }
         self.txns[i].generation += 1; // kill in-flight events
         self.txns[i].restarts += 1;
         match mode {
             RestartMode::Delayed => {
                 self.txns[i].state = TxnState::RestartWait;
+                self.tr_begin(tname::RESTART_WAIT, i);
                 let d = self.sys.restart_delay.sample(&mut self.rng.restart);
                 let generation = self.txns[i].generation;
                 self.cal
@@ -1165,9 +1414,11 @@ impl Simulator {
             }
             RestartMode::Displaced => {
                 self.displaced += 1;
+                self.tr_end(tname::ATTEMPT, i, "displaced");
                 self.txns[i].state = TxnState::Queued;
                 self.gate.displace(i);
                 self.note_mpl();
+                self.tr_begin(tname::WAIT, i);
                 let _ = now;
             }
         }
@@ -1195,6 +1446,7 @@ impl Simulator {
     /// the expiry): fresh access set when `resample_on_restart`, identical
     /// retry otherwise.
     fn restart_now(&mut self, i: usize) {
+        self.tr_end(tname::RESTART_WAIT, i, "restart");
         if self.sys.resample_on_restart {
             // Fresh access set from the *current* workload (re-planned run).
             let keep_restarts = self.txns[i].restarts;
@@ -1243,6 +1495,11 @@ impl Simulator {
             };
             (retry, pool.cfg.shed_retries, pool.cfg.timeout, hedge_delay)
         };
+        if retry {
+            // Close the retry-chain flow opened when the retry was
+            // scheduled; a shed retry still completes its flow link.
+            self.tr_retry_flow(false, c, generation);
+        }
         // Retry shedding: a retry that meets a saturated (or held) gate
         // is bounced instead of queued — first attempts always queue. A
         // shed retry consumed no service, so it is invisible to the
@@ -1254,6 +1511,7 @@ impl Simulator {
             if let Some(pool) = self.clients.as_mut() {
                 pool.stats.shed += 1;
             }
+            self.tr_client_instant(tname::CLIENT_SHED, c);
             self.retry_or_abandon(c);
             return;
         }
@@ -1293,6 +1551,7 @@ impl Simulator {
             pool.stats.timeouts += 1;
             pool.clients[c].hedged
         };
+        self.tr_client_instant(tname::CLIENT_TIMEOUT, c);
         let population = self.client_population();
         let mut consumed = self.cancel_attempt(c);
         if hedged {
@@ -1337,6 +1596,7 @@ impl Simulator {
             }
         };
         if launch {
+            self.tr_client_instant(tname::CLIENT_HEDGE, c);
             let population = self.client_population();
             self.submit_attempt(population + c);
         }
@@ -1395,6 +1655,10 @@ impl Simulator {
                         generation,
                     },
                 );
+                // Open the retry-chain flow; the matching finish fires
+                // when the scheduled retry issues (same client and
+                // generation, so the id pairs without stored state).
+                self.tr_retry_flow(true, c, generation);
             }
             None => {
                 pool.stats.abandoned += 1;
@@ -1413,6 +1677,7 @@ impl Simulator {
                         generation,
                     },
                 );
+                self.tr_client_instant(tname::CLIENT_ABANDON, c);
             }
         }
     }
@@ -1491,9 +1756,14 @@ impl Simulator {
                 debug_assert!(removed, "queued attempt missing from the gate queue");
                 self.txns[i].generation += 1;
                 self.txns[i].state = TxnState::Thinking;
+                self.tr_end(tname::WAIT, i, "cancel");
                 return false; // never admitted: no MPL slot to free
             }
             TxnState::Running { .. } | TxnState::Blocked { .. } => {
+                if matches!(self.txns[i].state, TxnState::Blocked { .. }) {
+                    self.tr_end(tname::BLOCKED, i, "cancel");
+                }
+                self.tr_end(tname::RUN, i, "cancel");
                 let mut unblocked = self.take_scratch();
                 self.cc.abort_into(i, &mut unblocked);
                 debug_assert!(self.cc_active > 0, "cancel without an in-CC txn");
@@ -1506,15 +1776,18 @@ impl Simulator {
             TxnState::RestartWait => {
                 // Between abort and restart: already out of the CC layer
                 // but still holding its MPL slot.
+                self.tr_end(tname::RESTART_WAIT, i, "cancel");
             }
         }
         self.txns[i].generation += 1; // kill in-flight burst/restart events
         self.txns[i].state = TxnState::Thinking;
+        self.tr_end(tname::ATTEMPT, i, "cancel");
         let mut admitted = self.take_scratch();
         self.gate.depart_into(&mut admitted);
         self.note_mpl();
         for &a in &admitted {
             self.txns[a].state = TxnState::Thinking; // transient
+            self.tr_admitted_from_queue(a);
             self.note_mpl();
             self.start_instance(a);
         }
@@ -1534,10 +1807,13 @@ impl Simulator {
                 });
             }
             self.bound_avg.set(now, f64::from(bound).min(1e9));
+            self.tr_instant(tname::GATE_DECISION, tcat::GATE, TraceArgs::Bound(bound));
+            self.tr_counter(tname::BOUND, f64::from(bound));
             let mut admitted = self.take_scratch();
             self.gate.set_bound_into(bound, &mut admitted);
             self.note_mpl();
             for &a in &admitted {
+                self.tr_admitted_from_queue(a);
                 self.start_instance(a);
             }
             self.put_scratch(admitted);
@@ -1662,6 +1938,7 @@ impl Simulator {
                 in_system: n,
             });
         }
+        self.tr_counter(tname::MPL, f64::from(n));
     }
 }
 

@@ -1,0 +1,252 @@
+//! Streaming Chrome/Perfetto trace-JSON writer.
+//!
+//! Emits the object form (`{"displayTimeUnit":"ms","traceEvents":[…]}`)
+//! that Perfetto and `chrome://tracing` load directly. Events are
+//! rendered one per line into a single reused `String` buffer, so the
+//! steady-state emit path performs no allocation (the buffer reaches
+//! its high-water mark within the first few events). Timestamps are
+//! converted to the microseconds the format requires; all numbers use
+//! Rust's shortest round-trip `Display`, which keeps byte output
+//! deterministic across runs and platforms.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use crate::{Args, Phase, TraceEvent, TraceSink};
+
+/// A [`TraceSink`] that streams Chrome trace-JSON to any [`Write`].
+///
+/// IO errors are sticky: the first failure is stored and later emits
+/// become no-ops, mirroring the runtime's JSONL gate-log sink, so the
+/// hot path never has to thread `Result`s. [`ChromeWriter::finish`]
+/// surfaces the stored error.
+pub struct ChromeWriter<W: Write> {
+    w: W,
+    line: String,
+    first: bool,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> ChromeWriter<W> {
+    /// Wraps `w` and writes the trace prologue.
+    pub fn new(mut w: W) -> io::Result<Self> {
+        w.write_all(b"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")?;
+        Ok(ChromeWriter {
+            w,
+            line: String::with_capacity(256),
+            first: true,
+            error: None,
+        })
+    }
+
+    /// Writes the trace epilogue, flushes, and returns the writer (or
+    /// the first error encountered while streaming).
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.w.write_all(b"\n]}\n")?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
+
+    fn render(line: &mut String, ev: &TraceEvent) {
+        line.clear();
+        line.push_str("{\"ph\":\"");
+        line.push(ev.ph.code());
+        line.push_str("\",\"name\":\"");
+        push_json_str(line, ev.name);
+        line.push_str("\",\"cat\":\"");
+        push_json_str(line, ev.cat);
+        line.push('"');
+        if matches!(ev.ph, Phase::FlowStart | Phase::FlowEnd) {
+            // `write!` into a String is infallible.
+            let _ = write!(line, ",\"id\":{}", ev.id);
+        }
+        let _ = write!(line, ",\"ts\":{}", ev.ts_ms * 1000.0);
+        if ev.ph == Phase::Complete {
+            let _ = write!(line, ",\"dur\":{}", ev.dur_ms * 1000.0);
+        }
+        let _ = write!(line, ",\"pid\":{},\"tid\":{}", ev.pid, ev.tid);
+        if ev.ph == Phase::Mark {
+            line.push_str(",\"s\":\"t\"");
+        }
+        if ev.ph == Phase::FlowEnd {
+            // Bind the flow finish to the enclosing slice's start.
+            line.push_str(",\"bp\":\"e\"");
+        }
+        match ev.args {
+            Args::None => {}
+            Args::Bound(b) => {
+                let _ = write!(line, ",\"args\":{{\"bound\":{b}}}");
+            }
+            Args::Value(v) => {
+                let _ = write!(line, ",\"args\":{{\"value\":{v}}}");
+            }
+            Args::Outcome(o) => {
+                line.push_str(",\"args\":{\"outcome\":\"");
+                push_json_str(line, o);
+                line.push_str("\"}");
+            }
+            Args::Switch { from, to } => {
+                line.push_str(",\"args\":{\"from\":\"");
+                push_json_str(line, from);
+                line.push_str("\",\"to\":\"");
+                push_json_str(line, to);
+                line.push_str("\"}");
+            }
+            Args::Delta(d) => {
+                let _ = write!(line, ",\"args\":{{\"delta\":{d}}}");
+            }
+            Args::Name { prefix, index } => {
+                line.push_str(",\"args\":{\"name\":\"");
+                push_json_str(line, prefix);
+                if let Some(i) = index {
+                    let _ = write!(line, "{i}");
+                }
+                line.push_str("\"}");
+            }
+        }
+        line.push('}');
+    }
+}
+
+impl<W: Write + Send> TraceSink for ChromeWriter<W> {
+    fn emit(&mut self, ev: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        Self::render(&mut self.line, ev);
+        let sep: &[u8] = if self.first { b"" } else { b",\n" };
+        self.first = false;
+        if let Err(e) = self
+            .w
+            .write_all(sep)
+            .and_then(|()| self.w.write_all(self.line.as_bytes()))
+        {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Appends `s` to `line` with JSON string escaping.
+fn push_json_str(line: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => line.push_str("\\\""),
+            '\\' => line.push_str("\\\\"),
+            '\n' => line.push_str("\\n"),
+            '\r' => line.push_str("\\r"),
+            '\t' => line.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(line, "\\u{:04x}", c as u32);
+            }
+            c => line.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cat, name, PID_NODE};
+
+    fn written(events: &[TraceEvent]) -> String {
+        let mut w = ChromeWriter::new(Vec::new()).expect("prologue");
+        for ev in events {
+            w.emit(ev);
+        }
+        String::from_utf8(w.finish().expect("finish")).expect("utf8")
+    }
+
+    #[test]
+    fn renders_the_object_form_with_microsecond_timestamps() {
+        let out = written(&[
+            TraceEvent::begin(name::ATTEMPT, cat::TXN, 1.5, PID_NODE, 3),
+            TraceEvent::end(name::ATTEMPT, cat::TXN, 2.0, PID_NODE, 3)
+                .with(Args::Outcome("commit")),
+        ]);
+        assert!(out.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"));
+        assert!(out.ends_with("\n]}\n"));
+        assert!(out.contains(
+            "{\"ph\":\"B\",\"name\":\"attempt\",\"cat\":\"txn\",\"ts\":1500,\"pid\":1,\"tid\":3}"
+        ));
+        assert!(out.contains("\"args\":{\"outcome\":\"commit\"}"));
+    }
+
+    #[test]
+    fn complete_counter_instant_flow_and_meta_forms() {
+        let out = written(&[
+            TraceEvent::complete(name::CPU, cat::SVC, 10.0, 2.5, PID_NODE, 4),
+            TraceEvent::counter(name::BOUND, 100.0, PID_NODE, 7.0),
+            TraceEvent::instant(name::FAULT, cat::FAULT, 50.0, PID_NODE, 0)
+                .with(Args::Delta(-2)),
+            TraceEvent::flow_start(name::RETRY, cat::CLIENT, 9, 60.0, 2, 1),
+            TraceEvent::flow_end(name::RETRY, cat::CLIENT, 9, 70.0, 2, 1),
+            TraceEvent::thread_name(PID_NODE, 4, "txn-slot-", Some(3)),
+        ]);
+        assert!(out.contains("\"ph\":\"X\",\"name\":\"cpu\",\"cat\":\"svc\",\"ts\":10000,\"dur\":2500"));
+        assert!(out.contains("\"ph\":\"C\",\"name\":\"bound\""));
+        assert!(out.contains("\"args\":{\"value\":7}"));
+        assert!(out.contains("\"s\":\"t\",\"args\":{\"delta\":-2}"));
+        assert!(out.contains("\"ph\":\"s\",\"name\":\"retry\",\"cat\":\"client\",\"id\":9"));
+        assert!(out.contains("\"ph\":\"f\",\"name\":\"retry\",\"cat\":\"client\",\"id\":9"));
+        assert!(out.contains("\"bp\":\"e\""));
+        assert!(out.contains("\"args\":{\"name\":\"txn-slot-3\"}"));
+    }
+
+    #[test]
+    fn escapes_json_metacharacters() {
+        let mut line = String::new();
+        push_json_str(&mut line, "a\"b\\c\nd\u{1}");
+        assert_eq!(line, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn emit_reuses_one_line_buffer() {
+        let mut w = ChromeWriter::new(Vec::new()).expect("prologue");
+        w.emit(&TraceEvent::begin(name::RUN, cat::TXN, 1.0, PID_NODE, 1));
+        let cap = w.line.capacity();
+        for i in 0..10_000 {
+            w.emit(&TraceEvent::begin(name::RUN, cat::TXN, f64::from(i), PID_NODE, 1));
+            w.emit(&TraceEvent::end(name::RUN, cat::TXN, f64::from(i), PID_NODE, 1)
+                .with(Args::Outcome("abort")));
+        }
+        assert_eq!(w.line.capacity(), cap, "line buffer must not regrow");
+        w.finish().expect("finish");
+    }
+
+    #[test]
+    fn io_errors_are_sticky_and_surface_in_finish() {
+        struct Failing;
+        impl std::io::Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        struct FailAfterProlog {
+            calls: usize,
+        }
+        impl std::io::Write for FailAfterProlog {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.calls += 1;
+                if self.calls > 1 {
+                    Err(io::Error::other("disk full"))
+                } else {
+                    Ok(buf.len())
+                }
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        assert!(ChromeWriter::new(Failing).is_err());
+        let mut w = ChromeWriter::new(FailAfterProlog { calls: 0 }).expect("prologue");
+        w.emit(&TraceEvent::instant(name::FAULT, cat::FAULT, 1.0, PID_NODE, 0));
+        w.emit(&TraceEvent::instant(name::FAULT, cat::FAULT, 2.0, PID_NODE, 0));
+        assert!(w.finish().is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Counting null sink: tallies events instead of writing them.
+//!
+//! Used three ways: as the cheap "tracing enabled but discarded"
+//! backend, as the reconciliation half of a [`Tee`](crate::Tee) next to
+//! a [`ChromeWriter`](crate::ChromeWriter) (the `scenario trace`
+//! command checks span/instant counts against the run's report
+//! counters), and as the balance checker behind the span-conservation
+//! tests. Steady-state emission only increments existing tallies; the
+//! maps grow once per distinct key (the vocabulary × lanes is small and
+//! bounded), so after warm-up the emit path is allocation-free.
+
+use std::collections::BTreeMap;
+
+use crate::{Args, Phase, TraceEvent, TraceSink};
+
+/// An event tally: every occurrence, and those at or past the floor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// All events seen.
+    pub total: u64,
+    /// Events strictly past the configured floor (the whole run when no
+    /// floor is set). The comparison is strict because the engine
+    /// processes events at exactly the warmup instant *before* the
+    /// window reset; report counters are post-warmup, so the strict
+    /// floor is what makes trace-vs-report reconciliation exact.
+    pub after_floor: u64,
+}
+
+/// A [`TraceSink`] that counts events by phase, name and outcome, and
+/// tracks span begin/end balance per `(pid, tid, name)` lane.
+#[derive(Debug)]
+pub struct CountingSink {
+    floor_ms: f64,
+    counts: BTreeMap<(Phase, &'static str, &'static str), Tally>,
+    spans: BTreeMap<(u32, u32, &'static str), (u64, u64)>,
+    total: u64,
+}
+
+impl Default for CountingSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CountingSink {
+    /// A sink counting everything (`after_floor == total`).
+    pub fn new() -> Self {
+        CountingSink {
+            floor_ms: f64::NEG_INFINITY,
+            counts: BTreeMap::new(),
+            spans: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    /// A sink whose `after_floor` tallies only count events with
+    /// `ts_ms > floor_ms` — set this to the warmup horizon to compare
+    /// against post-warmup report counters (events at exactly the
+    /// warmup instant run before the window reset, so they belong to
+    /// the warmup side).
+    pub fn with_floor(floor_ms: f64) -> Self {
+        CountingSink {
+            floor_ms,
+            ..Self::new()
+        }
+    }
+
+    /// Total events seen, all kinds.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The tally for `(ph, name)`, summed over outcomes.
+    pub fn count(&self, ph: Phase, name: &'static str) -> Tally {
+        let mut out = Tally::default();
+        for ((p, n, _), t) in &self.counts {
+            if *p == ph && *n == name {
+                out.total += t.total;
+                out.after_floor += t.after_floor;
+            }
+        }
+        out
+    }
+
+    /// The tally for span-end events of `name` carrying `outcome`.
+    pub fn outcome(&self, name: &'static str, outcome: &'static str) -> Tally {
+        self.counts
+            .get(&(Phase::End, name, outcome))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// The first `(pid, tid, name)` lane whose begin and end counts
+    /// disagree, with those counts — `None` means every span that was
+    /// opened was also closed.
+    pub fn first_unbalanced(&self) -> Option<(u32, u32, &'static str, u64, u64)> {
+        self.spans
+            .iter()
+            .find(|(_, (b, e))| b != e)
+            .map(|((pid, tid, name), (b, e))| (*pid, *tid, *name, *b, *e))
+    }
+
+    /// Total span-begin events across all lanes.
+    pub fn span_begins(&self) -> u64 {
+        self.spans.values().map(|(b, _)| b).sum()
+    }
+
+    /// Total span-end events across all lanes.
+    pub fn span_ends(&self) -> u64 {
+        self.spans.values().map(|(_, e)| e).sum()
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn emit(&mut self, ev: &TraceEvent) {
+        self.total += 1;
+        let outcome = match ev.args {
+            Args::Outcome(o) => o,
+            _ => "",
+        };
+        let tally = self.counts.entry((ev.ph, ev.name, outcome)).or_default();
+        tally.total += 1;
+        if ev.ts_ms > self.floor_ms {
+            tally.after_floor += 1;
+        }
+        match ev.ph {
+            Phase::Begin => {
+                self.spans.entry((ev.pid, ev.tid, ev.name)).or_default().0 += 1;
+            }
+            Phase::End => {
+                self.spans.entry((ev.pid, ev.tid, ev.name)).or_default().1 += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cat, name, PID_NODE};
+
+    #[test]
+    fn floor_splits_tallies() {
+        let mut s = CountingSink::with_floor(100.0);
+        s.emit(&TraceEvent::instant(name::CLIENT_SHED, cat::CLIENT, 50.0, 2, 1));
+        s.emit(&TraceEvent::instant(name::CLIENT_SHED, cat::CLIENT, 100.0, 2, 1));
+        s.emit(&TraceEvent::instant(name::CLIENT_SHED, cat::CLIENT, 150.0, 2, 1));
+        let t = s.count(Phase::Mark, name::CLIENT_SHED);
+        // Strictly past the floor: the event at exactly 100 ms is warmup.
+        assert_eq!((t.total, t.after_floor), (3, 1));
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn balance_tracks_per_lane() {
+        let mut s = CountingSink::new();
+        s.emit(&TraceEvent::begin(name::RUN, cat::TXN, 1.0, PID_NODE, 1));
+        s.emit(&TraceEvent::begin(name::RUN, cat::TXN, 1.0, PID_NODE, 2));
+        s.emit(&TraceEvent::end(name::RUN, cat::TXN, 2.0, PID_NODE, 1));
+        assert_eq!(s.first_unbalanced(), Some((PID_NODE, 2, name::RUN, 1, 0)));
+        s.emit(&TraceEvent::end(name::RUN, cat::TXN, 2.0, PID_NODE, 2));
+        assert_eq!(s.first_unbalanced(), None);
+        assert_eq!(s.span_begins(), 2);
+        assert_eq!(s.span_ends(), 2);
+    }
+
+    #[test]
+    fn outcomes_are_tallied_separately() {
+        let mut s = CountingSink::new();
+        for outcome in ["commit", "commit", "timeout"] {
+            s.emit(
+                &TraceEvent::end(name::ATTEMPT, cat::TXN, 5.0, PID_NODE, 1)
+                    .with(Args::Outcome(outcome)),
+            );
+        }
+        assert_eq!(s.outcome(name::ATTEMPT, "commit").total, 2);
+        assert_eq!(s.outcome(name::ATTEMPT, "timeout").total, 1);
+        assert_eq!(s.outcome(name::ATTEMPT, "displaced").total, 0);
+        assert_eq!(s.count(Phase::End, name::ATTEMPT).total, 3);
+    }
+}

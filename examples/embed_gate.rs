@@ -15,11 +15,17 @@
 //!
 //! The run also captures a JSONL gate log and reads it back — the same
 //! format `scenario run --gate-log` emits and `scenario replay` checks
-//! conformance against.
+//! conformance against. `scenarios/embed-gate.json` carries the same
+//! controller as a spec, so the captured log replays through
 //!
 //! ```sh
-//! cargo run --release --example embed_gate
+//! cargo run --release --example embed_gate -- target/embed
+//! scenario replay scenarios/embed-gate.json target/embed/embed_gate_gatelog.jsonl
 //! ```
+//!
+//! (CI does exactly that.) Each tick also snapshots
+//! [`ControlLoop::metrics`]; the series is exported as metrics JSONL
+//! and read back, asserting the byte round trip.
 
 // A live threaded demo: wall-clock sleeps stand in for real work.
 #![allow(clippy::disallowed_methods)]
@@ -31,7 +37,8 @@ use std::time::Duration;
 use adaptive_load_control::core::controller::{IncrementalSteps, IsParams};
 use adaptive_load_control::core::PerfIndicator;
 use adaptive_load_control::runtime::{
-    read_gate_log, AdmissionPolicy, ControlLoop, GateLogHeader, JsonlSink, Outcome, PaperLaw,
+    read_gate_log, read_metrics_jsonl, write_metrics_jsonl, AdmissionPolicy, ControlLoop,
+    GateLogHeader, JsonlSink, Outcome, PaperLaw,
 };
 
 const WORKERS: usize = 8;
@@ -54,8 +61,15 @@ fn main() {
         AdmissionPolicy::QueueTimeout(Duration::from_millis(250)),
     ));
 
+    // Artifacts land in the directory named by the first CLI argument
+    // (so CI can pick them up), or the temp dir when run bare.
+    let out_dir = std::env::args()
+        .nth(1)
+        .map_or_else(std::env::temp_dir, std::path::PathBuf::from);
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
     // Capture everything the loop sees as a JSONL gate log.
-    let log_path = std::env::temp_dir().join("embed_gate_gatelog.jsonl");
+    let log_path = out_dir.join("embed_gate_gatelog.jsonl");
     let header = GateLogHeader {
         scenario: "embed_gate".to_string(),
         variant: String::new(),
@@ -74,9 +88,11 @@ fn main() {
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
             let mut last_bound = 0;
+            let mut snapshots = Vec::new();
             while !stop.load(Ordering::Relaxed) {
                 std::thread::sleep(TICK);
                 let d = rt.tick();
+                snapshots.push(rt.metrics());
                 if d.bound != last_bound {
                     println!(
                         "  t={:6.0}ms  bound {:>2} -> {:>2}  (tput {:6.1}/s, p95 {:5.1}ms, shed {})",
@@ -90,6 +106,7 @@ fn main() {
                     last_bound = d.bound;
                 }
             }
+            snapshots
         })
     };
 
@@ -128,7 +145,7 @@ fn main() {
         }
     });
     stop.store(true, Ordering::Relaxed);
-    ticker.join().expect("ticker thread");
+    let snapshots = ticker.join().expect("ticker thread");
 
     let stats = rt.gate().stats();
     println!(
@@ -150,5 +167,25 @@ fn main() {
         "gate log: {} events captured at {}",
         events.len(),
         log_path.display()
+    );
+
+    // Export the per-tick metrics snapshots and prove the JSONL round
+    // trip: read back equal, re-serialize byte-identical.
+    let metrics_path = out_dir.join("embed_gate_metrics.jsonl");
+    let mut buf = Vec::new();
+    write_metrics_jsonl(&mut buf, &snapshots).expect("serialize metrics");
+    std::fs::write(&metrics_path, &buf).expect("write metrics");
+    let back = read_metrics_jsonl(std::io::BufReader::new(
+        std::fs::File::open(&metrics_path).expect("open metrics"),
+    ))
+    .expect("parse metrics");
+    assert_eq!(back, snapshots, "metrics JSONL round-trips");
+    let mut again = Vec::new();
+    write_metrics_jsonl(&mut again, &back).expect("re-serialize metrics");
+    assert_eq!(again, buf, "metrics JSONL is byte-stable");
+    println!(
+        "metrics: {} snapshot(s) round-tripped at {}",
+        snapshots.len(),
+        metrics_path.display()
     );
 }

@@ -25,6 +25,9 @@
 //!   controllers unchanged, AIMD, retry-budget), JSONL gate logs, and
 //!   the replay driver that pins runtime decisions byte-identical to
 //!   the simulator's.
+//! * [`trace`] (`alc-trace`) — span/event tracing shared by the
+//!   simulator and the runtime: deterministic lifecycle spans and
+//!   decision markers streamed as Chrome/Perfetto trace JSON.
 
 pub use alc_analytic as analytic;
 pub use alc_core as core;
@@ -32,3 +35,4 @@ pub use alc_des as des;
 pub use alc_runtime as runtime;
 pub use alc_scenario as scenario;
 pub use alc_tpsim as tpsim;
+pub use alc_trace as trace;

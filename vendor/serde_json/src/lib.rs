@@ -263,12 +263,27 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    // ASCII fast path: one byte, one char, no UTF-8
+                    // validation (revalidating the remaining input per
+                    // character made large strings quadratic).
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so the
-                    // byte stream is valid UTF-8).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error::custom("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("non-empty");
+                    // Consume one multi-byte UTF-8 scalar (at most 4
+                    // bytes); the input is a &str, so the sequence is
+                    // valid — only its tail may be cut by the window.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let chunk = &self.bytes[self.pos..end];
+                    let valid = match std::str::from_utf8(chunk) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&chunk[..e.valid_up_to()]).expect("validated")
+                        }
+                        Err(_) => return Err(Error::custom("invalid UTF-8")),
+                    };
+                    let c = valid.chars().next().expect("non-empty");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
