@@ -259,11 +259,19 @@ impl Dist {
     pub fn constant(v: f64) -> Self {
         Dist::Constant(Constant(v))
     }
-    /// Shorthand for an exponential with the given mean.
+    /// Shorthand for an exponential with the given mean. Draws via the
+    /// ln()-free ziggurat sampler — the default since its promotion
+    /// (same distribution as [`Dist::exponential_inverse`], different
+    /// realization per seed; goldens were re-blessed with the switch).
     pub fn exponential(mean: f64) -> Self {
+        Dist::ExpZig(ExpZig::with_mean(mean))
+    }
+    /// Shorthand for the inversion-sampled (`-mean·ln(u)`) exponential.
+    pub fn exponential_inverse(mean: f64) -> Self {
         Dist::Exponential(Exponential::with_mean(mean))
     }
-    /// Shorthand for a ziggurat-sampled exponential with the given mean.
+    /// Alias of [`Dist::exponential`], kept for spec compatibility
+    /// (`{"exponential_fast": m}` predates the ziggurat promotion).
     pub fn exponential_fast(mean: f64) -> Self {
         Dist::ExpZig(ExpZig::with_mean(mean))
     }
@@ -370,6 +378,29 @@ mod tests {
         let d = Exponential::with_mean(10.0);
         let m = mean_of(&d, 11, 200_000);
         assert!((m - 10.0).abs() < 0.15, "sample mean {m}");
+    }
+
+    #[test]
+    fn default_exponential_is_ziggurat_with_sane_moments() {
+        // The ziggurat promotion: `Dist::exponential` must be the zig
+        // draw path, and its first two moments must match the
+        // distribution it replaced (mean m, variance m²).
+        let d = Dist::exponential(10.0);
+        assert!(matches!(d, Dist::ExpZig(_)), "default is not ExpZig: {d:?}");
+        assert_eq!(d.mean(), 10.0);
+        let mut rng = RngStream::from_seed(11);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x >= 0.0));
+        let m = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64;
+        assert!((m - 10.0).abs() < 0.15, "sample mean {m}");
+        assert!((var - 100.0).abs() < 3.0, "sample variance {var}");
+        // And the inversion sampler stays available, same moments.
+        let inv = Dist::exponential_inverse(10.0);
+        assert!(matches!(inv, Dist::Exponential(_)));
+        let mi = mean_of(&inv, 11, 200_000);
+        assert!((mi - 10.0).abs() < 0.15, "inverse sample mean {mi}");
     }
 
     #[test]

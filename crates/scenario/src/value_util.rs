@@ -97,8 +97,9 @@ where
 /// (externally tagged) `alc_des::dist::Dist` representation:
 ///
 /// * a bare number → `{"Constant": [x]}`
-/// * `{"constant": x}`, `{"exponential": mean}`,
-///   `{"exponential_fast": mean}` (ziggurat), `{"uniform": [lo, hi]}`,
+/// * `{"constant": x}`, `{"exponential": mean}` and its alias
+///   `{"exponential_fast": mean}` (both ziggurat-sampled),
+///   `{"uniform": [lo, hi]}`,
 ///   `{"erlang": {"stages", "mean"}}`,
 ///   `{"hyperexp": {"p", "mean_a", "mean_b"}}`
 /// * already-canonical tags pass through unchanged.
@@ -118,8 +119,11 @@ pub fn normalize_dist(v: &Value) -> Result<Value, SpecError> {
     };
     Ok(match tag.as_str() {
         "constant" => tagged("Constant", Value::Seq(vec![Value::Num(num("constant")?)])),
+        // Both exponential shorthands lower to the ziggurat sampler —
+        // the default since its promotion; spell the canonical
+        // `{"Exponential": …}` tag to request inversion sampling.
         "exponential" => tagged(
-            "Exponential",
+            "ExpZig",
             Value::Map(vec![("mean".into(), Value::Num(num("exponential")?))]),
         ),
         "exponential_fast" => tagged(
@@ -195,7 +199,7 @@ pub fn normalize_arrival(v: &Value) -> Result<Value, SpecError> {
                         Value::Map(vec![(
                             "interarrival".into(),
                             tagged(
-                                "Exponential",
+                                "ExpZig",
                                 Value::Map(vec![("mean".into(), Value::Num(1000.0 / rate))]),
                             ),
                         )]),
